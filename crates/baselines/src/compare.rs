@@ -1,0 +1,148 @@
+//! Normalized comparisons: baseline energy over NEBULA energy, the
+//! quantity Figs. 12, 13a and 13b plot.
+
+use crate::inxs::{self, InxsConfig};
+use crate::isaac::{self, IsaacConfig};
+use nebula_core::energy::EnergyModel;
+use nebula_core::engine::{evaluate_ann, evaluate_snn};
+use nebula_nn::stats::LayerDescriptor;
+
+/// One layer's baseline-over-NEBULA energy ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRatio {
+    /// Layer name.
+    pub name: String,
+    /// Baseline energy / NEBULA energy (> 1 means NEBULA wins).
+    pub ratio: f64,
+}
+
+/// Per-layer and mean ISAAC/NEBULA-ANN energy ratios (Fig. 12 per
+/// layer, Fig. 13a means).
+pub fn isaac_vs_nebula_ann(
+    isaac_config: &IsaacConfig,
+    model: &EnergyModel,
+    descriptors: &[LayerDescriptor],
+) -> (Vec<LayerRatio>, f64) {
+    let nebula = evaluate_ann(model, descriptors);
+    let baseline = isaac::network_energy(isaac_config, descriptors);
+    let layers: Vec<LayerRatio> = nebula
+        .layers
+        .iter()
+        .zip(&baseline)
+        .map(|(n, b)| LayerRatio {
+            name: n.name.clone(),
+            ratio: b.total().0 / n.energy.total().0.max(f64::MIN_POSITIVE),
+        })
+        .collect();
+    let mean = isaac::total_energy(isaac_config, descriptors).0
+        / nebula.total_energy().0.max(f64::MIN_POSITIVE);
+    (layers, mean)
+}
+
+/// Per-layer and mean INXS/NEBULA-SNN energy ratios over a `timesteps`
+/// window (Fig. 13b).
+pub fn inxs_vs_nebula_snn(
+    inxs_config: &InxsConfig,
+    model: &EnergyModel,
+    descriptors: &[LayerDescriptor],
+    timesteps: u32,
+) -> (Vec<LayerRatio>, f64) {
+    let nebula = evaluate_snn(model, descriptors, timesteps);
+    let baseline = inxs::network_energy(inxs_config, descriptors, timesteps);
+    let layers: Vec<LayerRatio> = nebula
+        .layers
+        .iter()
+        .zip(&baseline)
+        .map(|(n, b)| LayerRatio {
+            name: n.name.clone(),
+            ratio: b.total().0 / n.energy.total().0.max(f64::MIN_POSITIVE),
+        })
+        .collect();
+    let mean = inxs::total_energy(inxs_config, descriptors, timesteps).0
+        / nebula.total_energy().0.max(f64::MIN_POSITIVE);
+    (layers, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_workloads::zoo;
+
+    #[test]
+    fn nebula_ann_beats_isaac_within_the_papers_band() {
+        // Paper: ≈2.8× (AlexNet) to ≈7.9× (MobileNet).
+        let model = EnergyModel::default();
+        let cfg = IsaacConfig::adapted_4bit();
+        let (_, alexnet) = isaac_vs_nebula_ann(&cfg, &model, &zoo::alexnet());
+        let (_, mobilenet) = isaac_vs_nebula_ann(&cfg, &model, &zoo::mobilenet_v1(10));
+        assert!(
+            alexnet > 1.2,
+            "NEBULA must beat ISAAC on AlexNet, got {alexnet:.2}×"
+        );
+        assert!(
+            mobilenet > alexnet,
+            "MobileNet win ({mobilenet:.2}×) must exceed AlexNet win ({alexnet:.2}×): \
+             depthwise layers have tiny receptive fields"
+        );
+        assert!(
+            (1.5..25.0).contains(&alexnet) && (2.0..40.0).contains(&mobilenet),
+            "ratios out of plausible band: alexnet {alexnet:.2}, mobilenet {mobilenet:.2}"
+        );
+    }
+
+    #[test]
+    fn depthwise_layers_show_the_biggest_isaac_wins() {
+        // Fig. 12: even-numbered (depthwise) MobileNet layers save more.
+        let model = EnergyModel::default();
+        let cfg = IsaacConfig::adapted_4bit();
+        let descriptors = zoo::mobilenet_v1(10);
+        let (layers, _) = isaac_vs_nebula_ann(&cfg, &model, &descriptors);
+        let dw_mean: f64 = layers
+            .iter()
+            .zip(&descriptors)
+            .filter(|(_, d)| d.is_depthwise())
+            .map(|(l, _)| l.ratio)
+            .sum::<f64>()
+            / 13.0;
+        let pw_mean: f64 = layers
+            .iter()
+            .zip(&descriptors)
+            .filter(|(_, d)| !d.is_depthwise())
+            .map(|(l, _)| l.ratio)
+            .sum::<f64>()
+            / (layers.len() - 13) as f64;
+        assert!(
+            dw_mean > pw_mean,
+            "depthwise mean {dw_mean:.2} should beat pointwise mean {pw_mean:.2}"
+        );
+    }
+
+    #[test]
+    fn nebula_snn_beats_inxs_by_tens() {
+        // Paper: ≈45× on VGG.
+        let model = EnergyModel::default();
+        let cfg = InxsConfig::default();
+        let (layers, mean) = inxs_vs_nebula_snn(&cfg, &model, &zoo::vgg13(10), 300);
+        assert!(
+            (10.0..150.0).contains(&mean),
+            "INXS/NEBULA mean ratio {mean:.1} far from the ~45× regime"
+        );
+        assert!(layers.iter().all(|l| l.ratio > 1.0), "every layer must win");
+    }
+
+    #[test]
+    fn fc_layers_save_more_than_large_convs_on_inxs() {
+        // Fig. 13b: VGG's FC layers (small R_f on CIFAR) show greater
+        // savings than the big conv layers.
+        let model = EnergyModel::default();
+        let cfg = InxsConfig::default();
+        let descriptors = zoo::vgg13(10);
+        let (layers, _) = inxs_vs_nebula_snn(&cfg, &model, &descriptors, 300);
+        let fc_mean = (layers[10].ratio + layers[11].ratio) / 2.0;
+        let big_conv_mean = (layers[8].ratio + layers[9].ratio) / 2.0;
+        assert!(
+            fc_mean > big_conv_mean,
+            "fc mean {fc_mean:.1} should beat deep-conv mean {big_conv_mean:.1}"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # nebula-baselines
+//!
+//! Analytical energy models of the two accelerators the NEBULA paper
+//! compares against, rebuilt from their published component parameters:
+//!
+//! * [`isaac`] — ISAAC (ISCA 2016): bit-serial memristive ANN
+//!   accelerator with per-crossbar ADCs, adapted to 4-bit precision
+//!   exactly as the paper's §VI describes (Figs. 12, 13a).
+//! * [`inxs`] — INXS (IJCNN 2017): SNN accelerator that digitizes
+//!   membrane increments through ADCs and keeps membrane potentials in
+//!   SRAM every timestep (Fig. 13b).
+//!
+//! The [`compare`] module computes the normalized energy ratios the
+//! paper's figures plot.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod inxs;
+pub mod isaac;
+
+pub use compare::{isaac_vs_nebula_ann, inxs_vs_nebula_snn, LayerRatio};
+pub use inxs::{InxsConfig, InxsLayerEnergy};
+pub use isaac::{IsaacConfig, IsaacLayerEnergy};

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the simulation kernels: analog crossbar
+//! evaluation, convolution lowering, spiking simulation steps and the
+//! whole-chip analytical energy evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nebula_core::energy::EnergyModel;
+use nebula_core::engine::{evaluate_ann, evaluate_snn};
+use nebula_core::mapper::map_network;
+use nebula_crossbar::{AtomicCrossbar, CrossbarConfig, Mode, SuperTile};
+use nebula_nn::layer::Layer;
+use nebula_nn::snn::{IfPopulation, ResetMode};
+use nebula_tensor::{conv2d, im2col, ConvGeometry, Tensor};
+use nebula_workloads::zoo;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_crossbar(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut xbar = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
+    let weights: Vec<Vec<f64>> = (0..128)
+        .map(|_| (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    xbar.program(&weights, 1.0).unwrap();
+    let inputs: Vec<f64> = (0..128).map(|_| rng.gen_range(0.0..1.0)).collect();
+    c.bench_function("atomic_crossbar_dot_128x128", |b| {
+        b.iter(|| xbar.dot(black_box(&inputs)).unwrap())
+    });
+
+    let mut st = SuperTile::new(CrossbarConfig::paper_default(Mode::Snn)).unwrap();
+    let kernel: Vec<Vec<f64>> = (0..2000).map(|_| vec![rng.gen_range(-1.0..1.0)]).collect();
+    st.program(&kernel, 1.0).unwrap();
+    let spikes: Vec<f64> = (0..2000).map(|_| f64::from(rng.gen_bool(0.2))).collect();
+    c.bench_function("supertile_dot_h2_rf2000", |b| {
+        b.iter(|| st.dot(black_box(&spikes)).unwrap())
+    });
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let a = Tensor::rand_uniform(&[64, 256], -1.0, 1.0, &mut rng);
+    let b_mat = Tensor::rand_uniform(&[256, 64], -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_64x256x64", |b| {
+        b.iter(|| a.matmul(black_box(&b_mat)).unwrap())
+    });
+
+    let x = Tensor::rand_uniform(&[4, 8, 16, 16], 0.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(&[16, 8, 3, 3], -1.0, 1.0, &mut rng);
+    let geom = ConvGeometry::same(3);
+    c.bench_function("conv2d_4x8x16x16_k3", |b| {
+        b.iter(|| conv2d(black_box(&x), &w, None, geom).unwrap())
+    });
+    c.bench_function("im2col_4x8x16x16_k3", |b| {
+        b.iter(|| im2col(black_box(&x), geom).unwrap())
+    });
+}
+
+fn bench_snn(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let input = Tensor::rand_uniform(&[16, 4096], 0.0, 0.3, &mut rng);
+    let mut pop = IfPopulation::new(1.0, ResetMode::Subtract);
+    c.bench_function("if_population_step_64k_neurons", |b| {
+        b.iter(|| pop.step(black_box(&input)).unwrap())
+    });
+
+    let mut dense = Layer::dense(256, 128, &mut rng);
+    let spikes = Tensor::rand_uniform(&[16, 256], 0.0, 1.0, &mut rng).map(|v| f32::from(v < 0.2));
+    c.bench_function("sparse_dense_forward_16x256", |b| {
+        b.iter(|| dense.forward(black_box(&spikes), false).unwrap())
+    });
+}
+
+fn bench_architecture(c: &mut Criterion) {
+    let model = EnergyModel::default();
+    let vgg = zoo::vgg13(10);
+    c.bench_function("map_network_vgg13", |b| {
+        b.iter(|| map_network(black_box(&vgg)))
+    });
+    c.bench_function("evaluate_ann_vgg13", |b| {
+        b.iter(|| evaluate_ann(&model, black_box(&vgg)))
+    });
+    c.bench_function("evaluate_snn_vgg13_t300", |b| {
+        b.iter(|| evaluate_snn(&model, black_box(&vgg), 300))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crossbar, bench_tensor, bench_snn, bench_architecture
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation: morphable tiles. A monolithic fixed-size crossbar wastes
+//! synapses on small kernels (the paper's VGG-layer-1 example: 27×64 of
+//! 128×128 used); the morphable 2×2 decomposition lets small kernels run
+//! on independent atomic crossbars.
+
+use nebula_bench::table::print_table;
+use nebula_core::mapper::map_network;
+use nebula_workloads::zoo;
+
+fn utilization_fixed(rf: usize, kernels: usize, side: usize) -> f64 {
+    // One rigid side×side array per kernel group, no decomposition.
+    let stacks = rf.div_ceil(side);
+    let groups = kernels.div_ceil(side);
+    (rf * kernels) as f64 / ((stacks * groups) as f64 * (side * side) as f64)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for (name, ds) in zoo::all_models() {
+        let mappings = map_network(&ds);
+        let morphable: f64 =
+            mappings.iter().map(|m| m.utilization).sum::<f64>() / mappings.len() as f64;
+        let fixed_256: f64 = ds
+            .iter()
+            .map(|d| utilization_fixed(d.receptive_field, d.kernels, 256))
+            .sum::<f64>()
+            / ds.len() as f64;
+        let fixed_512: f64 = ds
+            .iter()
+            .map(|d| utilization_fixed(d.receptive_field, d.kernels, 512))
+            .sum::<f64>()
+            / ds.len() as f64;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}%", morphable * 100.0),
+            format!("{:.1}%", fixed_256 * 100.0),
+            format!("{:.1}%", fixed_512 * 100.0),
+        ]);
+    }
+    print_table(
+        "Ablation: mean synapse utilization, morphable 128-ACs vs rigid arrays",
+        &["model", "morphable (128)", "rigid 256x256", "rigid 512x512"],
+        &rows,
+    );
+    println!("\nMorphable tiles keep utilization high for small receptive fields");
+    println!("(depthwise/early layers) where rigid large arrays waste synapses -");
+    println!("and low utilization is wasted area AND wasted read energy.");
+}

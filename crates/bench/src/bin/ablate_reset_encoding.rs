@@ -1,0 +1,44 @@
+//! Ablation: IF reset mode (subtract vs zero) and input encoding
+//! (Poisson vs constant-current) for the converted SNN.
+
+use nebula_bench::setup::{trained, Workload};
+use nebula_bench::table::{pct, print_table};
+use nebula_nn::convert::{ann_to_snn, ConversionConfig};
+use nebula_nn::{InputEncoding, ResetMode};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let t = trained(Workload::Lenet, 500, 15);
+    let mut rows = Vec::new();
+    for (reset, rname) in [(ResetMode::Subtract, "subtract"), (ResetMode::Zero, "zero")] {
+        for (enc, ename) in [
+            (InputEncoding::Poisson, "poisson"),
+            (InputEncoding::Constant, "constant"),
+        ] {
+            let cfg = ConversionConfig {
+                reset,
+                encoding: enc,
+                ..ConversionConfig::default()
+            };
+            let mut snn = ann_to_snn(&t.net, &t.train.take(64), &cfg).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            let mut row = vec![rname.to_string(), ename.to_string()];
+            for timesteps in [5usize, 15, 60] {
+                let acc = snn
+                    .accuracy(&t.test.inputs, &t.test.labels, timesteps, &mut rng)
+                    .unwrap();
+                row.push(pct(acc * 100.0));
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        "Ablation: reset mode x input encoding (LeNet SNN accuracy %)",
+        &["reset", "encoding", "T=5", "T=15", "T=60"],
+        &rows,
+    );
+    println!("\nSubtract-reset preserves super-threshold charge and converges in");
+    println!("fewer timesteps; zero-reset (the raw device behaviour) needs longer");
+    println!("windows. Constant-current encoding removes input sampling noise.");
+}

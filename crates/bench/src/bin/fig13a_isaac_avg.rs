@@ -1,0 +1,27 @@
+//! Figure 13(a): average ISAAC energy normalized to NEBULA-ANN across
+//! all ANN benchmarks.
+
+use nebula_baselines::compare::isaac_vs_nebula_ann;
+use nebula_baselines::isaac::IsaacConfig;
+use nebula_bench::table::{print_table, ratio};
+use nebula_core::energy::EnergyModel;
+use nebula_workloads::zoo;
+
+fn main() {
+    let model = EnergyModel::default();
+    let cfg = IsaacConfig::adapted_4bit();
+    let rows: Vec<Vec<String>> = zoo::all_models()
+        .into_iter()
+        .map(|(name, ds)| {
+            let (_, mean) = isaac_vs_nebula_ann(&cfg, &model, &ds);
+            vec![name.to_string(), ratio(mean)]
+        })
+        .collect();
+    print_table(
+        "Fig. 13(a): ISAAC / NEBULA-ANN average energy per benchmark",
+        &["benchmark", "ISAAC/NEBULA"],
+        &rows,
+    );
+    println!("\nPaper band: ~2.8x (AlexNet) up to ~7.9x (MobileNet); savings are");
+    println!("highest for light-weight (small-R_f) convolution layers.");
+}

@@ -1,0 +1,34 @@
+//! Figure 13(b): layer-wise energy of INXS normalized to NEBULA-SNN for
+//! VGG (CIFAR-10), 300 timesteps.
+
+use nebula_baselines::compare::inxs_vs_nebula_snn;
+use nebula_baselines::inxs::InxsConfig;
+use nebula_bench::table::{print_table, ratio};
+use nebula_core::energy::EnergyModel;
+use nebula_workloads::zoo;
+
+fn main() {
+    let model = EnergyModel::default();
+    let cfg = InxsConfig::default();
+    let ds = zoo::vgg13(10);
+    let (layers, mean) = inxs_vs_nebula_snn(&cfg, &model, &ds, 300);
+    let rows: Vec<Vec<String>> = layers
+        .iter()
+        .zip(&ds)
+        .map(|(l, d)| {
+            vec![
+                l.name.clone(),
+                d.receptive_field.to_string(),
+                ratio(l.ratio),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 13(b): INXS energy / NEBULA-SNN energy per VGG layer (T=300)",
+        &["layer", "R_f", "INXS/NEBULA"],
+        &rows,
+    );
+    println!("mean ratio: {} (paper reports ~45x)", ratio(mean));
+    println!("\nShape check: FC layers (small R_f on CIFAR) save more than the");
+    println!("deep conv layers; all layers win.");
+}

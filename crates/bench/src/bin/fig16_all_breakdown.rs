@@ -1,0 +1,45 @@
+//! Figure 16: component-wise relative energy breakdown of all benchmark
+//! models on NEBULA in SNN and ANN modes.
+
+use nebula_bench::table::print_table;
+use nebula_core::energy::EnergyModel;
+use nebula_core::engine::{evaluate_ann, evaluate_snn};
+use nebula_workloads::zoo;
+
+fn main() {
+    let model = EnergyModel::default();
+    for snn_mode in [true, false] {
+        let mut rows = Vec::new();
+        for (name, ds) in zoo::all_models() {
+            let report = if snn_mode {
+                evaluate_snn(&model, &ds, 300)
+            } else {
+                evaluate_ann(&model, &ds)
+            };
+            let f = report.total.fractions();
+            let get = |k: &str| {
+                f.iter()
+                    .find(|(n, _)| *n == k)
+                    .map_or(0.0, |(_, v)| *v * 100.0)
+            };
+            rows.push(vec![
+                name.to_string(),
+                format!("{:.1}", get("crossbar") + get("drivers")),
+                format!("{:.1}", get("sram")),
+                format!("{:.1}", get("edram")),
+                format!("{:.1}", get("adc")),
+                format!("{:.1}", get("noc") + get("neuron_units")),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Fig. 16 ({} mode): component energy shares (%)",
+                if snn_mode { "SNN" } else { "ANN" }
+            ),
+            &["model", "xbar+drv", "sram", "edram", "adc", "other"],
+            &rows,
+        );
+    }
+    println!("\nPaper shape: SNN mode - memories (SRAM, then eDRAM) and crossbars");
+    println!("dominate; ANN mode - crossbars and DACs are the major consumers.");
+}

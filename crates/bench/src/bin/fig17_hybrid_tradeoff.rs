@@ -1,0 +1,59 @@
+//! Figure 17: SNN vs hybrid vs ANN energy (top) and power (bottom) on
+//! NEBULA for AlexNet, VGG and SVHN.
+
+use nebula_bench::table::{print_table, ratio};
+use nebula_core::energy::EnergyModel;
+use nebula_core::engine::{evaluate_ann, evaluate_hybrid, evaluate_snn};
+use nebula_workloads::zoo;
+
+fn main() {
+    let model = EnergyModel::default();
+    for (name, ds, t_full) in [
+        ("AlexNet", zoo::alexnet(), 500u32),
+        ("VGG-13", zoo::vgg13(10), 300),
+        ("SVHN-Net", zoo::svhn_net(), 100),
+    ] {
+        let snn = evaluate_snn(&model, &ds, t_full);
+        let ann = evaluate_ann(&model, &ds);
+        let snn_e = snn.total_energy().0;
+        let ann_p = ann.avg_power.0;
+        let mut rows = vec![vec![
+            format!("SNN@{t_full}"),
+            ratio(1.0),
+            ratio(snn.avg_power.0 / ann_p),
+            format!("{:.2} uJ", snn_e * 1e6),
+        ]];
+        // Progressively more ANN layers at progressively fewer timesteps.
+        let configs = [(1usize, t_full * 3 / 4), (2, t_full / 2), (3, t_full / 3)];
+        for (k, t) in configs {
+            let h = evaluate_hybrid(&model, &ds, k, t.max(1));
+            rows.push(vec![
+                h.mode.clone(),
+                ratio(h.total_energy().0 / snn_e),
+                ratio(h.avg_power().0 / ann_p),
+                format!("{:.2} uJ", h.total_energy().0 * 1e6),
+            ]);
+        }
+        rows.push(vec![
+            "ANN".into(),
+            ratio(ann.total_energy().0 / snn_e),
+            ratio(1.0),
+            format!("{:.2} uJ", ann.total_energy().0 * 1e6),
+        ]);
+        print_table(
+            &format!("Fig. 17 ({name}): energy (vs SNN) and power (vs ANN)"),
+            &["config", "energy/SNN", "power/ANN", "energy"],
+            &rows,
+        );
+        println!(
+            "ANN/SNN power ratio: {}  (paper: >= 6.25x)",
+            ratio(ann_p / snn.avg_power.0)
+        );
+        println!(
+            "SNN/ANN energy ratio: {} (paper: ~5-10x)",
+            ratio(snn_e / ann.total_energy().0)
+        );
+    }
+    println!("\nPaper shape: hybrids sit between pure SNN and pure ANN on both");
+    println!("axes - less energy than SNN, less power than ANN.");
+}

@@ -1,0 +1,17 @@
+//! # nebula-bench
+//!
+//! Experiment harness regenerating every table and figure of the NEBULA
+//! paper's evaluation. Each artifact has a dedicated binary
+//! (`cargo run --release -p nebula-bench --bin <id>`); see `DESIGN.md`
+//! for the experiment index and `EXPERIMENTS.md` for recorded results.
+//!
+//! The [`table`] module renders aligned text tables; [`setup`] trains the
+//! scaled workload models the accuracy experiments share.
+
+#![warn(missing_docs)]
+
+pub mod setup;
+pub mod table;
+
+pub use setup::{trained, Trained, Workload};
+pub use table::{print_table, Row};

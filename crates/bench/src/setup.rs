@@ -1,0 +1,156 @@
+//! Shared experiment setup: synthetic datasets and trained scaled models.
+//!
+//! Every accuracy experiment (Tables I–II, Figs. 4, 9, 10, §IV-D) starts
+//! from the same recipe: generate a seeded synthetic dataset matched to
+//! the paper benchmark's dataset family, train the scaled version of the
+//! benchmark topology, and hand back the split data.
+
+use nebula_nn::optim::{train, Dataset, TrainConfig};
+use nebula_nn::Network;
+use nebula_workloads::scaled;
+use nebula_workloads::synthetic::{generate, split, SyntheticConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The scaled workloads the accuracy experiments use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// 3-layer MLP on glyphs (MNIST-class).
+    Mlp,
+    /// Scaled LeNet-5 on glyphs.
+    Lenet,
+    /// Scaled VGG on 10-class textures (CIFAR-10-class).
+    Vgg10,
+    /// Scaled VGG on 20-class textures (CIFAR-100-class).
+    Vgg20,
+    /// Scaled VGG with batch norm on 10-class textures.
+    VggBn,
+    /// Scaled MobileNet on 10-class textures.
+    Mobilenet10,
+    /// Scaled MobileNet on 20-class textures.
+    Mobilenet20,
+    /// Scaled SVHN net on cluttered glyphs.
+    Svhn,
+}
+
+impl Workload {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Mlp => "MLP",
+            Workload::Lenet => "LeNet",
+            Workload::Vgg10 => "VGG/10",
+            Workload::Vgg20 => "VGG/20",
+            Workload::VggBn => "VGG-BN/10",
+            Workload::Mobilenet10 => "MobileNet/10",
+            Workload::Mobilenet20 => "MobileNet/20",
+            Workload::Svhn => "SVHN-Net",
+        }
+    }
+
+    /// Class count of the matched dataset.
+    pub fn classes(self) -> usize {
+        match self {
+            Workload::Vgg20 | Workload::Mobilenet20 => 20,
+            _ => 10,
+        }
+    }
+
+    fn dataset_config(self, samples: usize) -> SyntheticConfig {
+        match self {
+            Workload::Mlp | Workload::Lenet => SyntheticConfig::glyphs(16, samples),
+            Workload::Svhn => SyntheticConfig::cluttered(16, samples),
+            _ => SyntheticConfig::textures(16, self.classes(), samples),
+        }
+    }
+
+    fn build(self, rng: &mut ChaCha8Rng) -> Network {
+        match self {
+            Workload::Mlp => scaled::scaled_mlp(16, 10, rng),
+            Workload::Lenet => scaled::scaled_lenet(16, 10, rng),
+            Workload::Vgg10 => scaled::scaled_vgg(16, 10, rng),
+            Workload::Vgg20 => scaled::scaled_vgg(16, 20, rng),
+            Workload::VggBn => scaled::scaled_vgg_bn(16, 10, rng),
+            Workload::Mobilenet10 => scaled::scaled_mobilenet(16, 10, rng),
+            Workload::Mobilenet20 => scaled::scaled_mobilenet(16, 20, rng),
+            Workload::Svhn => scaled::scaled_svhn(16, 10, rng),
+        }
+    }
+}
+
+/// A trained scaled model plus its data splits.
+#[derive(Debug, Clone)]
+pub struct Trained {
+    /// The trained network.
+    pub net: Network,
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out evaluation split.
+    pub test: Dataset,
+    /// Training-set accuracy after the last epoch.
+    pub train_accuracy: f64,
+}
+
+/// Generates data, builds and trains the workload. Fully deterministic
+/// for a given `(workload, samples, epochs)` triple.
+///
+/// # Panics
+///
+/// Panics when dataset generation or training fails (these are
+/// experiment-setup bugs, not runtime conditions).
+pub fn trained(workload: Workload, samples: usize, epochs: usize) -> Trained {
+    let data = generate(&workload.dataset_config(samples)).expect("dataset generation");
+    let train_count = samples * 4 / 5;
+    let (train_set, test_set) = split(&data, train_count);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBE9C + workload as u64);
+    let mut net = workload.build(&mut rng);
+    let cfg = TrainConfig::builder()
+        .epochs(epochs)
+        .batch_size(32)
+        .learning_rate(0.02)
+        .lr_decay(0.95)
+        .build();
+    let reports = train(&mut net, &train_set, &cfg, &mut rng).expect("training");
+    Trained {
+        net,
+        train: train_set,
+        test: test_set,
+        train_accuracy: reports.last().map_or(0.0, |r| r.accuracy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_trains_above_chance_quickly() {
+        let t = trained(Workload::Mlp, 300, 12);
+        assert!(
+            t.train_accuracy > 0.5,
+            "MLP stuck at {:.2}",
+            t.train_accuracy
+        );
+        let acc = t
+            .net
+            .clone()
+            .accuracy(&t.test.inputs, &t.test.labels)
+            .unwrap();
+        assert!(acc > 0.4, "test accuracy {acc:.2} too low");
+    }
+
+    #[test]
+    fn setup_is_deterministic() {
+        let a = trained(Workload::Mlp, 120, 3);
+        let b = trained(Workload::Mlp, 120, 3);
+        assert_eq!(a.train_accuracy, b.train_accuracy);
+        assert_eq!(a.train.labels, b.train.labels);
+    }
+
+    #[test]
+    fn workload_metadata() {
+        assert_eq!(Workload::Vgg20.classes(), 20);
+        assert_eq!(Workload::Mlp.classes(), 10);
+        assert_eq!(Workload::Svhn.name(), "SVHN-Net");
+    }
+}

@@ -1,0 +1,84 @@
+//! Minimal aligned-text table rendering for experiment output.
+
+/// One table row: a list of cell strings.
+pub type Row = Vec<String>;
+
+/// Prints a titled, column-aligned table to stdout.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_bench::table::print_table;
+///
+/// print_table(
+///     "Demo",
+///     &["name", "value"],
+///     &[vec!["alpha".to_string(), "1.0".to_string()]],
+/// );
+/// ```
+pub fn print_table(title: &str, headers: &[&str], rows: &[Row]) {
+    println!("\n=== {title} ===");
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&rule);
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a ratio like `7.9x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a percentage like `91.60`.
+pub fn pct(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats an energy in engineering notation (µJ granularity).
+pub fn uj(joules: f64) -> String {
+    format!("{:.3} uJ", joules * 1e6)
+}
+
+/// Formats a power in milliwatts.
+pub fn mw(watts: f64) -> String {
+    format!("{:.3} mW", watts * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(7.903), "7.90x");
+        assert_eq!(pct(91.6), "91.60");
+        assert_eq!(uj(1.5e-6), "1.500 uJ");
+        assert_eq!(mw(0.0123), "12.300 mW");
+    }
+
+    #[test]
+    fn print_table_handles_ragged_rows() {
+        // Smoke test: must not panic on rows shorter/longer than headers.
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into()], vec!["1".into(), "2".into(), "3".into()]],
+        );
+    }
+}

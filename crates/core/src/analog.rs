@@ -1,0 +1,603 @@
+//! Analog execution: compile a trained (quantized) network onto actual
+//! super-tile circuit structures and run inference *through the
+//! device-level crossbar models* — the functional twin of programming a
+//! real NEBULA chip.
+//!
+//! Where the [`engine`](crate::engine) module prices a workload
+//! analytically, this module computes with it: every dense/conv MAC goes
+//! through [`SuperTile::dot`] (DW-MTJ conductances, reference-column
+//! signed weights, 16-level quantization, optional read noise), im2col
+//! streaming plays the role of the input buffers and drivers, and one
+//! crossbar evaluation corresponds to one 110 ns wave of the Fig. 8
+//! pipeline.
+//!
+//! Supported layers: `Dense`, `Conv2d`, `Relu`, `ActivationQuant`,
+//! `AvgPool`, `Flatten`. Biases are applied digitally (a real chip would
+//! dedicate a bias row; the paper does not detail it). Depthwise
+//! convolutions and batch-norm must be lowered/folded before
+//! compilation.
+
+use crate::components::{M, MAX_RF_IN_CORE};
+use nebula_crossbar::{CrossbarConfig, CrossbarError, Mode, SuperTile};
+use nebula_device::units::Joules;
+use nebula_nn::layer::Layer;
+use nebula_nn::{Network, NnError};
+use nebula_tensor::{avg_pool2d, im2col, ConvGeometry, Tensor, TensorError};
+use rand::Rng;
+
+/// Errors produced while compiling or executing analog networks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalogError {
+    /// A layer kind the analog compiler does not support.
+    Unsupported {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// The kernel is too large even for the multi-core path this
+    /// executor models (receptive field beyond `16M` per column group is
+    /// split; zero-sized layers are rejected).
+    BadGeometry {
+        /// Explanation.
+        reason: String,
+    },
+    /// Circuit-level failure.
+    Crossbar(CrossbarError),
+    /// Tensor failure.
+    Tensor(TensorError),
+}
+
+impl std::fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalogError::Unsupported { layer } => {
+                write!(f, "analog compiler does not support `{layer}` layers")
+            }
+            AnalogError::BadGeometry { reason } => write!(f, "bad analog geometry: {reason}"),
+            AnalogError::Crossbar(e) => write!(f, "crossbar failure: {e}"),
+            AnalogError::Tensor(e) => write!(f, "tensor failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalogError {}
+
+impl From<CrossbarError> for AnalogError {
+    fn from(e: CrossbarError) -> Self {
+        AnalogError::Crossbar(e)
+    }
+}
+
+impl From<TensorError> for AnalogError {
+    fn from(e: TensorError) -> Self {
+        AnalogError::Tensor(e)
+    }
+}
+
+impl From<NnError> for AnalogError {
+    fn from(e: NnError) -> Self {
+        match e {
+            NnError::Tensor(t) => AnalogError::Tensor(t),
+            other => AnalogError::BadGeometry {
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
+/// One weight matrix programmed across super-tiles: rows are split into
+/// `R_f ≤ 16M` segments (multi-core spill), columns into groups of `M`.
+#[derive(Debug, Clone)]
+struct ProgrammedMatrix {
+    /// `tiles[segment][group]`.
+    tiles: Vec<Vec<SuperTile>>,
+    segment_rows: Vec<usize>,
+    cols: usize,
+    rf: usize,
+    /// Input normalization: activations are divided by this before
+    /// driving the bit-lines (so drives stay in `[0, 1]`).
+    x_scale: f32,
+}
+
+impl ProgrammedMatrix {
+    /// Programs `weight[rf][cols]` (row-major `Tensor` `[rf, cols]`).
+    fn program(
+        weight: &Tensor,
+        x_scale: f32,
+        config: &CrossbarConfig,
+    ) -> Result<Self, AnalogError> {
+        let (rf, cols) = (weight.shape()[0], weight.shape()[1]);
+        if rf == 0 || cols == 0 {
+            return Err(AnalogError::BadGeometry {
+                reason: format!("degenerate weight matrix {rf}×{cols}"),
+            });
+        }
+        let clip = weight
+            .data()
+            .iter()
+            .fold(0.0f32, |m, v| m.max(v.abs()))
+            .max(1e-6) as f64;
+        let mut tiles = Vec::new();
+        let mut segment_rows = Vec::new();
+        for seg_start in (0..rf).step_by(MAX_RF_IN_CORE) {
+            let seg_rows = (rf - seg_start).min(MAX_RF_IN_CORE);
+            segment_rows.push(seg_rows);
+            let mut groups = Vec::new();
+            for col_start in (0..cols).step_by(M) {
+                let group_cols = (cols - col_start).min(M);
+                let mut block = vec![vec![0.0f64; group_cols]; seg_rows];
+                for (r, row) in block.iter_mut().enumerate() {
+                    for (c, cell) in row.iter_mut().enumerate() {
+                        *cell = weight.at(&[seg_start + r, col_start + c]) as f64;
+                    }
+                }
+                let mut st = SuperTile::new(config.clone())?;
+                st.program(&block, clip)?;
+                groups.push(st);
+            }
+            tiles.push(groups);
+        }
+        Ok(Self {
+            tiles,
+            segment_rows,
+            cols,
+            rf,
+            x_scale,
+        })
+    }
+
+    /// Evaluates one input vector (length `rf`, real units): drives the
+    /// crossbars with `x / x_scale` and returns the real-valued products
+    /// `Wᵀx` per column.
+    fn dot(&mut self, x: &[f32]) -> Result<Vec<f32>, AnalogError> {
+        debug_assert_eq!(x.len(), self.rf);
+        let mut out = vec![0.0f32; self.cols];
+        let mut offset = 0usize;
+        for (seg, seg_rows) in self.segment_rows.clone().into_iter().enumerate() {
+            let drive: Vec<f64> = x[offset..offset + seg_rows]
+                .iter()
+                .map(|&v| (v / self.x_scale).clamp(0.0, 1.0) as f64)
+                .collect();
+            for (g, tile) in self.tiles[seg].iter_mut().enumerate() {
+                let currents = tile.dot(&drive)?;
+                let unit = tile.unit_current().0;
+                for (c, i) in currents.iter().enumerate() {
+                    // value (weight units) → real: × x_scale (drive
+                    // normalization) — clip is already the weight unit.
+                    out[g * M + c] += (i.0 / unit) as f32 * self.x_scale;
+                }
+            }
+            offset += seg_rows;
+        }
+        Ok(out)
+    }
+
+    fn read_energy(&self) -> Joules {
+        self.tiles
+            .iter()
+            .flatten()
+            .map(SuperTile::accumulated_read_energy)
+            .sum()
+    }
+
+    fn program_energy(&self) -> Joules {
+        self.tiles
+            .iter()
+            .flatten()
+            .map(SuperTile::accumulated_program_energy)
+            .sum()
+    }
+
+    fn supertile_count(&self) -> usize {
+        self.tiles.iter().map(Vec::len).sum()
+    }
+}
+
+/// One compiled stage of an analog network.
+#[derive(Debug, Clone)]
+enum AnalogStage {
+    Dense {
+        matrix: ProgrammedMatrix,
+        bias: Vec<f32>,
+    },
+    Conv {
+        matrix: ProgrammedMatrix,
+        bias: Vec<f32>,
+        geom: ConvGeometry,
+        out_channels: usize,
+    },
+    Relu,
+    Quant {
+        amax: f32,
+        levels: usize,
+    },
+    AvgPool {
+        k: usize,
+    },
+    Flatten,
+}
+
+/// A network compiled onto crossbar hardware models.
+///
+/// Build with [`compile`]; run with [`AnalogNetwork::forward`].
+#[derive(Debug, Clone)]
+pub struct AnalogNetwork {
+    stages: Vec<AnalogStage>,
+    waves: u64,
+}
+
+/// Compiles a (preferably 4-bit-quantized, BN-folded) network for analog
+/// execution in the given mode.
+///
+/// Per-layer input scales are taken from the preceding
+/// [`Layer::ActivationQuant`] ceiling when present (quantized networks),
+/// else 1.0 (suitable for inputs already in `[0, 1]`).
+///
+/// # Errors
+///
+/// Returns [`AnalogError::Unsupported`] for depthwise convolutions and
+/// live batch-norm layers.
+pub fn compile(net: &Network, config: &CrossbarConfig) -> Result<AnalogNetwork, AnalogError> {
+    let mut stages = Vec::with_capacity(net.len());
+    // The scale of the *current* activations flowing between stages.
+    let mut x_scale = 1.0f32;
+    for layer in net.layers() {
+        match layer {
+            Layer::Dense(d) => {
+                let matrix = ProgrammedMatrix::program(&d.weight.value, x_scale, config)?;
+                stages.push(AnalogStage::Dense {
+                    matrix,
+                    bias: d.bias.value.data().to_vec(),
+                });
+            }
+            Layer::Conv2d(c) => {
+                let s = c.weight.value.shape();
+                let (oc, ckk) = (s[0], s[1] * s[2] * s[3]);
+                // Kernel matrix [R_f, OC] = flattened kernels as columns.
+                let wmat = c.weight.value.reshape(&[oc, ckk])?.transpose()?;
+                let matrix = ProgrammedMatrix::program(&wmat, x_scale, config)?;
+                stages.push(AnalogStage::Conv {
+                    matrix,
+                    bias: c.bias.value.data().to_vec(),
+                    geom: c.geom,
+                    out_channels: oc,
+                });
+            }
+            Layer::Relu(_) => stages.push(AnalogStage::Relu),
+            Layer::ActivationQuant(q) => {
+                stages.push(AnalogStage::Quant {
+                    amax: q.amax,
+                    levels: q.levels,
+                });
+                x_scale = q.amax;
+            }
+            Layer::AvgPool(p) => stages.push(AnalogStage::AvgPool { k: p.k }),
+            Layer::Flatten(_) => stages.push(AnalogStage::Flatten),
+            other => {
+                return Err(AnalogError::Unsupported {
+                    layer: other.name().to_string(),
+                })
+            }
+        }
+    }
+    Ok(AnalogNetwork { stages, waves: 0 })
+}
+
+impl AnalogNetwork {
+    /// Runs a batch through the crossbar models and returns the logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit and tensor failures.
+    pub fn forward(&mut self, inputs: &Tensor) -> Result<Tensor, AnalogError> {
+        let mut h = inputs.clone();
+        // Take stages out to satisfy the borrow checker during mutation.
+        let mut stages = std::mem::take(&mut self.stages);
+        let result = (|| -> Result<Tensor, AnalogError> {
+            for stage in stages.iter_mut() {
+                h = match stage {
+                    AnalogStage::Dense { matrix, bias } => {
+                        let n = h.shape()[0];
+                        let mut out = Tensor::zeros(&[n, matrix.cols]);
+                        for i in 0..n {
+                            let row = &h.data()[i * matrix.rf..(i + 1) * matrix.rf];
+                            let y = matrix.dot(row)?;
+                            self.waves += 1;
+                            let dst = &mut out.data_mut()[i * bias.len()..(i + 1) * bias.len()];
+                            for (d, (v, b)) in dst.iter_mut().zip(y.iter().zip(bias.iter())) {
+                                *d = v + b;
+                            }
+                        }
+                        out
+                    }
+                    AnalogStage::Conv {
+                        matrix,
+                        bias,
+                        geom,
+                        out_channels,
+                    } => {
+                        let (n, _c, hh, ww) =
+                            (h.shape()[0], h.shape()[1], h.shape()[2], h.shape()[3]);
+                        let (oh, ow) = geom.out_hw(hh, ww)?;
+                        let cols = im2col(&h, *geom)?; // [N·OH·OW, R_f]
+                        let spatial = oh * ow;
+                        let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);
+                        for img in 0..n {
+                            for s in 0..spatial {
+                                let row_idx = img * spatial + s;
+                                let row =
+                                    &cols.data()[row_idx * matrix.rf..(row_idx + 1) * matrix.rf];
+                                let y = matrix.dot(row)?;
+                                self.waves += 1;
+                                for (o, (&v, &b)) in y.iter().zip(bias.iter()).enumerate() {
+                                    out.data_mut()
+                                        [img * *out_channels * spatial + o * spatial + s] = v + b;
+                                }
+                            }
+                        }
+                        out
+                    }
+                    AnalogStage::Relu => h.relu(),
+                    AnalogStage::Quant { amax, levels } => {
+                        let step = *amax / (*levels - 1) as f32;
+                        h.map(|v| (v.clamp(0.0, *amax) / step).round() * step)
+                    }
+                    AnalogStage::AvgPool { k } => avg_pool2d(&h, *k)?,
+                    AnalogStage::Flatten => {
+                        let n = h.shape()[0];
+                        let rest: usize = h.shape()[1..].iter().product();
+                        h.reshape(&[n, rest])?
+                    }
+                };
+            }
+            Ok(h)
+        })();
+        self.stages = stages;
+        result
+    }
+
+    /// Predicted class per input row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit and tensor failures.
+    pub fn predict(&mut self, inputs: &Tensor) -> Result<Vec<usize>, AnalogError> {
+        Ok(self.forward(inputs)?.argmax_rows()?)
+    }
+
+    /// Classification accuracy over a labelled batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit and tensor failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the label count differs from the batch size.
+    pub fn accuracy(&mut self, inputs: &Tensor, labels: &[usize]) -> Result<f64, AnalogError> {
+        let preds = self.predict(inputs)?;
+        assert_eq!(preds.len(), labels.len());
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        Ok(correct as f64 / labels.len().max(1) as f64)
+    }
+
+    /// Crossbar evaluation waves executed so far (each is one 110 ns
+    /// pipeline wave on hardware).
+    pub fn waves(&self) -> u64 {
+        self.waves
+    }
+
+    /// Super-tiles this network's weights occupy.
+    pub fn supertile_count(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                AnalogStage::Dense { matrix, .. } | AnalogStage::Conv { matrix, .. } => {
+                    matrix.supertile_count()
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total analog read energy accrued across all crossbars.
+    pub fn read_energy(&self) -> Joules {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                AnalogStage::Dense { matrix, .. } | AnalogStage::Conv { matrix, .. } => {
+                    matrix.read_energy()
+                }
+                _ => Joules::ZERO,
+            })
+            .sum()
+    }
+
+    /// Total programming energy spent writing the weights.
+    pub fn program_energy(&self) -> Joules {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                AnalogStage::Dense { matrix, .. } | AnalogStage::Conv { matrix, .. } => {
+                    matrix.program_energy()
+                }
+                _ => Joules::ZERO,
+            })
+            .sum()
+    }
+}
+
+/// Compiles with the paper's default ANN-mode crossbars.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_ann(net: &Network) -> Result<AnalogNetwork, AnalogError> {
+    compile(net, &CrossbarConfig::paper_default(Mode::Ann))
+}
+
+/// Compiles with read noise of the given sigma (Monte-Carlo studies).
+/// Note: noise sampling requires driving evaluation through
+/// [`AnalogNetwork::forward`] after constructing the config explicitly —
+/// this helper only sets the config's sigma so programmed conductances
+/// carry it.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_ann_noisy(net: &Network, sigma: f64) -> Result<AnalogNetwork, AnalogError> {
+    let mut cfg = CrossbarConfig::paper_default(Mode::Ann);
+    cfg.read_noise_sigma = sigma;
+    compile(net, &cfg)
+}
+
+/// Perturbs every programmed conductance once (device-mismatch style)
+/// by re-programming the network's weights with multiplicative Gaussian
+/// noise — the §IV-D Monte-Carlo experiment, executed at circuit level.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_ann_with_mismatch<R: Rng + ?Sized>(
+    net: &Network,
+    sigma: f64,
+    rng: &mut R,
+) -> Result<AnalogNetwork, AnalogError> {
+    let model = nebula_device::variation::VariationModel::new(sigma);
+    let mut noisy = net.clone();
+    for layer in noisy.layers_mut() {
+        if layer.is_weight_layer() {
+            for p in layer.params_mut() {
+                model.perturb_slice_f32(p.value.data_mut(), rng);
+            }
+        }
+    }
+    compile_ann(&noisy)
+}
+
+/// Number of `ACS_PER_SUPERTILE`-AC super-tiles a dense `rf×cols`
+/// matrix occupies under this executor's splitting (for capacity
+/// sanity-checks in tests).
+pub fn expected_supertiles(rf: usize, cols: usize) -> usize {
+    rf.div_ceil(MAX_RF_IN_CORE) * cols.div_ceil(M)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_nn::Layer as L;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn analog_dense_matches_digital_within_quantization() {
+        let mut r = rng();
+        let mut net = Network::new(vec![L::dense(12, 6, &mut r)]);
+        // Quantize weights onto the 16-level grid so analog == digital.
+        for layer in net.layers_mut() {
+            for p in layer.params_mut() {
+                nebula_nn::quant::quantize_weights_inplace(&mut p.value, 16, 1.0);
+            }
+        }
+        let x = Tensor::rand_uniform(&[4, 12], 0.0, 1.0, &mut r);
+        let digital = net.forward(&x).unwrap();
+        let mut analog = compile_ann(&net).unwrap();
+        let a = analog.forward(&x).unwrap();
+        for (d, v) in digital.data().iter().zip(a.data()) {
+            assert!(
+                (d - v).abs() < 1e-3 * d.abs().max(1.0),
+                "analog {v} vs digital {d}"
+            );
+        }
+        assert_eq!(analog.waves(), 4);
+        assert_eq!(analog.supertile_count(), 1);
+    }
+
+    #[test]
+    fn analog_conv_matches_digital_within_quantization() {
+        let mut r = rng();
+        let mut net = Network::new(vec![L::conv2d(2, 3, 3, 1, 1, &mut r)]);
+        for layer in net.layers_mut() {
+            for p in layer.params_mut() {
+                nebula_nn::quant::quantize_weights_inplace(&mut p.value, 16, 1.0);
+            }
+        }
+        let x = Tensor::rand_uniform(&[1, 2, 5, 5], 0.0, 1.0, &mut r);
+        let digital = net.forward(&x).unwrap();
+        let mut analog = compile_ann(&net).unwrap();
+        let a = analog.forward(&x).unwrap();
+        assert_eq!(a.shape(), digital.shape());
+        for (d, v) in digital.data().iter().zip(a.data()) {
+            assert!(
+                (d - v).abs() < 2e-3 * d.abs().max(1.0),
+                "analog {v} vs digital {d}"
+            );
+        }
+        assert_eq!(analog.waves(), 25); // 5×5 output positions
+    }
+
+    #[test]
+    fn large_matrices_split_across_supertiles() {
+        let mut r = rng();
+        // R_f = 3000 > 2048 → 2 segments; 200 cols → 2 groups.
+        let net = Network::new(vec![L::dense(3000, 200, &mut r)]);
+        let analog = compile_ann(&net).unwrap();
+        assert_eq!(analog.supertile_count(), expected_supertiles(3000, 200));
+        assert_eq!(analog.supertile_count(), 4);
+    }
+
+    #[test]
+    fn unsupported_layers_are_rejected() {
+        let mut r = rng();
+        let net = Network::new(vec![L::depthwise_conv2d(4, 3, 1, 1, &mut r)]);
+        assert!(matches!(
+            compile_ann(&net),
+            Err(AnalogError::Unsupported { .. })
+        ));
+        let bn = Network::new(vec![L::batch_norm2d(4)]);
+        assert!(compile_ann(&bn).is_err());
+    }
+
+    #[test]
+    fn energy_accrues_with_execution() {
+        let mut r = rng();
+        let net = Network::new(vec![L::dense(8, 4, &mut r)]);
+        let mut analog = compile_ann(&net).unwrap();
+        assert!(analog.program_energy().0 > 0.0, "programming costs energy");
+        let before = analog.read_energy();
+        analog
+            .forward(&Tensor::rand_uniform(&[2, 8], 0.1, 1.0, &mut r))
+            .unwrap();
+        assert!(analog.read_energy() > before, "reads cost energy");
+    }
+
+    #[test]
+    fn mismatch_compilation_perturbs_but_preserves_function() {
+        let mut r = rng();
+        let mut net = Network::new(vec![L::dense(10, 4, &mut r)]);
+        for layer in net.layers_mut() {
+            for p in layer.params_mut() {
+                nebula_nn::quant::quantize_weights_inplace(&mut p.value, 16, 1.0);
+            }
+        }
+        let x = Tensor::rand_uniform(&[8, 10], 0.0, 1.0, &mut r);
+        let mut clean = compile_ann(&net).unwrap();
+        let mut noisy = compile_ann_with_mismatch(&net, 0.10, &mut r).unwrap();
+        let yc = clean.forward(&x).unwrap();
+        let yn = noisy.forward(&x).unwrap();
+        let mut diff = 0.0f32;
+        let mut scale = 0.0f32;
+        for (a, b) in yc.data().iter().zip(yn.data()) {
+            diff += (a - b).abs();
+            scale += a.abs();
+        }
+        assert!(diff > 0.0, "mismatch must perturb outputs");
+        assert!(
+            diff / scale.max(1e-6) < 0.5,
+            "10% mismatch should not destroy outputs: rel {diff}/{scale}"
+        );
+    }
+}

@@ -1,0 +1,453 @@
+//! Analog *spiking* execution: run a converted SNN with every synaptic
+//! MAC computed by the DW-MTJ crossbar models in SNN mode (0.25 V binary
+//! spike drivers), integrate-and-fire thresholding on the column
+//! outputs, and event-driven energy accounting straight from the
+//! circuit layer.
+//!
+//! This closes the loop on the paper's multi-modal claim at circuit
+//! level: the *same* crossbar structures execute both the ANN
+//! ([`crate::analog`]) and the SNN path, differing only in drivers,
+//! read voltage and the neuron circuit at the columns.
+
+use crate::analog::AnalogError;
+use crate::components::{M, MAX_RF_IN_CORE};
+use nebula_crossbar::{CrossbarConfig, Mode, SuperTile};
+use nebula_device::units::Joules;
+use nebula_nn::layer::Layer;
+use nebula_nn::snn::{IfPopulation, InputEncoding, SnnStage, SpikingNetwork};
+use nebula_tensor::{avg_pool2d, im2col, ConvGeometry, Tensor};
+use rand::Rng;
+
+/// A programmed spiking synaptic stage: crossbars in SNN mode.
+#[derive(Debug, Clone)]
+struct SnnMatrix {
+    tiles: Vec<Vec<SuperTile>>,
+    segment_rows: Vec<usize>,
+    cols: usize,
+    rf: usize,
+}
+
+impl SnnMatrix {
+    fn program(weight: &Tensor, config: &CrossbarConfig) -> Result<Self, AnalogError> {
+        let (rf, cols) = (weight.shape()[0], weight.shape()[1]);
+        if rf == 0 || cols == 0 {
+            return Err(AnalogError::BadGeometry {
+                reason: format!("degenerate spiking weight matrix {rf}×{cols}"),
+            });
+        }
+        let clip = weight
+            .data()
+            .iter()
+            .fold(0.0f32, |m, v| m.max(v.abs()))
+            .max(1e-6) as f64;
+        let mut tiles = Vec::new();
+        let mut segment_rows = Vec::new();
+        for seg_start in (0..rf).step_by(MAX_RF_IN_CORE) {
+            let seg_rows = (rf - seg_start).min(MAX_RF_IN_CORE);
+            segment_rows.push(seg_rows);
+            let mut groups = Vec::new();
+            for col_start in (0..cols).step_by(M) {
+                let group_cols = (cols - col_start).min(M);
+                let mut block = vec![vec![0.0f64; group_cols]; seg_rows];
+                for (r, row) in block.iter_mut().enumerate() {
+                    for (c, cell) in row.iter_mut().enumerate() {
+                        *cell = weight.at(&[seg_start + r, col_start + c]) as f64;
+                    }
+                }
+                let mut st = SuperTile::new(config.clone())?;
+                st.program(&block, clip)?;
+                groups.push(st);
+            }
+            tiles.push(groups);
+        }
+        Ok(Self {
+            tiles,
+            segment_rows,
+            cols,
+            rf,
+        })
+    }
+
+    /// One timestep for one sample: binary spike vector in, real-valued
+    /// membrane increments (`Wᵀs + b` handled by caller) out.
+    fn dot_spikes(&mut self, spikes: &[f32]) -> Result<Vec<f32>, AnalogError> {
+        debug_assert_eq!(spikes.len(), self.rf);
+        let mut out = vec![0.0f32; self.cols];
+        let mut offset = 0usize;
+        for (seg, seg_rows) in self.segment_rows.clone().into_iter().enumerate() {
+            let drive: Vec<f64> = spikes[offset..offset + seg_rows]
+                .iter()
+                .map(|&v| f64::from(v > 0.5))
+                .collect();
+            for (g, tile) in self.tiles[seg].iter_mut().enumerate() {
+                let currents = tile.dot(&drive)?;
+                let unit = tile.unit_current().0;
+                for (c, i) in currents.iter().enumerate() {
+                    out[g * M + c] += (i.0 / unit) as f32;
+                }
+            }
+            offset += seg_rows;
+        }
+        Ok(out)
+    }
+
+    fn read_energy(&self) -> Joules {
+        self.tiles
+            .iter()
+            .flatten()
+            .map(SuperTile::accumulated_read_energy)
+            .sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SpikingAnalogStage {
+    /// Crossbar-backed dense synapses + digital bias injection.
+    Dense { matrix: SnnMatrix, bias: Vec<f32> },
+    /// Crossbar-backed convolution (im2col streaming) + bias.
+    Conv {
+        matrix: SnnMatrix,
+        bias: Vec<f32>,
+        geom: ConvGeometry,
+        out_channels: usize,
+    },
+    /// IF population on the column outputs.
+    IntegrateFire(IfPopulation),
+    /// Software average pooling (fixed-weight circuit on hardware).
+    AvgPool { k: usize },
+    Flatten,
+}
+
+/// A spiking network executing its synaptic arithmetic on SNN-mode
+/// crossbar models.
+///
+/// Build from a *converted* [`SpikingNetwork`] with
+/// [`compile_snn`]; the conversion's threshold balancing (v_th = 1)
+/// carries over unchanged.
+#[derive(Debug, Clone)]
+pub struct AnalogSpikingNetwork {
+    stages: Vec<SpikingAnalogStage>,
+    encoding: InputEncoding,
+    timestep_waves: u64,
+}
+
+/// Compiles a converted spiking network onto SNN-mode crossbars.
+///
+/// # Errors
+///
+/// Returns [`AnalogError::Unsupported`] for stages the analog executor
+/// cannot realize (depthwise convolutions, quantizer stages — quantize
+/// *before* conversion instead).
+pub fn compile_snn(
+    snn: &SpikingNetwork,
+    config: &CrossbarConfig,
+) -> Result<AnalogSpikingNetwork, AnalogError> {
+    let mut stages = Vec::with_capacity(snn.stages().len());
+    for stage in snn.stages() {
+        match stage {
+            SnnStage::Synaptic(Layer::Dense(d)) => stages.push(SpikingAnalogStage::Dense {
+                matrix: SnnMatrix::program(&d.weight.value, config)?,
+                bias: d.bias.value.data().to_vec(),
+            }),
+            SnnStage::Synaptic(Layer::Conv2d(c)) => {
+                let s = c.weight.value.shape();
+                let (oc, ckk) = (s[0], s[1] * s[2] * s[3]);
+                let wmat = c.weight.value.reshape(&[oc, ckk])?.transpose()?;
+                stages.push(SpikingAnalogStage::Conv {
+                    matrix: SnnMatrix::program(&wmat, config)?,
+                    bias: c.bias.value.data().to_vec(),
+                    geom: c.geom,
+                    out_channels: oc,
+                });
+            }
+            SnnStage::Synaptic(Layer::AvgPool(p)) => {
+                stages.push(SpikingAnalogStage::AvgPool { k: p.k })
+            }
+            SnnStage::Synaptic(Layer::Flatten(_)) => stages.push(SpikingAnalogStage::Flatten),
+            SnnStage::IntegrateFire(pop) => stages.push(SpikingAnalogStage::IntegrateFire(
+                IfPopulation::with_dynamics(pop.threshold, pop.reset, pop.leak, pop.refractory),
+            )),
+            SnnStage::Synaptic(other) => {
+                return Err(AnalogError::Unsupported {
+                    layer: other.name().to_string(),
+                })
+            }
+        }
+    }
+    Ok(AnalogSpikingNetwork {
+        stages,
+        encoding: InputEncoding::Poisson,
+        timestep_waves: 0,
+    })
+}
+
+impl AnalogSpikingNetwork {
+    /// Sets the input encoding (defaults to Poisson rate coding).
+    pub fn set_encoding(&mut self, encoding: InputEncoding) {
+        self.encoding = encoding;
+    }
+
+    fn encode<R: Rng + ?Sized>(&self, inputs: &Tensor, rng: &mut R) -> Tensor {
+        match self.encoding {
+            InputEncoding::Poisson => {
+                let mut t = Tensor::zeros(inputs.shape());
+                for (d, &p) in t.data_mut().iter_mut().zip(inputs.data()) {
+                    if rng.gen::<f32>() < p.clamp(0.0, 1.0) {
+                        *d = 1.0;
+                    }
+                }
+                t
+            }
+            InputEncoding::Constant => inputs.clamp(0.0, 1.0),
+        }
+    }
+
+    fn reset_state(&mut self) {
+        for stage in &mut self.stages {
+            if let SpikingAnalogStage::IntegrateFire(p) = stage {
+                p.reset_state();
+            }
+        }
+    }
+
+    /// Runs `timesteps` of circuit-backed spiking inference and returns
+    /// the accumulated output potentials `[N, classes]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit and tensor failures.
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        inputs: &Tensor,
+        timesteps: usize,
+        rng: &mut R,
+    ) -> Result<Tensor, AnalogError> {
+        self.reset_state();
+        let mut acc: Option<Tensor> = None;
+        for _t in 0..timesteps {
+            let mut h = self.encode(inputs, rng);
+            let mut stages = std::mem::take(&mut self.stages);
+            let step: Result<(), AnalogError> = (|| {
+                for stage in stages.iter_mut() {
+                    h = match stage {
+                        SpikingAnalogStage::Dense { matrix, bias } => {
+                            let n = h.shape()[0];
+                            let mut out = Tensor::zeros(&[n, matrix.cols]);
+                            for i in 0..n {
+                                let row = &h.data()[i * matrix.rf..(i + 1) * matrix.rf];
+                                let y = matrix.dot_spikes(row)?;
+                                self.timestep_waves += 1;
+                                let dst =
+                                    &mut out.data_mut()[i * bias.len()..(i + 1) * bias.len()];
+                                for (d, (v, b)) in dst.iter_mut().zip(y.iter().zip(bias.iter())) {
+                                    *d = v + b;
+                                }
+                            }
+                            out
+                        }
+                        SpikingAnalogStage::Conv {
+                            matrix,
+                            bias,
+                            geom,
+                            out_channels,
+                        } => {
+                            let (n, hh, ww) = (h.shape()[0], h.shape()[2], h.shape()[3]);
+                            let (oh, ow) = geom.out_hw(hh, ww)?;
+                            let cols = im2col(&h, *geom)?;
+                            let spatial = oh * ow;
+                            let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);
+                            for img in 0..n {
+                                for s in 0..spatial {
+                                    let row_idx = img * spatial + s;
+                                    let row = &cols.data()
+                                        [row_idx * matrix.rf..(row_idx + 1) * matrix.rf];
+                                    let y = matrix.dot_spikes(row)?;
+                                    self.timestep_waves += 1;
+                                    for (o, (&v, &b)) in y.iter().zip(bias.iter()).enumerate() {
+                                        out.data_mut()
+                                            [img * *out_channels * spatial + o * spatial + s] =
+                                            v + b;
+                                    }
+                                }
+                            }
+                            out
+                        }
+                        SpikingAnalogStage::IntegrateFire(pop) => pop.step(&h)?,
+                        SpikingAnalogStage::AvgPool { k } => avg_pool2d(&h, *k)?,
+                        SpikingAnalogStage::Flatten => {
+                            let n = h.shape()[0];
+                            let rest: usize = h.shape()[1..].iter().product();
+                            h.reshape(&[n, rest])?
+                        }
+                    };
+                }
+                Ok(())
+            })();
+            self.stages = stages;
+            step?;
+            match &mut acc {
+                Some(a) => a.add_assign(&h)?,
+                none => *none = Some(h),
+            }
+        }
+        Ok(acc.unwrap_or_else(|| Tensor::zeros(&[0, 0])))
+    }
+
+    /// Classification accuracy of the circuit-backed SNN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit and tensor failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the label count differs from the batch size.
+    pub fn accuracy<R: Rng + ?Sized>(
+        &mut self,
+        inputs: &Tensor,
+        labels: &[usize],
+        timesteps: usize,
+        rng: &mut R,
+    ) -> Result<f64, AnalogError> {
+        let potentials = self.run(inputs, timesteps, rng)?;
+        let preds = potentials.argmax_rows()?;
+        assert_eq!(preds.len(), labels.len());
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        Ok(correct as f64 / labels.len().max(1) as f64)
+    }
+
+    /// Total analog read energy the crossbars dissipated — the
+    /// event-driven energy figure (silent rows are free).
+    pub fn read_energy(&self) -> Joules {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                SpikingAnalogStage::Dense { matrix, .. }
+                | SpikingAnalogStage::Conv { matrix, .. } => matrix.read_energy(),
+                _ => Joules::ZERO,
+            })
+            .sum()
+    }
+
+    /// Crossbar waves executed (one per sample per output position per
+    /// timestep).
+    pub fn waves(&self) -> u64 {
+        self.timestep_waves
+    }
+}
+
+/// Compiles with the paper's default SNN-mode crossbars (0.25 V binary
+/// drivers).
+///
+/// # Errors
+///
+/// See [`compile_snn`].
+pub fn compile_snn_default(snn: &SpikingNetwork) -> Result<AnalogSpikingNetwork, AnalogError> {
+    compile_snn(snn, &CrossbarConfig::paper_default(Mode::Snn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_nn::convert::{ann_to_snn, ConversionConfig};
+    use nebula_nn::optim::{train, Dataset, TrainConfig};
+    use nebula_nn::{Layer as L, Network};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(404)
+    }
+
+    /// Trains a small two-feature classifier with inputs in [0, 1].
+    fn trained_net(r: &mut rand::rngs::StdRng) -> (Network, Dataset) {
+        let inputs = Tensor::rand_uniform(&[120, 2], 0.0, 1.0, r);
+        let labels: Vec<usize> = (0..120)
+            .map(|i| usize::from(inputs.data()[2 * i] < inputs.data()[2 * i + 1]))
+            .collect();
+        let data = Dataset::new(inputs, labels).unwrap();
+        let mut net = Network::new(vec![
+            L::dense(2, 12, r),
+            L::relu(),
+            L::dense(12, 2, r),
+        ]);
+        let cfg = TrainConfig::builder().epochs(30).batch_size(20).build();
+        train(&mut net, &data, &cfg, r).unwrap();
+        (net, data)
+    }
+
+    #[test]
+    fn circuit_backed_snn_classifies_like_functional_snn() {
+        let mut r = rng();
+        let (net, data) = trained_net(&mut r);
+        let mut functional = ann_to_snn(&net, &data, &ConversionConfig::default()).unwrap();
+        let func_acc = functional
+            .accuracy(&data.inputs, &data.labels, 150, &mut r)
+            .unwrap();
+        let mut analog = compile_snn_default(&functional).unwrap();
+        let analog_acc = analog
+            .accuracy(&data.inputs, &data.labels, 150, &mut r)
+            .unwrap();
+        assert!(
+            (func_acc - analog_acc).abs() < 0.12,
+            "functional {func_acc} vs circuit {analog_acc}"
+        );
+        assert!(analog_acc > 0.8, "circuit SNN failed: {analog_acc}");
+    }
+
+    #[test]
+    fn silent_timesteps_cost_no_crossbar_energy() {
+        let mut r = rng();
+        let (mut net, data) = trained_net(&mut r);
+        // Zero the biases: a bias is a constant current injection that
+        // legitimately fires neurons even with silent inputs, so the
+        // zero-energy property only holds for bias-free networks.
+        for layer in net.layers_mut() {
+            if let nebula_nn::layer::Layer::Dense(d) = layer {
+                for b in d.bias.value.data_mut() {
+                    *b = 0.0;
+                }
+            }
+        }
+        let functional = ann_to_snn(&net, &data, &ConversionConfig::default()).unwrap();
+        let mut analog = compile_snn_default(&functional).unwrap();
+        let zeros = Tensor::zeros(&[4, 2]);
+        analog.run(&zeros, 20, &mut r).unwrap();
+        assert_eq!(
+            analog.read_energy(),
+            Joules::ZERO,
+            "all-silent input must dissipate nothing in the arrays"
+        );
+    }
+
+    #[test]
+    fn busier_inputs_cost_more_energy() {
+        let mut r = rng();
+        let (net, data) = trained_net(&mut r);
+        let functional = ann_to_snn(&net, &data, &ConversionConfig::default()).unwrap();
+        let mut quiet = compile_snn_default(&functional).unwrap();
+        let mut busy = compile_snn_default(&functional).unwrap();
+        quiet
+            .run(&Tensor::full(&[4, 2], 0.05), 30, &mut r)
+            .unwrap();
+        busy.run(&Tensor::full(&[4, 2], 0.9), 30, &mut r).unwrap();
+        assert!(
+            busy.read_energy() > quiet.read_energy() * 2.0,
+            "event-driven scaling broken: {} vs {}",
+            busy.read_energy(),
+            quiet.read_energy()
+        );
+    }
+
+    #[test]
+    fn unsupported_stage_is_rejected() {
+        let mut r = rng();
+        let snn = SpikingNetwork::new(
+            vec![SnnStage::Synaptic(L::depthwise_conv2d(2, 3, 1, 1, &mut r))],
+            InputEncoding::Poisson,
+        );
+        assert!(matches!(
+            compile_snn_default(&snn),
+            Err(AnalogError::Unsupported { .. })
+        ));
+    }
+}

@@ -1,0 +1,221 @@
+//! Buffer-capacity checking: do a layer's inputs, outputs and working
+//! set actually fit the neural core's memories?
+//!
+//! Table III fixes the NC memory sizes (32 KB eDRAM, 16 KB/4 KB input
+//! buffers, 2 KB/0.5 KB output buffers, 128 KB of synaptic storage per
+//! super-tile). The mapper places weights; this module audits the *data*
+//! side — the check a compiler for the real chip would run before
+//! accepting a layer, and the reason large layers must stream through
+//! the eDRAM in tiles.
+
+use crate::energy::ExecMode;
+use nebula_nn::stats::LayerDescriptor;
+
+/// Neural-core memory sizes in bytes (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreMemories {
+    /// eDRAM staging buffer.
+    pub edram: usize,
+    /// SRAM input buffer.
+    pub input_buffer: usize,
+    /// SRAM output buffer.
+    pub output_buffer: usize,
+}
+
+impl CoreMemories {
+    /// The ANN core's memory provisioning (16 KB IB for multi-bit
+    /// activations).
+    pub fn ann() -> Self {
+        Self {
+            edram: 32 * 1024,
+            input_buffer: 16 * 1024,
+            output_buffer: 2 * 1024,
+        }
+    }
+
+    /// The SNN core's memory provisioning (binary spikes are 4× denser,
+    /// so the buffers shrink accordingly).
+    pub fn snn() -> Self {
+        Self {
+            edram: 32 * 1024,
+            input_buffer: 4 * 1024,
+            output_buffer: 512,
+        }
+    }
+
+    /// The memories matching an execution mode.
+    pub fn for_mode(mode: ExecMode) -> Self {
+        match mode {
+            ExecMode::Ann => Self::ann(),
+            ExecMode::Snn { .. } => Self::snn(),
+        }
+    }
+}
+
+/// Result of auditing one layer against the core memories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityReport {
+    /// Layer name.
+    pub name: String,
+    /// Bytes one wave's receptive field occupies in the input buffer.
+    pub wave_input_bytes: usize,
+    /// Bytes one wave's outputs occupy in the output buffer.
+    pub wave_output_bytes: usize,
+    /// Bytes the full input feature map occupies in eDRAM.
+    pub feature_map_bytes: usize,
+    /// Whether a single wave fits the input buffer.
+    pub wave_fits_ib: bool,
+    /// Whether a single wave's outputs fit the output buffer.
+    pub wave_fits_ob: bool,
+    /// Whether the whole input feature map fits eDRAM at once; when
+    /// false the layer streams through eDRAM in `edram_tiles` pieces.
+    pub feature_map_fits_edram: bool,
+    /// eDRAM refills needed per inference pass (1 = resident).
+    pub edram_tiles: usize,
+}
+
+impl CapacityReport {
+    /// True when the layer needs no streaming at any level.
+    pub fn fully_resident(&self) -> bool {
+        self.wave_fits_ib && self.wave_fits_ob && self.feature_map_fits_edram
+    }
+}
+
+/// Bits per activation for a mode (4-bit values vs 1-bit spikes).
+fn bits(mode: ExecMode) -> usize {
+    match mode {
+        ExecMode::Ann => 4,
+        ExecMode::Snn { .. } => 1,
+    }
+}
+
+/// Audits one layer against a core's memories.
+pub fn audit_layer(desc: &LayerDescriptor, mode: ExecMode) -> CapacityReport {
+    let mem = CoreMemories::for_mode(mode);
+    let b = bits(mode);
+    // One wave reads R_f activations and writes `kernels` results.
+    let wave_input_bytes = (desc.receptive_field * b).div_ceil(8);
+    let wave_output_bytes = (desc.kernels * b).div_ceil(8);
+    // The input feature map: input_hw spatial positions × input channels
+    // ≈ R_f × spatial / (K_H·K_W) — bound it by the im2col working set of
+    // the full input instead: rows × R_f is the upper bound, but eDRAM
+    // holds the *raw* feature map, whose size we can reconstruct from
+    // MACs: macs = output_elements × R_f; the raw input is
+    // R_f/(K_H·K_W) channels × H×W. Use the conservative identity
+    // input_elems = R_f × input_hw² / (K_H·K_W) when spatial, else R_f.
+    let input_elems = if desc.input_hw == (1, 1) {
+        desc.receptive_field
+    } else {
+        // channels = R_f / (k²); spatial = input_hw.
+        let spatial = desc.input_hw.0 * desc.input_hw.1;
+        let k2 = match desc.op {
+            nebula_nn::stats::LayerOp::Conv { kernel, .. }
+            | nebula_nn::stats::LayerOp::DepthwiseConv { kernel, .. } => kernel * kernel,
+            nebula_nn::stats::LayerOp::Dense { .. } => 1,
+        };
+        (desc.receptive_field / k2.max(1)).max(1) * spatial
+    };
+    let feature_map_bytes = (input_elems * b).div_ceil(8);
+    let edram_tiles = feature_map_bytes.div_ceil(mem.edram).max(1);
+    CapacityReport {
+        name: desc.name.clone(),
+        wave_input_bytes,
+        wave_output_bytes,
+        feature_map_bytes,
+        wave_fits_ib: wave_input_bytes <= mem.input_buffer,
+        wave_fits_ob: wave_output_bytes <= mem.output_buffer,
+        feature_map_fits_edram: edram_tiles == 1,
+        edram_tiles,
+    }
+}
+
+/// Audits a whole workload; returns one report per layer.
+pub fn audit_network(descriptors: &[LayerDescriptor], mode: ExecMode) -> Vec<CapacityReport> {
+    descriptors.iter().map(|d| audit_layer(d, mode)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_workloads::zoo;
+
+    #[test]
+    fn memory_sizes_match_table_iii() {
+        let ann = CoreMemories::ann();
+        assert_eq!(ann.edram, 32768);
+        assert_eq!(ann.input_buffer, 16384);
+        assert_eq!(ann.output_buffer, 2048);
+        let snn = CoreMemories::snn();
+        assert_eq!(snn.input_buffer, 4096);
+        assert_eq!(snn.output_buffer, 512);
+        assert_eq!(
+            CoreMemories::for_mode(ExecMode::Snn { timesteps: 1 }),
+            snn
+        );
+    }
+
+    #[test]
+    fn every_wave_of_every_zoo_layer_fits_the_buffers() {
+        // The architecture is sized so a single wave (one R_f read, one
+        // kernel-set write) always fits — the paper's pipeline depends
+        // on it.
+        for (name, ds) in zoo::all_models() {
+            for (mode_name, mode) in [
+                ("ann", ExecMode::Ann),
+                ("snn", ExecMode::Snn { timesteps: 1 }),
+            ] {
+                for rep in audit_network(&ds, mode) {
+                    assert!(
+                        rep.wave_fits_ib,
+                        "{name}/{} wave input overflows the {mode_name} IB ({} B)",
+                        rep.name, rep.wave_input_bytes
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_spikes_shrink_the_footprint_fourfold() {
+        let d = &zoo::vgg13(10)[5];
+        let ann = audit_layer(d, ExecMode::Ann);
+        let snn = audit_layer(d, ExecMode::Snn { timesteps: 1 });
+        assert_eq!(ann.wave_input_bytes, snn.wave_input_bytes * 4);
+        assert_eq!(ann.feature_map_bytes, snn.feature_map_bytes * 4);
+    }
+
+    #[test]
+    fn alexnet_conv1_streams_through_edram() {
+        // 224×224×3 at 4 bits = 73.5 KB > 32 KB eDRAM.
+        let a = zoo::alexnet();
+        let rep = audit_layer(&a[0], ExecMode::Ann);
+        assert!(!rep.feature_map_fits_edram);
+        assert!(rep.edram_tiles >= 2);
+    }
+
+    #[test]
+    fn small_layers_are_fully_resident() {
+        let l = zoo::lenet5();
+        let rep = audit_layer(&l[0], ExecMode::Ann);
+        assert!(rep.fully_resident(), "{rep:?}");
+        assert_eq!(rep.edram_tiles, 1);
+    }
+
+    #[test]
+    fn dense_layer_accounting_uses_feature_count() {
+        let d = &zoo::mlp()[0]; // 784 → 512
+        let rep = audit_layer(d, ExecMode::Ann);
+        assert_eq!(rep.wave_input_bytes, 784 / 2); // 4 bits each
+        assert_eq!(rep.wave_output_bytes, 512 / 2);
+        assert_eq!(rep.feature_map_bytes, 784 / 2);
+    }
+
+    #[test]
+    fn big_fc_outputs_may_overflow_the_ob() {
+        // AlexNet fc6 emits 4096 4-bit values = 2 KB = exactly the ANN OB.
+        let a = zoo::alexnet();
+        let rep = audit_layer(&a[5], ExecMode::Ann);
+        assert_eq!(rep.wave_output_bytes, 2048);
+        assert!(rep.wave_fits_ob);
+    }
+}

@@ -1,0 +1,277 @@
+//! Chip-level model: core placement on the 14×14 mesh and NoC traffic
+//! accounting (paper Fig. 6b).
+
+use crate::components as parts;
+use crate::mapper::LayerMapping;
+use nebula_device::units::{SquareMillimeters, Watts};
+use nebula_noc::{MeshNetwork, MeshTopology, NocError, NodeId};
+
+/// Static configuration of a NEBULA chip. Build with
+/// [`ChipConfig::builder`]; the default is the paper's 14 ANN NC +
+/// 182 SNN NC + 14 AU design point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipConfig {
+    /// Mesh side (nodes per row/column).
+    pub mesh_side: usize,
+    /// Number of ANN neural cores.
+    pub ann_cores: usize,
+    /// Number of SNN neural cores.
+    pub snn_cores: usize,
+    /// Number of accumulator units.
+    pub accumulators: usize,
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self {
+            mesh_side: parts::MESH_SIDE,
+            ann_cores: parts::ANN_CORES,
+            snn_cores: parts::SNN_CORES,
+            accumulators: parts::ACCUMULATORS,
+        }
+    }
+}
+
+impl ChipConfig {
+    /// Starts a builder from the paper's design point.
+    pub fn builder() -> ChipConfigBuilder {
+        ChipConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Total chip power with every core active (Table III bottom).
+    pub fn max_power(&self) -> Watts {
+        parts::ann_core_power() * self.ann_cores as f64
+            + parts::snn_core_power() * self.snn_cores as f64
+            + parts::ACCUMULATOR_UNIT.power * self.accumulators as f64
+    }
+
+    /// Total chip area (Table III bottom).
+    pub fn area(&self) -> SquareMillimeters {
+        parts::ann_core_area() * self.ann_cores as f64
+            + parts::snn_core_area() * self.snn_cores as f64
+            + parts::ACCUMULATOR_UNIT.area * self.accumulators as f64
+    }
+}
+
+/// Builder for [`ChipConfig`].
+#[derive(Debug, Clone)]
+pub struct ChipConfigBuilder {
+    config: ChipConfig,
+}
+
+impl ChipConfigBuilder {
+    /// Sets the mesh side.
+    pub fn mesh_side(mut self, v: usize) -> Self {
+        self.config.mesh_side = v;
+        self
+    }
+
+    /// Sets the ANN core count.
+    pub fn ann_cores(mut self, v: usize) -> Self {
+        self.config.ann_cores = v;
+        self
+    }
+
+    /// Sets the SNN core count.
+    pub fn snn_cores(mut self, v: usize) -> Self {
+        self.config.snn_cores = v;
+        self
+    }
+
+    /// Sets the accumulator-unit count.
+    pub fn accumulators(mut self, v: usize) -> Self {
+        self.config.accumulators = v;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ChipConfig {
+        self.config
+    }
+}
+
+/// Placement of a mapped workload on the mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Mesh nodes assigned to each layer, in layer order.
+    pub layer_nodes: Vec<Vec<NodeId>>,
+    /// Whether the chip had enough cores of the requested kind.
+    pub fits: bool,
+    /// Cores demanded by the workload.
+    pub cores_demanded: usize,
+    /// Cores available for this mode.
+    pub cores_available: usize,
+}
+
+/// A chip instance: configuration plus a mesh network for traffic
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    config: ChipConfig,
+    network: MeshNetwork,
+}
+
+impl Chip {
+    /// Creates a chip from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::EmptyMesh`] when the mesh side is zero.
+    pub fn new(config: ChipConfig) -> Result<Self, NocError> {
+        let topology = MeshTopology::new(config.mesh_side, config.mesh_side)?;
+        Ok(Self {
+            config,
+            network: MeshNetwork::new(topology),
+        })
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// The mesh network (traffic statistics live here).
+    pub fn network(&self) -> &MeshNetwork {
+        &self.network
+    }
+
+    /// Places mapped layers onto consecutive mesh nodes (row-major
+    /// round-robin over the cores available to the mode).
+    ///
+    /// `snn_mode` selects the SNN core pool (182 cores) or the ANN pool
+    /// (14 cores). Workloads larger than the pool still get a placement
+    /// (wrapping around — time multiplexing), with `fits = false`.
+    pub fn place(&self, mappings: &[LayerMapping], snn_mode: bool) -> Placement {
+        let pool = if snn_mode {
+            self.config.snn_cores
+        } else {
+            self.config.ann_cores
+        };
+        let nodes = self.config.mesh_side * self.config.mesh_side;
+        let mut next = 0usize;
+        let mut demanded = 0usize;
+        let layer_nodes = mappings
+            .iter()
+            .map(|m| {
+                demanded += m.cores;
+                (0..m.cores)
+                    .map(|_| {
+                        let node = NodeId(next % nodes.min(pool.max(1)));
+                        next += 1;
+                        node
+                    })
+                    .collect()
+            })
+            .collect();
+        Placement {
+            layer_nodes,
+            fits: demanded <= pool,
+            cores_demanded: demanded,
+            cores_available: pool,
+        }
+    }
+
+    /// Sends one inference pass of inter-layer traffic through the mesh:
+    /// each layer's outputs travel from its first core to the next
+    /// layer's first core. Returns total flit·hops moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NoC routing errors.
+    pub fn route_interlayer_traffic(
+        &mut self,
+        placement: &Placement,
+        mappings: &[LayerMapping],
+        bits_per_activation: u64,
+    ) -> Result<u64, NocError> {
+        let mut flit_hops = 0u64;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..mappings.len().saturating_sub(1) {
+            let src = *placement.layer_nodes[i]
+                .first()
+                .unwrap_or(&NodeId(0));
+            let dst = *placement.layer_nodes[i + 1]
+                .first()
+                .unwrap_or(&NodeId(0));
+            let bits = mappings[i].output_elements * bits_per_activation;
+            let report = self.network.send(src, dst, bits)?;
+            flit_hops += report.flit_hops;
+        }
+        Ok(flit_hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::map_network;
+    use nebula_nn::stats::LayerDescriptor;
+
+    fn small_net() -> Vec<LayerMapping> {
+        map_network(&[
+            LayerDescriptor::conv(0, "conv1", 3, 64, 3, 1, 1, (16, 16)),
+            LayerDescriptor::conv(1, "conv2", 64, 64, 3, 1, 1, (8, 8)),
+            LayerDescriptor::dense(2, "fc", 64 * 4 * 4, 10),
+        ])
+    }
+
+    #[test]
+    fn default_config_matches_table_iii_totals() {
+        let cfg = ChipConfig::default();
+        assert!((cfg.max_power().0 - 5.2).abs() < 0.05);
+        assert!((cfg.area().0 - 86.729).abs() < 0.3);
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let cfg = ChipConfig::builder()
+            .mesh_side(4)
+            .ann_cores(2)
+            .snn_cores(14)
+            .accumulators(1)
+            .build();
+        assert_eq!(cfg.mesh_side, 4);
+        assert_eq!(cfg.ann_cores, 2);
+        assert!(cfg.max_power().0 < 1.0);
+    }
+
+    #[test]
+    fn placement_tracks_fit() {
+        let chip = Chip::new(ChipConfig::default()).unwrap();
+        let mappings = small_net();
+        let snn = chip.place(&mappings, true);
+        assert!(snn.fits, "3 small layers fit 182 SNN cores");
+        assert_eq!(snn.layer_nodes.len(), 3);
+        let demanded: usize = mappings.iter().map(|m| m.cores).sum();
+        assert_eq!(snn.cores_demanded, demanded);
+    }
+
+    #[test]
+    fn ann_pool_is_much_smaller() {
+        let chip = Chip::new(ChipConfig::default()).unwrap();
+        let p_ann = chip.place(&small_net(), false);
+        let p_snn = chip.place(&small_net(), true);
+        assert!(p_ann.cores_available < p_snn.cores_available);
+    }
+
+    #[test]
+    fn traffic_routes_between_consecutive_layers() {
+        let mut chip = Chip::new(ChipConfig::default()).unwrap();
+        let mappings = small_net();
+        let placement = chip.place(&mappings, true);
+        let flit_hops = chip
+            .route_interlayer_traffic(&placement, &mappings, 1)
+            .unwrap();
+        let stats = chip.network().stats();
+        assert_eq!(stats.transfers, 2); // 3 layers → 2 boundaries
+        assert_eq!(stats.flit_hops, flit_hops);
+    }
+
+    #[test]
+    fn empty_mesh_is_rejected() {
+        let cfg = ChipConfig::builder().mesh_side(0).build();
+        assert!(Chip::new(cfg).is_err());
+    }
+}

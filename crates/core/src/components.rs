@@ -1,0 +1,222 @@
+//! The NEBULA component catalog: power, area and counts of every chip
+//! component, reproducing the paper's Table III.
+//!
+//! All numbers are the paper's published post-layout estimates (32 nm
+//! PTM peripherals, device-circuit co-simulation for the spin arrays);
+//! the totals printed by the `tab03_components` experiment are recomputed
+//! from these per-component values and match the table's printed totals.
+
+use nebula_device::units::{Seconds, SquareMillimeters, Watts};
+
+/// One pipeline stage / compute cycle: the DW-MTJ switching time.
+pub const CYCLE: Seconds = Seconds(110e-9);
+
+/// Atomic-crossbar side (rows = columns).
+pub const M: usize = 128;
+
+/// Atomic crossbars per super-tile (2×2 tiles of 2×2 ACs).
+pub const ACS_PER_SUPERTILE: usize = 16;
+
+/// Largest receptive field a super-tile merges in the current domain
+/// (`16·M`); anything larger spills across neural cores through the ADC.
+pub const MAX_RF_IN_CORE: usize = ACS_PER_SUPERTILE * M;
+
+/// Number of neuron units per super-tile: 16 at H0 (one per AC), 4 at
+/// H1 (one per tile), 2 at H2 (one per tile pair) and 1 final — the
+/// "23×128" NU entry of Table III.
+pub const NUS_PER_SUPERTILE: usize = 23;
+
+/// ANN neural cores per chip (Table III: count 14×1).
+pub const ANN_CORES: usize = 14;
+
+/// SNN neural cores per chip (Table III: count 14×13).
+pub const SNN_CORES: usize = 14 * 13;
+
+/// Accumulator units per chip (hybrid-mode support, Table III: 14×1).
+pub const ACCUMULATORS: usize = 14;
+
+/// Mesh dimension: 14×14 nodes host the 196 cores/AUs.
+pub const MESH_SIDE: usize = 14;
+
+/// A chip component with its unit power and area.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSpec {
+    /// Component name as printed in Table III.
+    pub name: &'static str,
+    /// Defining parameter, e.g. size or count (for display).
+    pub spec: &'static str,
+    /// Power per instance.
+    pub power: Watts,
+    /// Area per instance.
+    pub area: SquareMillimeters,
+}
+
+impl ComponentSpec {
+    const fn new(
+        name: &'static str,
+        spec: &'static str,
+        power_mw: f64,
+        area_mm2: f64,
+    ) -> Self {
+        Self {
+            name,
+            spec,
+            power: Watts(power_mw * 1e-3),
+            area: SquareMillimeters(area_mm2),
+        }
+    }
+}
+
+// ---- Neural-core components (per core) --------------------------------
+
+/// 32 KB eDRAM buffer receiving inputs from the network.
+pub const EDRAM: ComponentSpec = ComponentSpec::new("eDRAM", "32 KB", 9.55, 0.02523);
+/// The sparingly used 4-bit ADC (one per NC).
+pub const ADC: ComponentSpec = ComponentSpec::new("ADC", "4 bits", 0.43, 0.005);
+/// ANN super-tile (16 ACs + DACs + NUs), 128 KB of synaptic storage.
+pub const ANN_SUPERTILE: ComponentSpec =
+    ComponentSpec::new("ANN Super-Tile", "128 KB", 98.87, 0.4247);
+/// SNN super-tile (16 ACs + spike drivers + NUs).
+pub const SNN_SUPERTILE: ComponentSpec =
+    ComponentSpec::new("SNN Super-Tile", "128 KB", 8.46, 0.3822);
+/// ANN input buffer (multi-bit activations).
+pub const ANN_INPUT_BUFFER: ComponentSpec =
+    ComponentSpec::new("ANN Input Buffer", "16 KB", 4.36, 0.06462);
+/// SNN input buffer (binary spikes are 4× smaller).
+pub const SNN_INPUT_BUFFER: ComponentSpec =
+    ComponentSpec::new("SNN Input Buffer", "4 KB", 1.08, 0.01615);
+/// ANN output buffer.
+pub const ANN_OUTPUT_BUFFER: ComponentSpec =
+    ComponentSpec::new("ANN Output Buffer", "2 KB", 0.545, 0.00808);
+/// SNN output buffer.
+pub const SNN_OUTPUT_BUFFER: ComponentSpec =
+    ComponentSpec::new("SNN Output Buffer", "0.5 KB", 0.136, 0.00202);
+
+// ---- Super-tile internals (per super-tile) ----------------------------
+
+/// ANN multi-voltage DACs: 16×128 at 0.75 V, 4 bits.
+pub const ANN_DAC: ComponentSpec = ComponentSpec::new("ANN DAC", "16×128, 0.75 V, 4 b", 26.56, 0.04848);
+/// ANN crossbars: 16 arrays of 128×128 cells at 4 bits/cell.
+pub const ANN_CROSSBAR: ComponentSpec =
+    ComponentSpec::new("ANN Crossbar", "16×128×128, 4 b/cell", 72.16, 0.376);
+/// SNN spike drivers: 16×128 at 0.25 V, 1 bit.
+pub const SNN_DRIVER: ComponentSpec =
+    ComponentSpec::new("SNN Driver", "16×128, 0.25 V, 1 b", 0.904, 0.00606);
+/// SNN crossbars.
+pub const SNN_CROSSBAR: ComponentSpec =
+    ComponentSpec::new("SNN Crossbar", "16×128×128, 4 b/cell", 7.4, 0.376);
+/// Neuron units: 23 banks of 128 spin neurons.
+pub const NEURON_UNIT: ComponentSpec = ComponentSpec::new("Neuron Unit", "23×128", 0.151, 0.000189);
+
+// ---- Accumulator unit (per AU) -----------------------------------------
+
+/// AU adders: 1024 8-bit adders.
+pub const AU_ADDER: ComponentSpec = ComponentSpec::new("AU Adder", "1024×8 b", 0.355, 0.00588);
+/// AU registers: 1024 16-bit registers (2 KB).
+pub const AU_REGISTER: ComponentSpec =
+    ComponentSpec::new("AU Register", "1024×16 b, 2 KB", 0.545, 0.00808);
+/// Whole accumulator unit (Table III prints 0.9 mW, 0.0669 mm²).
+pub const ACCUMULATOR_UNIT: ComponentSpec =
+    ComponentSpec::new("Accumulator Unit", "adders + registers", 0.9, 0.0669);
+
+/// Power of one ANN neural core (eDRAM + ADC + super-tile + IB + OB) —
+/// Table III prints 113.8 mW.
+pub fn ann_core_power() -> Watts {
+    EDRAM.power
+        + ADC.power
+        + ANN_SUPERTILE.power
+        + ANN_INPUT_BUFFER.power
+        + ANN_OUTPUT_BUFFER.power
+}
+
+/// Power of one SNN neural core — Table III prints 19.66 mW.
+pub fn snn_core_power() -> Watts {
+    EDRAM.power
+        + ADC.power
+        + SNN_SUPERTILE.power
+        + SNN_INPUT_BUFFER.power
+        + SNN_OUTPUT_BUFFER.power
+}
+
+/// Area of one ANN neural core — Table III prints 0.528 mm².
+pub fn ann_core_area() -> SquareMillimeters {
+    EDRAM.area + ADC.area + ANN_SUPERTILE.area + ANN_INPUT_BUFFER.area + ANN_OUTPUT_BUFFER.area
+}
+
+/// Area of one SNN neural core — Table III prints 0.431 mm².
+pub fn snn_core_area() -> SquareMillimeters {
+    EDRAM.area + ADC.area + SNN_SUPERTILE.area + SNN_INPUT_BUFFER.area + SNN_OUTPUT_BUFFER.area
+}
+
+/// Whole-chip power (14 ANN NCs + 182 SNN NCs + 14 AUs) — Table III
+/// prints 5.2 W.
+pub fn chip_power() -> Watts {
+    ann_core_power() * ANN_CORES as f64
+        + snn_core_power() * SNN_CORES as f64
+        + ACCUMULATOR_UNIT.power * ACCUMULATORS as f64
+}
+
+/// Whole-chip area — Table III prints 86.729 mm².
+pub fn chip_area() -> SquareMillimeters {
+    ann_core_area() * ANN_CORES as f64
+        + snn_core_area() * SNN_CORES as f64
+        + ACCUMULATOR_UNIT.area * ACCUMULATORS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_totals_match_table_iii() {
+        assert!((ann_core_power().as_mw() - 113.8).abs() < 0.1);
+        assert!((snn_core_power().as_mw() - 19.66).abs() < 0.05);
+        assert!((ann_core_area().0 - 0.528).abs() < 0.002);
+        assert!((snn_core_area().0 - 0.431).abs() < 0.002);
+    }
+
+    #[test]
+    fn chip_totals_match_table_iii() {
+        assert!((chip_power().0 - 5.2).abs() < 0.05, "{}", chip_power());
+        assert!((chip_area().0 - 86.729).abs() < 0.3, "{}", chip_area());
+    }
+
+    #[test]
+    fn supertile_internals_sum_to_supertile_totals() {
+        let ann = ANN_DAC.power + ANN_CROSSBAR.power + NEURON_UNIT.power;
+        assert!(
+            (ann.as_mw() - ANN_SUPERTILE.power.as_mw()).abs() < 0.1,
+            "ANN super-tile parts {} vs total {}",
+            ann,
+            ANN_SUPERTILE.power
+        );
+        let snn = SNN_DRIVER.power + SNN_CROSSBAR.power + NEURON_UNIT.power;
+        assert!(
+            (snn.as_mw() - SNN_SUPERTILE.power.as_mw()).abs() < 0.1,
+            "SNN super-tile parts {} vs total {}",
+            snn,
+            SNN_SUPERTILE.power
+        );
+    }
+
+    #[test]
+    fn au_parts_sum_to_au_power() {
+        let parts = AU_ADDER.power + AU_REGISTER.power;
+        assert!((parts.as_mw() - ACCUMULATOR_UNIT.power.as_mw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snn_core_is_roughly_six_times_leaner() {
+        let ratio = ann_core_power() / snn_core_power();
+        assert!((5.0..7.0).contains(&ratio), "core power ratio {ratio}");
+    }
+
+    #[test]
+    fn architectural_constants() {
+        assert_eq!(M, 128);
+        assert_eq!(MAX_RF_IN_CORE, 2048);
+        assert_eq!(ANN_CORES + SNN_CORES, 196);
+        assert_eq!(MESH_SIDE * MESH_SIDE, 196);
+        assert!((CYCLE.as_ns() - 110.0).abs() < 1e-9);
+    }
+}

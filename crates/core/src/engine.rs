@@ -1,0 +1,284 @@
+//! Inference engines: evaluate a workload's energy, power and latency on
+//! NEBULA in ANN, SNN or hybrid mode (the machinery behind Figs. 12–17).
+
+use crate::energy::{ComponentEnergy, EnergyModel, ExecMode, LayerEnergy};
+use crate::mapper::{map_network, LayerMapping};
+use crate::pipeline;
+use nebula_device::units::{Seconds, Watts};
+use nebula_nn::stats::LayerDescriptor;
+
+/// Full energy/power/latency report for one inference of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceReport {
+    /// Mode label, e.g. `"ANN"`, `"SNN@300"`, `"Hyb-2@100"`.
+    pub mode: String,
+    /// Per-layer reports, in network order.
+    pub layers: Vec<LayerEnergy>,
+    /// Layer mappings (for inspection).
+    pub mappings: Vec<LayerMapping>,
+    /// Chip-level energy breakdown per inference.
+    pub total: ComponentEnergy,
+    /// End-to-end latency per inference.
+    pub latency: Seconds,
+    /// Mean power over the inference.
+    pub avg_power: Watts,
+    /// Worst instantaneous compute power across layers.
+    pub peak_power: Watts,
+    /// Neural cores the workload's weights occupy.
+    pub cores_used: usize,
+}
+
+impl InferenceReport {
+    /// Total energy per inference.
+    pub fn total_energy(&self) -> nebula_device::units::Joules {
+        self.total.total()
+    }
+}
+
+/// Evaluates a workload in ANN mode (one multi-bit pass).
+pub fn evaluate_ann(model: &EnergyModel, descriptors: &[LayerDescriptor]) -> InferenceReport {
+    evaluate(model, descriptors, ExecMode::Ann, "ANN".to_string())
+}
+
+/// Evaluates a workload in SNN mode for `timesteps` (per-layer spike
+/// activities come from each descriptor's `input_activity`).
+pub fn evaluate_snn(
+    model: &EnergyModel,
+    descriptors: &[LayerDescriptor],
+    timesteps: u32,
+) -> InferenceReport {
+    evaluate(
+        model,
+        descriptors,
+        ExecMode::Snn { timesteps },
+        format!("SNN@{timesteps}"),
+    )
+}
+
+fn evaluate(
+    model: &EnergyModel,
+    descriptors: &[LayerDescriptor],
+    mode: ExecMode,
+    label: String,
+) -> InferenceReport {
+    let mappings = map_network(descriptors);
+    let demand: usize = mappings.iter().map(|m| m.cores).sum();
+    // Kernel replication: spare cores in the mode's pool host copies of
+    // the weights so several output positions evaluate per cycle. The
+    // 13×-larger SNN fabric is what keeps SNN latency (and hence energy)
+    // within reach of ANN mode despite the timestep multiplier.
+    let pool = match mode {
+        ExecMode::Ann => model.ann_core_pool,
+        ExecMode::Snn { .. } => model.snn_core_pool,
+    };
+    let replication = (pool as f64 / demand.max(1) as f64)
+        .floor()
+        .clamp(1.0, model.max_replication);
+
+    let mut layers = Vec::with_capacity(mappings.len());
+    let mut total = ComponentEnergy::default();
+    let mut peak = Watts::ZERO;
+    let mut cores = 0usize;
+    let mut latency_cycles = 0u64;
+    for (mapping, desc) in mappings.iter().zip(descriptors) {
+        let le =
+            model.layer_energy_replicated(mapping, mode, desc.input_activity, replication);
+        total.accumulate(&le.energy);
+        peak = peak.max(le.peak_power);
+        cores += mapping.cores;
+        latency_cycles += pipeline::latency_for_waves(mapping, le.cycles);
+        layers.push(le);
+    }
+    let latency = crate::components::CYCLE * latency_cycles as f64;
+    let avg_power = if latency.0 > 0.0 {
+        total.total() / latency
+    } else {
+        Watts::ZERO
+    };
+    InferenceReport {
+        mode: label,
+        layers,
+        mappings,
+        total,
+        latency,
+        avg_power,
+        peak_power: peak,
+        cores_used: cores,
+    }
+}
+
+/// Report for a hybrid SNN-ANN execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridReport {
+    /// The spiking prefix report.
+    pub snn_part: InferenceReport,
+    /// The continuous suffix report.
+    pub ann_part: InferenceReport,
+    /// Accumulator-unit energy at the boundary.
+    pub accumulator: nebula_device::units::Joules,
+    /// Combined label, e.g. `"Hyb-2@100"`.
+    pub mode: String,
+}
+
+impl HybridReport {
+    /// Total energy per inference (prefix + AUs + suffix).
+    pub fn total_energy(&self) -> nebula_device::units::Joules {
+        self.snn_part.total_energy() + self.ann_part.total_energy() + self.accumulator
+    }
+
+    /// End-to-end latency (prefix streams for T steps, then the suffix
+    /// runs once).
+    pub fn latency(&self) -> Seconds {
+        self.snn_part.latency + self.ann_part.latency
+    }
+
+    /// Mean power over the whole inference.
+    pub fn avg_power(&self) -> Watts {
+        let l = self.latency();
+        if l.0 > 0.0 {
+            self.total_energy() / l
+        } else {
+            Watts::ZERO
+        }
+    }
+
+    /// Worst instantaneous compute power (the ANN suffix usually sets
+    /// it).
+    pub fn peak_power(&self) -> Watts {
+        self.snn_part.peak_power.max(self.ann_part.peak_power)
+    }
+}
+
+/// Evaluates a hybrid split: all but the last `ann_layers` weight layers
+/// run as an SNN for `timesteps`; the suffix runs once in ANN mode;
+/// accumulator units bridge the boundary.
+///
+/// # Panics
+///
+/// Panics when `ann_layers` is zero or ≥ the layer count (use the pure
+/// engines instead).
+pub fn evaluate_hybrid(
+    model: &EnergyModel,
+    descriptors: &[LayerDescriptor],
+    ann_layers: usize,
+    timesteps: u32,
+) -> HybridReport {
+    assert!(
+        ann_layers > 0 && ann_layers < descriptors.len(),
+        "hybrid split must leave both a prefix and a suffix"
+    );
+    let split = descriptors.len() - ann_layers;
+    let snn_part = evaluate_snn(model, &descriptors[..split], timesteps);
+    let ann_part = evaluate_ann(model, &descriptors[split..]);
+    // The AU accumulates every boundary activation over the window.
+    let boundary_elements = descriptors[split - 1].output_elements as u64;
+    let accumulator = model.accumulator_energy(boundary_elements, timesteps);
+    HybridReport {
+        mode: format!("Hyb-{ann_layers}@{timesteps}"),
+        snn_part,
+        ann_part,
+        accumulator,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A VGG-ish 4-layer stack with layerwise decreasing spike activity.
+    fn stack() -> Vec<LayerDescriptor> {
+        vec![
+            LayerDescriptor::conv(0, "conv1", 3, 64, 3, 1, 1, (32, 32)).with_activity(0.30),
+            LayerDescriptor::conv(1, "conv2", 64, 128, 3, 1, 1, (16, 16)).with_activity(0.15),
+            LayerDescriptor::conv(2, "conv3", 128, 256, 3, 1, 1, (8, 8)).with_activity(0.08),
+            LayerDescriptor::dense(3, "fc", 256 * 4 * 4, 10).with_activity(0.05),
+        ]
+    }
+
+    #[test]
+    fn reports_cover_every_layer() {
+        let model = EnergyModel::default();
+        let r = evaluate_ann(&model, &stack());
+        assert_eq!(r.layers.len(), 4);
+        assert_eq!(r.mappings.len(), 4);
+        assert!(r.total_energy().0 > 0.0);
+        assert!(r.cores_used >= 4);
+        assert_eq!(r.mode, "ANN");
+    }
+
+    #[test]
+    fn snn_total_energy_exceeds_ann_at_long_windows() {
+        // Fig. 17 top: SNN energy is ~5–10× the ANN energy at the
+        // timesteps needed for iso-accuracy.
+        let model = EnergyModel::default();
+        let ann = evaluate_ann(&model, &stack());
+        let snn = evaluate_snn(&model, &stack(), 300);
+        let ratio = snn.total_energy() / ann.total_energy();
+        assert!(
+            (2.0..30.0).contains(&ratio),
+            "SNN/ANN energy ratio {ratio} outside the paper's regime"
+        );
+    }
+
+    #[test]
+    fn snn_average_power_is_much_lower_than_ann() {
+        // Fig. 17 bottom: ANN power ≈ 6.25–10× SNN power.
+        let model = EnergyModel::default();
+        let ann = evaluate_ann(&model, &stack());
+        let snn = evaluate_snn(&model, &stack(), 300);
+        let ratio = ann.avg_power / snn.avg_power;
+        assert!(ratio > 3.0, "power ratio only {ratio}");
+    }
+
+    #[test]
+    fn hybrid_sits_between_snn_and_ann() {
+        let model = EnergyModel::default();
+        let ds = stack();
+        let snn = evaluate_snn(&model, &ds, 300);
+        let ann = evaluate_ann(&model, &ds);
+        let hyb = evaluate_hybrid(&model, &ds, 2, 100);
+        let e = hyb.total_energy();
+        assert!(
+            e < snn.total_energy(),
+            "hybrid must save energy vs pure SNN"
+        );
+        assert!(e > ann.total_energy(), "hybrid costs more than pure ANN");
+        // Power: hybrid below ANN.
+        assert!(hyb.avg_power() < ann.avg_power);
+        assert_eq!(hyb.mode, "Hyb-2@100");
+        assert!(hyb.accumulator.0 > 0.0);
+    }
+
+    #[test]
+    fn more_ann_layers_raise_hybrid_power() {
+        let model = EnergyModel::default();
+        let ds = stack();
+        let h1 = evaluate_hybrid(&model, &ds, 1, 100);
+        let h3 = evaluate_hybrid(&model, &ds, 3, 100);
+        assert!(
+            h3.avg_power() > h1.avg_power(),
+            "power should grow with the ANN share: {} vs {}",
+            h3.avg_power(),
+            h1.avg_power()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hybrid split")]
+    fn degenerate_hybrid_panics() {
+        let model = EnergyModel::default();
+        evaluate_hybrid(&model, &stack(), 0, 100);
+    }
+
+    #[test]
+    fn peak_power_is_max_over_layers() {
+        let model = EnergyModel::default();
+        let r = evaluate_ann(&model, &stack());
+        let max_layer = r
+            .layers
+            .iter()
+            .map(|l| l.peak_power)
+            .fold(Watts::ZERO, Watts::max);
+        assert_eq!(r.peak_power, max_layer);
+    }
+}

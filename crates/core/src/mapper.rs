@@ -1,0 +1,231 @@
+//! Maps workload layers onto NEBULA's neural cores (paper Fig. 5,
+//! §IV-B2/3).
+//!
+//! A kernel of receptive field `R_f = K_H·K_W·C` is flattened along the
+//! crossbar's vertical dimension; kernels become columns. The mapper
+//! chooses the neuron-unit hierarchy level per layer, counts the super-
+//! tiles (equivalently neural cores, one super-tile per NC) a layer
+//! occupies, decides whether the kernel spills across cores (activating
+//! the ADC + RU reduction path), and reports the cycle count per
+//! inference.
+
+use crate::components::{ACS_PER_SUPERTILE, M, MAX_RF_IN_CORE};
+use nebula_crossbar::tile::{acs_per_kernel, nu_level_for, NuLevel};
+use nebula_nn::stats::{LayerDescriptor, LayerOp};
+
+/// Where a layer's partial sums are aggregated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Entirely in the current domain inside one NC (H0/H1/H2).
+    InCore(NuLevel),
+    /// Spilled across `segments` NCs: ADC digitization + RU reduction.
+    AcrossCores {
+        /// Number of `16M`-row segments the kernel is split into.
+        segments: usize,
+    },
+}
+
+/// The mapping of one workload layer onto the chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerMapping {
+    /// Index of the layer among weight layers.
+    pub layer_index: usize,
+    /// Layer name (from the descriptor).
+    pub name: String,
+    /// How partial sums are aggregated.
+    pub aggregation: Aggregation,
+    /// Neural cores (= super-tiles) the layer's weights occupy.
+    pub cores: usize,
+    /// Atomic crossbars actually carrying weights.
+    pub acs_used: usize,
+    /// Fraction of occupied-AC cells holding real weights (utilization).
+    pub utilization: f64,
+    /// Crossbar evaluation cycles per inference pass (output positions).
+    pub cycles: u64,
+    /// ADC conversions per inference pass (0 when aggregation is
+    /// in-core).
+    pub adc_conversions: u64,
+    /// Activations (×4 bits) leaving this layer toward the next one per
+    /// pass — the NoC payload.
+    pub output_elements: u64,
+}
+
+impl LayerMapping {
+    /// True when this layer needs the ADC + RU reduction path.
+    pub fn needs_adc(&self) -> bool {
+        matches!(self.aggregation, Aggregation::AcrossCores { .. })
+    }
+}
+
+/// Maps one layer descriptor onto the architecture.
+///
+/// # Panics
+///
+/// Panics when the descriptor has a zero receptive field or zero
+/// kernels (workload construction bugs).
+pub fn map_layer(desc: &LayerDescriptor) -> LayerMapping {
+    assert!(desc.receptive_field > 0, "layer with empty receptive field");
+    assert!(desc.kernels > 0, "layer with no kernels");
+
+    let cycles = (desc.output_hw.0 * desc.output_hw.1) as u64;
+
+    // Depthwise layers give each channel its own rows *and* column; a
+    // 128-row AC packs ⌊M/R_f⌋ of those diagonal blocks.
+    if let LayerOp::DepthwiseConv { .. } = desc.op {
+        let kernels_per_ac = (M / desc.receptive_field).clamp(1, M);
+        let acs = desc.kernels.div_ceil(kernels_per_ac);
+        let cores = acs.div_ceil(ACS_PER_SUPERTILE);
+        let cells_used = desc.kernels * desc.receptive_field;
+        return LayerMapping {
+            layer_index: desc.index,
+            name: desc.name.clone(),
+            aggregation: Aggregation::InCore(NuLevel::H0),
+            cores,
+            acs_used: acs,
+            utilization: cells_used as f64 / (acs * M * M) as f64,
+            cycles,
+            adc_conversions: 0,
+            output_elements: desc.output_elements as u64,
+        };
+    }
+
+    match nu_level_for(desc.receptive_field, M) {
+        Some(level) => {
+            // Kernel fits in a super-tile: stack ACs vertically, pack
+            // kernels as columns, replicate stacks across ACs.
+            let stacks = acs_per_kernel(desc.receptive_field, M);
+            let column_groups = desc.kernels.div_ceil(M);
+            let acs = stacks * column_groups;
+            let cores = acs.div_ceil(ACS_PER_SUPERTILE);
+            let cells_used = desc.receptive_field * desc.kernels;
+            LayerMapping {
+                layer_index: desc.index,
+                name: desc.name.clone(),
+                aggregation: Aggregation::InCore(level),
+                cores,
+                acs_used: acs,
+                utilization: cells_used as f64 / (acs * M * M) as f64,
+                cycles,
+                adc_conversions: 0,
+                output_elements: desc.output_elements as u64,
+            }
+        }
+        None => {
+            // R_f > 16M: split into full-super-tile segments; each segment
+            // produces a digitized partial sum per kernel per cycle.
+            let segments = desc.receptive_field.div_ceil(MAX_RF_IN_CORE);
+            let column_groups = desc.kernels.div_ceil(M);
+            let acs = segments * ACS_PER_SUPERTILE * column_groups;
+            let cores = segments * column_groups;
+            let cells_used = desc.receptive_field * desc.kernels;
+            LayerMapping {
+                layer_index: desc.index,
+                name: desc.name.clone(),
+                aggregation: Aggregation::AcrossCores { segments },
+                cores,
+                acs_used: acs,
+                utilization: cells_used as f64 / (acs * M * M) as f64,
+                cycles,
+                adc_conversions: segments as u64 * desc.kernels as u64 * cycles,
+                output_elements: desc.output_elements as u64,
+            }
+        }
+    }
+}
+
+/// Maps a whole workload (one descriptor per weight layer).
+pub fn map_network(descriptors: &[LayerDescriptor]) -> Vec<LayerMapping> {
+    descriptors.iter().map(map_layer).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_conv_fits_one_core_at_h0() {
+        // VGG conv1: Rf = 27, 64 kernels.
+        let d = LayerDescriptor::conv(0, "conv1", 3, 64, 3, 1, 1, (32, 32));
+        let m = map_layer(&d);
+        assert_eq!(m.aggregation, Aggregation::InCore(NuLevel::H0));
+        assert_eq!(m.cores, 1);
+        assert_eq!(m.acs_used, 1);
+        assert!(!m.needs_adc());
+        assert_eq!(m.cycles, 32 * 32);
+        // 27×64 of 128×128 used (the paper's own utilization example).
+        assert!((m.utilization - (27.0 * 64.0) / (128.0 * 128.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mid_conv_uses_h1() {
+        // Rf = 3*3*32 = 288 → 129..512 → H1; 128 kernels.
+        let d = LayerDescriptor::conv(1, "conv2", 32, 128, 3, 1, 1, (16, 16));
+        let m = map_layer(&d);
+        assert_eq!(m.aggregation, Aggregation::InCore(NuLevel::H1));
+        assert_eq!(m.acs_used, 3); // ceil(288/128) stacks × 1 column group
+        assert_eq!(m.cores, 1);
+    }
+
+    #[test]
+    fn large_conv_uses_h2_and_more_kernels_more_cores() {
+        // Rf = 3*3*128 = 1152 → H2 (9 ACs); 512 kernels → 4 column groups.
+        let d = LayerDescriptor::conv(2, "conv3", 128, 512, 3, 1, 1, (8, 8));
+        let m = map_layer(&d);
+        assert_eq!(m.aggregation, Aggregation::InCore(NuLevel::H2));
+        assert_eq!(m.acs_used, 9 * 4);
+        assert_eq!(m.cores, 3); // ceil(36/16)
+        assert_eq!(m.adc_conversions, 0);
+    }
+
+    #[test]
+    fn huge_dense_layer_spills_across_cores() {
+        // AlexNet fc6-like: Rf = 9216 > 2048 → 5 segments.
+        let d = LayerDescriptor::dense(5, "fc6", 9216, 4096);
+        let m = map_layer(&d);
+        assert_eq!(m.aggregation, Aggregation::AcrossCores { segments: 5 });
+        assert!(m.needs_adc());
+        // 4096 kernels → 32 column groups; 5 segments × 32 groups cores.
+        assert_eq!(m.cores, 5 * 32);
+        assert_eq!(m.adc_conversions, 5 * 4096);
+        assert_eq!(m.cycles, 1);
+    }
+
+    #[test]
+    fn depthwise_packs_diagonally_with_low_utilization() {
+        let d = LayerDescriptor::depthwise(1, "dw2", 64, 3, 1, 1, (32, 32));
+        let m = map_layer(&d);
+        // 9-row kernels: ⌊128/9⌋ = 14 per AC → ceil(64/14) = 5 ACs.
+        assert_eq!(m.acs_used, 5);
+        assert_eq!(m.cores, 1);
+        assert!(!m.needs_adc());
+        assert!(
+            m.utilization < 0.01,
+            "depthwise utilization should be tiny: {}",
+            m.utilization
+        );
+    }
+
+    #[test]
+    fn map_network_preserves_order() {
+        let ds = vec![
+            LayerDescriptor::conv(0, "conv1", 3, 64, 3, 1, 1, (32, 32)),
+            LayerDescriptor::dense(1, "fc", 1024, 10),
+        ];
+        let ms = map_network(&ds);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].name, "conv1");
+        assert_eq!(ms[1].name, "fc");
+        assert_eq!(ms[1].cycles, 1);
+    }
+
+    #[test]
+    fn boundary_rf_exactly_16m_stays_in_core() {
+        let d = LayerDescriptor::dense(0, "fc", 2048, 64);
+        let m = map_layer(&d);
+        assert!(!m.needs_adc());
+        assert_eq!(m.acs_used, 16);
+        assert_eq!(m.cores, 1);
+        let d2 = LayerDescriptor::dense(0, "fc", 2049, 64);
+        assert!(map_layer(&d2).needs_adc());
+    }
+}

@@ -1,0 +1,141 @@
+//! The NEBULA execution pipeline (paper Fig. 8).
+//!
+//! Every pipeline stage lasts one 110 ns cycle — the domain-wall
+//! switching time. A layer whose kernel fits a super-tile passes through
+//! three stages (fetch, compute, write-back); a spilled kernel
+//! (`R_f > 16M`) adds ADC digitization, one or more RU reduction hops
+//! and a final activation stage.
+
+use crate::mapper::{Aggregation, LayerMapping};
+
+/// One stage of the Fig. 8 pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Cycle 1: fetch inputs from local eDRAM into the input buffer.
+    Fetch,
+    /// Cycle 2: drive the crossbars, traverse the NU hierarchy, write
+    /// spikes/activations to the output buffer.
+    Compute,
+    /// Cycle 3: write the output buffer back to eDRAM (and release into
+    /// the network).
+    WriteBack,
+    /// Spill only: sequentially digitize partial sums through the ADC.
+    AdcDigitize,
+    /// Spill only: one hop of the RU partial-sum reduction tree.
+    Reduce,
+    /// Spill only: apply the activation/spike logic at the final RU.
+    Activate,
+}
+
+/// The stage sequence a layer's wave traverses.
+pub fn stages_for(mapping: &LayerMapping) -> Vec<Stage> {
+    match mapping.aggregation {
+        Aggregation::InCore(_) => vec![Stage::Fetch, Stage::Compute, Stage::WriteBack],
+        Aggregation::AcrossCores { segments } => {
+            let mut stages = vec![Stage::Fetch, Stage::Compute, Stage::AdcDigitize];
+            // A binary reduction tree over `segments` partial sums.
+            let reduce_hops = (segments.max(2) as f64).log2().ceil() as usize;
+            stages.extend(std::iter::repeat_n(Stage::Reduce, reduce_hops));
+            stages.push(Stage::Activate);
+            stages.push(Stage::WriteBack);
+            stages
+        }
+    }
+}
+
+/// Pipeline depth (stages) for a layer.
+pub fn depth_for(mapping: &LayerMapping) -> u64 {
+    stages_for(mapping).len() as u64
+}
+
+/// Initiation interval: cycles between successive waves entering the
+/// pipeline. The ADC digitizes at most 128 partial sums per cycle, so a
+/// spilled layer with `segments × kernels` partial sums per wave
+/// serializes behind it; in-core layers stream one wave per cycle.
+pub fn initiation_interval(mapping: &LayerMapping) -> u64 {
+    match mapping.aggregation {
+        Aggregation::InCore(_) => 1,
+        Aggregation::AcrossCores { .. } => {
+            let conversions_per_wave = mapping.adc_conversions / mapping.cycles.max(1);
+            conversions_per_wave.div_ceil(128).max(1)
+        }
+    }
+}
+
+/// Latency, in cycles, for one layer to process all its output
+/// positions: waves stream through the pipeline at the initiation
+/// interval, plus the ADC's multi-cycle service on the last wave:
+/// `depth + (waves − 1)·II + (II − 1)`.
+pub fn layer_latency_cycles(mapping: &LayerMapping, passes: u64) -> u64 {
+    let waves = mapping.cycles * passes;
+    latency_for_waves(mapping, waves)
+}
+
+/// Latency for an explicit wave count (used when kernel replication has
+/// already divided the per-pass wave count).
+pub fn latency_for_waves(mapping: &LayerMapping, waves: u64) -> u64 {
+    let ii = initiation_interval(mapping);
+    depth_for(mapping) + waves.saturating_sub(1) * ii + (ii - 1)
+}
+
+/// End-to-end latency of a whole network in cycles: layers execute
+/// back-to-back (layer `l+1` starts when `l`'s first results arrive, but
+/// the conservative sequential bound is used, matching the paper's
+/// analytical model).
+pub fn network_latency_cycles(mappings: &[LayerMapping], passes: u64) -> u64 {
+    mappings
+        .iter()
+        .map(|m| layer_latency_cycles(m, passes))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::map_layer;
+    use nebula_nn::stats::LayerDescriptor;
+
+    #[test]
+    fn in_core_layers_have_three_stages() {
+        let m = map_layer(&LayerDescriptor::conv(0, "c", 3, 64, 3, 1, 1, (32, 32)));
+        assert_eq!(
+            stages_for(&m),
+            vec![Stage::Fetch, Stage::Compute, Stage::WriteBack]
+        );
+        assert_eq!(depth_for(&m), 3);
+    }
+
+    #[test]
+    fn spilled_layers_add_reduction_stages() {
+        let m = map_layer(&LayerDescriptor::dense(0, "fc", 9216, 4096));
+        let stages = stages_for(&m);
+        assert!(stages.contains(&Stage::AdcDigitize));
+        assert!(stages.contains(&Stage::Activate));
+        // 5 segments → ⌈log2 5⌉ = 3 reduce hops.
+        assert_eq!(
+            stages.iter().filter(|s| **s == Stage::Reduce).count(),
+            3
+        );
+        assert_eq!(depth_for(&m), 3 + 3 + 2);
+    }
+
+    #[test]
+    fn latency_streams_waves_through_the_pipeline() {
+        let m = map_layer(&LayerDescriptor::conv(0, "c", 3, 64, 3, 1, 1, (32, 32)));
+        // 1024 waves through a 3-deep pipeline.
+        assert_eq!(layer_latency_cycles(&m, 1), 3 + 1024 - 1);
+        // SNN: 10 timesteps multiply the waves.
+        assert_eq!(layer_latency_cycles(&m, 10), 3 + 10240 - 1);
+    }
+
+    #[test]
+    fn network_latency_sums_layers() {
+        let a = map_layer(&LayerDescriptor::conv(0, "c", 3, 64, 3, 1, 1, (8, 8)));
+        let b = map_layer(&LayerDescriptor::dense(1, "fc", 64, 10));
+        let total = network_latency_cycles(&[a.clone(), b.clone()], 1);
+        assert_eq!(
+            total,
+            layer_latency_cycles(&a, 1) + layer_latency_cycles(&b, 1)
+        );
+    }
+}

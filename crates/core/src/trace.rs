@@ -1,0 +1,176 @@
+//! Cycle-level pipeline tracing (Fig. 8): a discrete-event walk of waves
+//! through a neural core's pipeline, including the ADC's serialization
+//! stall on spilled layers.
+//!
+//! The analytical model ([`crate::pipeline`]) gives closed-form
+//! latencies; this module *simulates* the same pipeline wave by wave so
+//! the two can be checked against each other, and produces a
+//! stage-occupancy profile for inspection.
+
+use crate::mapper::LayerMapping;
+use crate::pipeline::{initiation_interval, stages_for, Stage};
+
+/// One recorded pipeline event: `wave` occupied `stage` starting at
+/// `cycle` for `duration` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the wave entered the stage.
+    pub cycle: u64,
+    /// Wave index (output position being computed).
+    pub wave: u64,
+    /// The pipeline stage.
+    pub stage: Stage,
+    /// Cycles spent in the stage.
+    pub duration: u64,
+}
+
+/// A recorded pipeline execution of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineTrace {
+    /// Recorded events (capped at `max_recorded_waves` waves).
+    pub events: Vec<TraceEvent>,
+    /// Total cycles until the last wave left the pipeline.
+    pub total_cycles: u64,
+    /// Busy cycles per stage across the whole run (all waves).
+    pub stage_busy: Vec<(Stage, u64)>,
+    /// The initiation interval the bottleneck stage imposed.
+    pub initiation_interval: u64,
+}
+
+impl PipelineTrace {
+    /// Fraction of total cycles the bottleneck stage was busy.
+    pub fn bottleneck_occupancy(&self) -> f64 {
+        let busiest = self
+            .stage_busy
+            .iter()
+            .map(|(_, b)| *b)
+            .max()
+            .unwrap_or(0);
+        busiest as f64 / self.total_cycles.max(1) as f64
+    }
+}
+
+/// Simulates `waves` output positions streaming through the layer's
+/// pipeline. Events are recorded for the first `max_recorded_waves`
+/// waves (stage-occupancy totals always cover every wave).
+pub fn trace_layer(mapping: &LayerMapping, waves: u64, max_recorded_waves: u64) -> PipelineTrace {
+    let stages = stages_for(mapping);
+    let ii = initiation_interval(mapping);
+    // Per-stage service time: the ADC stage takes `ii` cycles, every
+    // other stage takes one.
+    let service: Vec<u64> = stages
+        .iter()
+        .map(|s| if *s == Stage::AdcDigitize { ii } else { 1 })
+        .collect();
+
+    let mut events = Vec::new();
+    let mut stage_busy = vec![0u64; stages.len()];
+    // `free_at[s]`: first cycle stage s is available again.
+    let mut free_at = vec![0u64; stages.len()];
+    let mut total = 0u64;
+    for wave in 0..waves {
+        // A wave enters stage 0 as soon as that stage is free.
+        let mut t = free_at[0].max(wave); // one new wave per cycle at most
+        for (s, &dur) in service.iter().enumerate() {
+            t = t.max(free_at[s]);
+            if wave < max_recorded_waves {
+                events.push(TraceEvent {
+                    cycle: t,
+                    wave,
+                    stage: stages[s],
+                    duration: dur,
+                });
+            }
+            stage_busy[s] += dur;
+            free_at[s] = t + dur;
+            t += dur;
+        }
+        total = total.max(t);
+    }
+    PipelineTrace {
+        events,
+        total_cycles: total,
+        stage_busy: stages.into_iter().zip(stage_busy).collect(),
+        initiation_interval: ii,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::map_layer;
+    use crate::pipeline::layer_latency_cycles;
+    use nebula_nn::stats::LayerDescriptor;
+
+    fn fit_layer() -> LayerMapping {
+        map_layer(&LayerDescriptor::conv(0, "c", 3, 64, 3, 1, 1, (8, 8)))
+    }
+
+    fn spill_layer() -> LayerMapping {
+        // R_f = 9216 → 5 segments; 256 kernels → 5·256/128 = 10-cycle ADC.
+        map_layer(&LayerDescriptor::dense(0, "fc", 9216, 256))
+    }
+
+    #[test]
+    fn trace_matches_analytic_latency_for_fit_layers() {
+        let m = fit_layer();
+        let waves = m.cycles;
+        let trace = trace_layer(&m, waves, 4);
+        assert_eq!(trace.initiation_interval, 1);
+        assert_eq!(trace.total_cycles, layer_latency_cycles(&m, 1));
+    }
+
+    #[test]
+    fn trace_matches_analytic_latency_for_spilled_layers() {
+        let m = spill_layer();
+        let trace = trace_layer(&m, m.cycles, 4);
+        assert!(trace.initiation_interval > 1);
+        assert_eq!(trace.total_cycles, layer_latency_cycles(&m, 1));
+    }
+
+    #[test]
+    fn adc_is_the_bottleneck_on_spilled_conv_layers() {
+        // A spilled layer with many waves: the ADC stage dominates.
+        let m = map_layer(&LayerDescriptor::conv(0, "c", 512, 256, 3, 1, 1, (8, 8)));
+        assert!(m.needs_adc());
+        let trace = trace_layer(&m, m.cycles, 2);
+        let (stage, busy) = trace
+            .stage_busy
+            .iter()
+            .max_by_key(|(_, b)| *b)
+            .copied()
+            .unwrap();
+        assert_eq!(stage, Stage::AdcDigitize, "bottleneck should be the ADC");
+        assert!(busy > 0);
+        assert!(trace.bottleneck_occupancy() > 0.5);
+    }
+
+    #[test]
+    fn events_are_recorded_only_for_requested_waves() {
+        let m = fit_layer();
+        let trace = trace_layer(&m, 64, 2);
+        let max_wave = trace.events.iter().map(|e| e.wave).max().unwrap();
+        assert_eq!(max_wave, 1);
+        // Every recorded wave passes through all three stages.
+        assert_eq!(trace.events.len(), 2 * 3);
+    }
+
+    #[test]
+    fn waves_never_overtake_each_other() {
+        let m = spill_layer();
+        let trace = trace_layer(&m, 8, 8);
+        // Within one stage, entry cycles are strictly increasing by wave.
+        for s in [Stage::Fetch, Stage::Compute, Stage::AdcDigitize] {
+            let entries: Vec<u64> = trace
+                .events
+                .iter()
+                .filter(|e| e.stage == s)
+                .map(|e| e.cycle)
+                .collect();
+            assert!(
+                entries.windows(2).all(|w| w[0] < w[1]),
+                "stage {s:?} order violated: {entries:?}"
+            );
+        }
+    }
+}

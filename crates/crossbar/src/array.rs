@@ -1,0 +1,471 @@
+//! The atomic crossbar: an `M×M` array of DW-MTJ synapses computing
+//! analog dot products by Kirchhoff current summation (paper Fig. 3).
+//!
+//! Signed weights are realized with a *reference-column* scheme: a weight
+//! `w ∈ [−w_clip, +w_clip]` is programmed as a conductance offset around
+//! the mid conductance `G_mid`, and every column current is reported
+//! relative to the current a reference column at `G_mid` would carry
+//! under the same drive. The reported differential current is then
+//! exactly proportional to `Σ_i v_i·w_i` (up to the 16-level device
+//! quantization).
+
+use crate::config::CrossbarConfig;
+use crate::error::CrossbarError;
+use nebula_device::synapse::DwMtjSynapse;
+use nebula_device::units::{Amps, Joules, Seconds, Volts};
+use nebula_device::variation::VariationModel;
+use rand::Rng;
+
+/// One `M×M` atomic crossbar (AC) of DW-MTJ synapses.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_crossbar::array::AtomicCrossbar;
+/// use nebula_crossbar::config::{CrossbarConfig, Mode};
+///
+/// let mut xbar = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann))?;
+/// // Program a 2×2 block of signed weights.
+/// xbar.program(&[vec![0.5, -0.5], vec![1.0, 0.25]], 1.0)?;
+/// let currents = xbar.dot(&[1.0, 1.0])?;
+/// assert!(currents[0].0 > 0.0); // 0.5 + 1.0 > 0
+/// # Ok::<(), nebula_crossbar::CrossbarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AtomicCrossbar {
+    config: CrossbarConfig,
+    /// Programmed conductances (siemens), row-major `m × m`; unused cells
+    /// stay at the mid conductance so they contribute zero differential
+    /// current.
+    conductance: Vec<f64>,
+    rows_used: usize,
+    cols_used: usize,
+    weight_clip: f64,
+    g_min: f64,
+    g_max: f64,
+    levels: usize,
+    program_energy: Joules,
+    read_energy: Joules,
+    evaluations: u64,
+}
+
+impl AtomicCrossbar {
+    /// Creates an unprogrammed crossbar (all cells at mid conductance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] for invalid
+    /// configurations.
+    pub fn new(config: CrossbarConfig) -> Result<Self, CrossbarError> {
+        config.validate()?;
+        let probe = DwMtjSynapse::new(&config.device);
+        let g_min = probe.min_conductance().0;
+        let g_max = probe.max_conductance().0;
+        let levels = probe.levels();
+        let g_mid = (g_min + g_max) / 2.0;
+        Ok(Self {
+            conductance: vec![g_mid; config.m * config.m],
+            rows_used: 0,
+            cols_used: 0,
+            weight_clip: 1.0,
+            g_min,
+            g_max,
+            levels,
+            program_energy: Joules::ZERO,
+            read_energy: Joules::ZERO,
+            evaluations: 0,
+            config,
+        })
+    }
+
+    /// The configuration this crossbar was built with.
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.config
+    }
+
+    /// Crossbar side `M`.
+    pub fn m(&self) -> usize {
+        self.config.m
+    }
+
+    /// Rows currently carrying programmed weights.
+    pub fn rows_used(&self) -> usize {
+        self.rows_used
+    }
+
+    /// Columns currently carrying programmed weights.
+    pub fn cols_used(&self) -> usize {
+        self.cols_used
+    }
+
+    /// Fraction of the array carrying programmed weights (synapse
+    /// utilization — the quantity NEBULA's morphable tiles optimize).
+    pub fn utilization(&self) -> f64 {
+        (self.rows_used * self.cols_used) as f64 / (self.m() * self.m()) as f64
+    }
+
+    fn g_mid(&self) -> f64 {
+        (self.g_min + self.g_max) / 2.0
+    }
+
+    /// Quantizes a signed weight to the nearest device conductance.
+    fn weight_to_conductance(&self, w: f64) -> f64 {
+        let clipped = w.clamp(-self.weight_clip, self.weight_clip);
+        // Map [-clip, clip] → [0, levels-1].
+        let frac = (clipped + self.weight_clip) / (2.0 * self.weight_clip);
+        let state = (frac * (self.levels - 1) as f64).round();
+        self.g_min + (self.g_max - self.g_min) * state / (self.levels - 1) as f64
+    }
+
+    /// The signed weight a conductance represents (inverse mapping).
+    fn conductance_to_weight(&self, g: f64) -> f64 {
+        let frac = (g - self.g_min) / (self.g_max - self.g_min);
+        2.0 * self.weight_clip * frac - self.weight_clip
+    }
+
+    /// Programs a block of signed weights (`weights[row][col]`), clipping
+    /// to `[-weight_clip, weight_clip]` and quantizing to the device's 16
+    /// conductance levels. Cells outside the block are reset to mid
+    /// conductance. Programming energy (~100 fJ/cell) is accrued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::DimensionMismatch`] when the block
+    /// exceeds `M×M`, or [`CrossbarError::InvalidConfig`] for a
+    /// non-positive clip.
+    pub fn program(&mut self, weights: &[Vec<f64>], weight_clip: f64) -> Result<(), CrossbarError> {
+        if weight_clip <= 0.0 || !weight_clip.is_finite() {
+            return Err(CrossbarError::InvalidConfig {
+                reason: format!("weight clip must be positive, got {weight_clip}"),
+            });
+        }
+        let rows = weights.len();
+        let cols = weights.first().map_or(0, Vec::len);
+        let m = self.m();
+        if rows > m || cols > m {
+            return Err(CrossbarError::DimensionMismatch {
+                rows,
+                cols,
+                max_rows: m,
+                max_cols: m,
+            });
+        }
+        if weights.iter().any(|r| r.len() != cols) {
+            return Err(CrossbarError::InvalidConfig {
+                reason: "weight rows have unequal lengths".to_string(),
+            });
+        }
+        self.weight_clip = weight_clip;
+        let g_mid = self.g_mid();
+        self.conductance.fill(g_mid);
+        // One calibrated programming event per cell: the device crate's
+        // ~100 fJ spin-Hall write.
+        let probe = DwMtjSynapse::new(&self.config.device);
+        let per_cell = {
+            let i = self.config.device.full_scale_current();
+            (i * self.config.device.heavy_metal_resistance() * i)
+                * self.config.device.switching_time()
+        };
+        let _ = probe;
+        for (r, row) in weights.iter().enumerate() {
+            for (c, &w) in row.iter().enumerate() {
+                self.conductance[r * m + c] = self.weight_to_conductance(w);
+                self.program_energy += per_cell;
+            }
+        }
+        self.rows_used = rows;
+        self.cols_used = cols;
+        Ok(())
+    }
+
+    /// The effective (quantized) weight stored at `(row, col)` — what the
+    /// analog array will actually multiply by.
+    pub fn effective_weight(&self, row: usize, col: usize) -> f64 {
+        self.conductance_to_weight(self.conductance[row * self.m() + col])
+    }
+
+    /// Evaluates one analog dot-product cycle: drives `inputs` (per-row
+    /// activations normalized to `[0, 1]` of the mode's read voltage,
+    /// binary for SNN) and returns the *differential* column currents
+    /// `I_j − I_ref`, proportional to `Σ_i v_i·w_ij`.
+    ///
+    /// Read energy is accrued from the total (non-differential) current
+    /// actually flowing through the array for one pipeline cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] when
+    /// `inputs.len() != rows_used`.
+    pub fn dot(&mut self, inputs: &[f64]) -> Result<Vec<Amps>, CrossbarError> {
+        self.dot_noisy(inputs, &mut NoNoise)
+    }
+
+    /// Like [`dot`](Self::dot) but sampling multiplicative read noise
+    /// (`config.read_noise_sigma`) from `rng` per cell access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] when
+    /// `inputs.len() != rows_used`.
+    pub fn dot_with_noise<R: Rng + ?Sized>(
+        &mut self,
+        inputs: &[f64],
+        rng: &mut R,
+    ) -> Result<Vec<Amps>, CrossbarError> {
+        let model = VariationModel::new(self.config.read_noise_sigma);
+        let mut sampler = RngNoise { model, rng };
+        self.dot_noisy(inputs, &mut sampler)
+    }
+
+    fn dot_noisy(
+        &mut self,
+        inputs: &[f64],
+        noise: &mut dyn NoiseSource,
+    ) -> Result<Vec<Amps>, CrossbarError> {
+        if inputs.len() != self.rows_used {
+            return Err(CrossbarError::InputLengthMismatch {
+                len: inputs.len(),
+                expected: self.rows_used,
+            });
+        }
+        let m = self.m();
+        let v_read = self.config.mode.read_voltage().0;
+        let g_mid = self.g_mid();
+        let cols = self.cols_used;
+        let mut diff = vec![0.0f64; cols];
+        let mut total_current = 0.0f64;
+        for (r, &x) in inputs.iter().enumerate() {
+            if x == 0.0 {
+                continue; // event-driven: silent rows draw no read current
+            }
+            let v = v_read * x;
+            let row = &self.conductance[r * m..r * m + cols];
+            for (j, &g) in row.iter().enumerate() {
+                let g_eff = noise.sample(g);
+                diff[j] += v * (g_eff - g_mid);
+                total_current += v * g_eff;
+            }
+        }
+        // Energy: all active current flows for one pipeline cycle.
+        let cycle = self.config.device.switching_time();
+        self.read_energy += (Volts(v_read) * Amps(total_current)) * cycle;
+        self.evaluations += 1;
+        Ok(diff.into_iter().map(Amps).collect())
+    }
+
+    /// The differential current a full-scale single-row, full-weight
+    /// product produces — the natural scale for interpreting
+    /// [`dot`](Self::dot) outputs as numbers:
+    /// `value = I / unit_current()` recovers `Σ v_i·w_i` in weight units.
+    pub fn unit_current(&self) -> Amps {
+        let v = self.config.mode.read_voltage().0;
+        Amps(v * (self.g_max - self.g_min) / 2.0 / self.weight_clip)
+    }
+
+    /// Total programming energy accrued.
+    pub fn accumulated_program_energy(&self) -> Joules {
+        self.program_energy
+    }
+
+    /// Total read (evaluation) energy accrued.
+    pub fn accumulated_read_energy(&self) -> Joules {
+        self.read_energy
+    }
+
+    /// Number of dot-product evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Duration of one evaluation cycle (the DW switching time).
+    pub fn cycle_time(&self) -> Seconds {
+        self.config.device.switching_time()
+    }
+}
+
+/// Internal abstraction over "no noise" and "rng-sampled noise".
+trait NoiseSource {
+    fn sample(&mut self, g: f64) -> f64;
+}
+
+struct NoNoise;
+
+impl NoiseSource for NoNoise {
+    fn sample(&mut self, g: f64) -> f64 {
+        g
+    }
+}
+
+struct RngNoise<'a, R: Rng + ?Sized> {
+    model: VariationModel,
+    rng: &'a mut R,
+}
+
+impl<R: Rng + ?Sized> NoiseSource for RngNoise<'_, R> {
+    fn sample(&mut self, g: f64) -> f64 {
+        self.model.perturb(g, self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use rand::SeedableRng;
+
+    fn xbar(mode: Mode) -> AtomicCrossbar {
+        AtomicCrossbar::new(CrossbarConfig::paper_default(mode)).unwrap()
+    }
+
+    /// Interprets differential currents back into weight-space numbers.
+    fn as_values(x: &AtomicCrossbar, currents: &[Amps]) -> Vec<f64> {
+        let unit = x.unit_current().0;
+        currents.iter().map(|i| i.0 / unit).collect()
+    }
+
+    #[test]
+    fn dot_product_matches_math_within_quantization() {
+        let mut x = xbar(Mode::Ann);
+        let w = vec![
+            vec![0.5, -0.25, 1.0],
+            vec![-1.0, 0.75, 0.0],
+            vec![0.25, 0.5, -0.5],
+        ];
+        x.program(&w, 1.0).unwrap();
+        let inputs = [1.0, 0.5, 0.25];
+        let out = as_values(&x, &x.clone().dot(&inputs).unwrap());
+        for j in 0..3 {
+            let exact: f64 = (0..3).map(|i| inputs[i] * w[i][j]).sum();
+            assert!(
+                (out[j] - exact).abs() < 0.15,
+                "col {j}: analog {} vs exact {exact}",
+                out[j]
+            );
+        }
+    }
+
+    #[test]
+    fn effective_weights_are_quantized_to_16_levels() {
+        let mut x = xbar(Mode::Ann);
+        x.program(&[vec![0.07]], 1.0).unwrap();
+        let w = x.effective_weight(0, 0);
+        // Step size = 2/15; the programmed weight sits on the grid.
+        let step = 2.0 / 15.0;
+        let k = (w + 1.0) / step;
+        assert!((k - k.round()).abs() < 1e-9, "weight {w} off-grid");
+    }
+
+    #[test]
+    fn zero_inputs_draw_no_read_energy() {
+        let mut x = xbar(Mode::Snn);
+        x.program(&[vec![1.0, 1.0], vec![1.0, 1.0]], 1.0).unwrap();
+        let before = x.accumulated_read_energy();
+        x.dot(&[0.0, 0.0]).unwrap();
+        assert_eq!(
+            x.accumulated_read_energy(),
+            before,
+            "silent rows must not burn read energy (event-driven operation)"
+        );
+    }
+
+    #[test]
+    fn active_rows_accrue_read_energy() {
+        let mut x = xbar(Mode::Snn);
+        x.program(&[vec![1.0], vec![1.0]], 1.0).unwrap();
+        x.dot(&[1.0, 1.0]).unwrap();
+        assert!(x.accumulated_read_energy().0 > 0.0);
+        assert_eq!(x.evaluations(), 1);
+    }
+
+    #[test]
+    fn snn_mode_uses_lower_voltage_hence_lower_energy() {
+        let w = vec![vec![1.0; 8]; 8];
+        let inputs = [1.0; 8];
+        let mut ann = xbar(Mode::Ann);
+        ann.program(&w, 1.0).unwrap();
+        ann.dot(&inputs).unwrap();
+        let mut snn = xbar(Mode::Snn);
+        snn.program(&w, 1.0).unwrap();
+        snn.dot(&inputs).unwrap();
+        // Energy ∝ V²: (0.75/0.25)² = 9×.
+        let ratio = ann.accumulated_read_energy().0 / snn.accumulated_read_energy().0;
+        assert!((ratio - 9.0).abs() < 0.5, "V² energy ratio wrong: {ratio}");
+    }
+
+    #[test]
+    fn programming_energy_scales_with_cells() {
+        let mut x = xbar(Mode::Ann);
+        x.program(&vec![vec![0.0; 4]; 4], 1.0).unwrap();
+        let e16 = x.accumulated_program_energy().0;
+        let mut y = xbar(Mode::Ann);
+        y.program(&vec![vec![0.0; 8]; 8], 1.0).unwrap();
+        let e64 = y.accumulated_program_energy().0;
+        assert!((e64 / e16 - 4.0).abs() < 1e-6);
+        // Per-cell energy in the ~100 fJ regime.
+        let per_cell_fj = e16 / 16.0 * 1e15;
+        assert!((10.0..500.0).contains(&per_cell_fj), "{per_cell_fj} fJ/cell");
+    }
+
+    #[test]
+    fn oversized_blocks_are_rejected() {
+        let mut x = xbar(Mode::Ann);
+        let too_many_rows = vec![vec![0.0]; 129];
+        assert!(matches!(
+            x.program(&too_many_rows, 1.0),
+            Err(CrossbarError::DimensionMismatch { .. })
+        ));
+        let ragged = vec![vec![0.0, 0.0], vec![0.0]];
+        assert!(x.program(&ragged, 1.0).is_err());
+        assert!(x.program(&[vec![0.0]], 0.0).is_err());
+    }
+
+    #[test]
+    fn wrong_input_length_is_rejected() {
+        let mut x = xbar(Mode::Ann);
+        x.program(&[vec![1.0], vec![1.0]], 1.0).unwrap();
+        assert!(matches!(
+            x.dot(&[1.0]),
+            Err(CrossbarError::InputLengthMismatch { len: 1, expected: 2 })
+        ));
+    }
+
+    #[test]
+    fn utilization_reflects_programmed_block() {
+        let mut x = xbar(Mode::Ann);
+        // VGG layer 1 on a 128×128 crossbar: 27×64 (paper's example of
+        // poor utilization).
+        x.program(&vec![vec![0.1; 64]; 27], 1.0).unwrap();
+        let u = x.utilization();
+        assert!((u - (27.0 * 64.0) / (128.0 * 128.0)).abs() < 1e-12);
+        assert!(u < 0.11);
+    }
+
+    #[test]
+    fn read_noise_perturbs_but_tracks_ideal() {
+        let mut cfg = CrossbarConfig::paper_default(Mode::Ann);
+        cfg.read_noise_sigma = 0.10;
+        let mut x = AtomicCrossbar::new(cfg).unwrap();
+        let w = vec![vec![0.8; 4]; 4];
+        x.program(&w, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let ideal = as_values(&x, &x.clone().dot(&[1.0; 4]).unwrap());
+        let noisy_currents = x.dot_with_noise(&[1.0; 4], &mut rng).unwrap();
+        let noisy = as_values(&x, &noisy_currents);
+        for (a, b) in ideal.iter().zip(&noisy) {
+            assert!((a - b).abs() < 1.5, "noise blew up: {a} vs {b}");
+            // Not all values should survive exactly (sigma=10%).
+        }
+        assert!(ideal.iter().zip(&noisy).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn snn_binary_inputs_compute_popcount_style_sums() {
+        let mut x = xbar(Mode::Snn);
+        x.program(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]], 1.0)
+            .unwrap();
+        let spikes = [1.0, 0.0, 1.0, 1.0];
+        let currents = x.dot(&spikes).unwrap();
+        let out = as_values(&x, &currents);
+        assert!((out[0] - 3.0).abs() < 0.01, "expected ≈3 got {}", out[0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Data converters at the crossbar periphery: multi-level DACs, binary
+//! spike drivers and the sparingly used 4-bit ADC.
+//!
+//! NEBULA's design goal is to *minimize* these: partial sums are merged
+//! in the current domain (see [`crate::tile`]), so the ADC only runs when
+//! a kernel's receptive field overflows a whole neural core
+//! (`R_f > 16M`). These models provide functional conversion plus event
+//! counting so the architecture level can charge energy per use.
+
+use crate::error::CrossbarError;
+
+/// A multi-level (4-bit) DAC driving one crossbar row in ANN mode.
+///
+/// Converts a digital activation level `0 ..= levels-1` into the
+/// normalized drive fraction `level / (levels-1)` of the mode's read
+/// voltage (paper Table III: 16×128 DACs per ANN super-tile at 0.75 V).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiLevelDac {
+    levels: usize,
+    conversions: u64,
+}
+
+impl MultiLevelDac {
+    /// Creates a DAC with `levels` output levels (16 for 4-bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] when `levels < 2`.
+    pub fn new(levels: usize) -> Result<Self, CrossbarError> {
+        if levels < 2 {
+            return Err(CrossbarError::InvalidConfig {
+                reason: format!("DAC needs ≥ 2 levels, got {levels}"),
+            });
+        }
+        Ok(Self {
+            levels,
+            conversions: 0,
+        })
+    }
+
+    /// Number of output levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Converts a digital level to a normalized drive fraction in
+    /// `[0, 1]`, clamping out-of-range codes.
+    pub fn convert(&mut self, level: usize) -> f64 {
+        self.conversions += 1;
+        level.min(self.levels - 1) as f64 / (self.levels - 1) as f64
+    }
+
+    /// Conversions performed.
+    pub fn conversions(&self) -> u64 {
+        self.conversions
+    }
+}
+
+/// A 1-bit spike driver for SNN mode (0.25 V when a spike is present).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpikeDriver {
+    events: u64,
+}
+
+impl SpikeDriver {
+    /// Creates an idle driver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drives one row for one cycle: 1.0 when a spike is present, 0.0
+    /// otherwise. Only spikes count as driver events (event-driven
+    /// power).
+    pub fn drive(&mut self, spike: bool) -> f64 {
+        if spike {
+            self.events += 1;
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Spike events driven.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+/// The sparingly used successive-approximation ADC (4-bit in Table III).
+///
+/// Quantizes a normalized analog value in `[0, 1]` to a code in
+/// `0 ..= 2^bits - 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adc {
+    bits: u32,
+    conversions: u64,
+}
+
+impl Adc {
+    /// Creates an ADC with the given resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] when `bits` is 0 or
+    /// above 16.
+    pub fn new(bits: u32) -> Result<Self, CrossbarError> {
+        if bits == 0 || bits > 16 {
+            return Err(CrossbarError::InvalidConfig {
+                reason: format!("ADC resolution must be 1–16 bits, got {bits}"),
+            });
+        }
+        Ok(Self {
+            bits,
+            conversions: 0,
+        })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of output codes.
+    pub fn codes(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Quantizes a normalized value in `[0, 1]` (clamped) to a code.
+    pub fn convert(&mut self, value: f64) -> usize {
+        self.conversions += 1;
+        let max = (self.codes() - 1) as f64;
+        (value.clamp(0.0, 1.0) * max).round() as usize
+    }
+
+    /// The analog value a code represents (mid-rise reconstruction).
+    pub fn reconstruct(&self, code: usize) -> f64 {
+        let max = (self.codes() - 1) as f64;
+        code.min(self.codes() - 1) as f64 / max
+    }
+
+    /// Conversions performed.
+    pub fn conversions(&self) -> u64 {
+        self.conversions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dac_maps_levels_linearly() {
+        let mut dac = MultiLevelDac::new(16).unwrap();
+        assert_eq!(dac.convert(0), 0.0);
+        assert_eq!(dac.convert(15), 1.0);
+        assert!((dac.convert(5) - 5.0 / 15.0).abs() < 1e-12);
+        assert_eq!(dac.convert(99), 1.0); // clamped
+        assert_eq!(dac.conversions(), 4);
+    }
+
+    #[test]
+    fn dac_rejects_degenerate_levels() {
+        assert!(MultiLevelDac::new(1).is_err());
+        assert!(MultiLevelDac::new(0).is_err());
+    }
+
+    #[test]
+    fn spike_driver_counts_only_events() {
+        let mut d = SpikeDriver::new();
+        assert_eq!(d.drive(true), 1.0);
+        assert_eq!(d.drive(false), 0.0);
+        assert_eq!(d.drive(true), 1.0);
+        assert_eq!(d.events(), 2);
+    }
+
+    #[test]
+    fn adc_round_trips_codes() {
+        let mut adc = Adc::new(4).unwrap();
+        assert_eq!(adc.codes(), 16);
+        for code in 0..16 {
+            let v = adc.reconstruct(code);
+            assert_eq!(adc.convert(v), code);
+        }
+        assert_eq!(adc.conversions(), 16);
+    }
+
+    #[test]
+    fn adc_clamps_out_of_range() {
+        let mut adc = Adc::new(4).unwrap();
+        assert_eq!(adc.convert(-0.5), 0);
+        assert_eq!(adc.convert(2.0), 15);
+    }
+
+    #[test]
+    fn adc_quantization_error_is_bounded() {
+        let mut adc = Adc::new(4).unwrap();
+        let lsb = 1.0 / 15.0;
+        for i in 0..100 {
+            let v = i as f64 / 99.0;
+            let code = adc.convert(v);
+            let err = (adc.reconstruct(code) - v).abs();
+            assert!(err <= lsb / 2.0 + 1e-12, "error {err} at {v}");
+        }
+    }
+
+    #[test]
+    fn adc_rejects_silly_resolutions() {
+        assert!(Adc::new(0).is_err());
+        assert!(Adc::new(17).is_err());
+    }
+}

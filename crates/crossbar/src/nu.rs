@@ -1,0 +1,278 @@
+//! Neuron units (NUs): arrays of spin neurons attached to crossbar
+//! columns (paper Fig. 7).
+//!
+//! Each NU hosts `M` DW-MTJ neuron devices — spiking IF neurons in SNN
+//! mode, saturating-ReLU neurons in ANN mode. Column currents from the
+//! crossbar drive the neurons directly (spin neurons are current-driven,
+//! so no current-to-voltage conversion is needed — one of the paper's key
+//! energy advantages over RRAM/PCM designs).
+
+use crate::error::CrossbarError;
+use nebula_device::neuron::{SaturatingReluNeuron, SpikingNeuron};
+use nebula_device::params::DeviceParams;
+use nebula_device::units::{Amps, Joules};
+
+/// The neuron population of one NU.
+#[derive(Debug, Clone)]
+enum Population {
+    Spiking(Vec<SpikingNeuron>),
+    Relu(Vec<SaturatingReluNeuron>),
+}
+
+/// An array of spin neurons terminating crossbar columns.
+///
+/// Inputs are *values* in weight units (differential column current
+/// divided by the crossbar's unit current); `full_scale` sets the value
+/// that corresponds to the neuron's full drive — the firing threshold of
+/// the IF neuron, or the saturation point of the ReLU neuron. This is
+/// the circuit-level realization of the paper's "thresholds are fixed;
+/// scaling is absorbed into synaptic ranges and read voltages".
+///
+/// # Examples
+///
+/// ```
+/// use nebula_crossbar::nu::NeuronUnit;
+/// use nebula_device::params::DeviceParams;
+///
+/// let params = DeviceParams::default();
+/// let mut nu = NeuronUnit::new_spiking(2, 1.0, &params)?;
+/// // Value 0.6 twice: second step crosses threshold 1.0 → spike.
+/// assert_eq!(nu.process(&[0.6, 0.1])?, vec![0.0, 0.0]);
+/// assert_eq!(nu.process(&[0.6, 0.1])?, vec![1.0, 0.0]);
+/// # Ok::<(), nebula_crossbar::CrossbarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeuronUnit {
+    population: Population,
+    params: DeviceParams,
+    full_scale: f64,
+}
+
+impl NeuronUnit {
+    /// Creates an NU of `m` spiking IF neurons whose firing threshold is
+    /// the value `full_scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] for `m == 0` or a
+    /// non-positive full scale.
+    pub fn new_spiking(
+        m: usize,
+        full_scale: f64,
+        params: &DeviceParams,
+    ) -> Result<Self, CrossbarError> {
+        Self::validate(m, full_scale)?;
+        Ok(Self {
+            population: Population::Spiking((0..m).map(|_| SpikingNeuron::new(params)).collect()),
+            params: params.clone(),
+            full_scale,
+        })
+    }
+
+    /// Creates an NU of `m` saturating-ReLU neurons whose output
+    /// saturates at the value `full_scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] for `m == 0` or a
+    /// non-positive full scale.
+    pub fn new_relu(
+        m: usize,
+        full_scale: f64,
+        params: &DeviceParams,
+    ) -> Result<Self, CrossbarError> {
+        Self::validate(m, full_scale)?;
+        Ok(Self {
+            population: Population::Relu(
+                (0..m).map(|_| SaturatingReluNeuron::new(params)).collect(),
+            ),
+            params: params.clone(),
+            full_scale,
+        })
+    }
+
+    fn validate(m: usize, full_scale: f64) -> Result<(), CrossbarError> {
+        if m == 0 {
+            return Err(CrossbarError::InvalidConfig {
+                reason: "neuron unit needs at least one neuron".to_string(),
+            });
+        }
+        if !(full_scale > 0.0 && full_scale.is_finite()) {
+            return Err(CrossbarError::InvalidConfig {
+                reason: format!("full scale must be positive, got {full_scale}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of neurons.
+    pub fn len(&self) -> usize {
+        match &self.population {
+            Population::Spiking(v) => v.len(),
+            Population::Relu(v) => v.len(),
+        }
+    }
+
+    /// True when the unit has no neurons (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Converts an abstract value into the device drive current: a value
+    /// of `full_scale` maps to the device's full-scale current over one
+    /// switching time.
+    fn value_to_current(&self, value: f64) -> Amps {
+        let i_c = self.params.critical_current().0;
+        let i_fs = self.params.full_scale_current().0;
+        let frac = value / self.full_scale;
+        Amps(frac.signum() * (i_c + (i_fs - i_c) * frac.abs()))
+    }
+
+    /// Processes one cycle of column values.
+    ///
+    /// * Spiking NU: integrates each value into its neuron's wall; output
+    ///   is the binary spike vector.
+    /// * ReLU NU: evaluates each value; output is the quantized (16-level)
+    ///   activation normalized back to value units (`level/(L-1) ·
+    ///   full_scale`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] when the value count
+    /// differs from the neuron count.
+    pub fn process(&mut self, values: &[f64]) -> Result<Vec<f64>, CrossbarError> {
+        if values.len() != self.len() {
+            return Err(CrossbarError::InputLengthMismatch {
+                len: values.len(),
+                expected: self.len(),
+            });
+        }
+        let full_scale = self.full_scale;
+        let currents: Vec<Amps> = values.iter().map(|&v| self.value_to_current(v)).collect();
+        match &mut self.population {
+            Population::Spiking(neurons) => Ok(neurons
+                .iter_mut()
+                .zip(currents)
+                .map(|(n, i)| if n.integrate(i).fired() { 1.0 } else { 0.0 })
+                .collect()),
+            Population::Relu(neurons) => Ok(neurons
+                .iter_mut()
+                .zip(currents)
+                .map(|(n, i)| {
+                    let level = n.evaluate(i);
+                    level as f64 / (n.levels() - 1) as f64 * full_scale
+                })
+                .collect()),
+        }
+    }
+
+    /// Total spikes fired (0 for ReLU units).
+    pub fn total_spikes(&self) -> u64 {
+        match &self.population {
+            Population::Spiking(v) => v.iter().map(SpikingNeuron::spike_count).sum(),
+            Population::Relu(_) => 0,
+        }
+    }
+
+    /// Energy dissipated in the neuron devices' write paths.
+    pub fn accumulated_write_energy(&self) -> Joules {
+        match &self.population {
+            Population::Spiking(v) => v.iter().map(SpikingNeuron::accumulated_write_energy).sum(),
+            Population::Relu(v) => v
+                .iter()
+                .map(SaturatingReluNeuron::accumulated_write_energy)
+                .sum(),
+        }
+    }
+
+    /// Resets all neuron state (new inference window).
+    pub fn reset(&mut self) {
+        if let Population::Spiking(v) = &mut self.population {
+            for n in v {
+                n.reset();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DeviceParams {
+        DeviceParams::default()
+    }
+
+    #[test]
+    fn spiking_nu_fires_at_threshold() {
+        let mut nu = NeuronUnit::new_spiking(3, 2.0, &params()).unwrap();
+        // Values 1.0 per step with threshold 2.0 → fires every 2nd step.
+        let out1 = nu.process(&[1.0, 0.4, 2.0]).unwrap();
+        assert_eq!(out1, vec![0.0, 0.0, 1.0]);
+        let out2 = nu.process(&[1.0, 0.4, 0.0]).unwrap();
+        assert_eq!(out2[0], 1.0);
+        assert_eq!(out2[1], 0.0);
+        assert_eq!(nu.total_spikes(), 2);
+    }
+
+    #[test]
+    fn relu_nu_quantizes_and_saturates() {
+        let mut nu = NeuronUnit::new_relu(1, 4.0, &params()).unwrap();
+        let mid = nu.process(&[2.0]).unwrap()[0];
+        assert!((mid - 2.0).abs() < 0.2, "mid-scale output {mid}");
+        let sat = nu.process(&[10.0]).unwrap()[0];
+        assert!((sat - 4.0).abs() < 1e-9, "saturation output {sat}");
+        let neg = nu.process(&[-3.0]).unwrap()[0];
+        assert_eq!(neg, 0.0, "ReLU must rectify");
+        assert_eq!(nu.total_spikes(), 0);
+    }
+
+    #[test]
+    fn relu_outputs_land_on_16_level_grid() {
+        let mut nu = NeuronUnit::new_relu(1, 1.0, &params()).unwrap();
+        for k in 0..20 {
+            let v = k as f64 / 19.0;
+            let y = nu.process(&[v]).unwrap()[0];
+            let level = y * 15.0;
+            assert!((level - level.round()).abs() < 1e-6, "{y} off-grid");
+        }
+    }
+
+    #[test]
+    fn membrane_state_persists_without_sram() {
+        let mut nu = NeuronUnit::new_spiking(1, 1.0, &params()).unwrap();
+        for _ in 0..3 {
+            assert_eq!(nu.process(&[0.26]).unwrap()[0], 0.0);
+        }
+        assert_eq!(nu.process(&[0.26]).unwrap()[0], 1.0);
+    }
+
+    #[test]
+    fn reset_clears_membranes() {
+        let mut nu = NeuronUnit::new_spiking(1, 1.0, &params()).unwrap();
+        nu.process(&[0.9]).unwrap();
+        nu.reset();
+        assert_eq!(nu.process(&[0.9]).unwrap()[0], 0.0);
+        assert_eq!(nu.total_spikes(), 0);
+    }
+
+    #[test]
+    fn energy_accrues_with_activity() {
+        let mut nu = NeuronUnit::new_spiking(4, 1.0, &params()).unwrap();
+        nu.process(&[0.5; 4]).unwrap();
+        assert!(nu.accumulated_write_energy().0 > 0.0);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(NeuronUnit::new_spiking(0, 1.0, &params()).is_err());
+        assert!(NeuronUnit::new_relu(4, 0.0, &params()).is_err());
+        assert!(NeuronUnit::new_relu(4, f64::NAN, &params()).is_err());
+    }
+
+    #[test]
+    fn wrong_width_is_rejected() {
+        let mut nu = NeuronUnit::new_spiking(4, 1.0, &params()).unwrap();
+        assert!(nu.process(&[0.0; 3]).is_err());
+    }
+}

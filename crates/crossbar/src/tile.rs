@@ -1,0 +1,327 @@
+//! Morphable tiles and super-tiles: composing atomic crossbars to match
+//! kernel receptive fields (paper §IV-B2/3, Fig. 7).
+//!
+//! * A **morphable tile** is a 2×2 array of atomic crossbars (ACs) with
+//!   programmable switches: the ACs run independently (`R_f ≤ M`), as
+//!   vertical pairs (`R_f ≤ 2M`), or fully merged through the tile-level
+//!   neuron unit (`R_f ≤ 4M`).
+//! * A **super-tile** is a 2×2 array of tiles with a three-level neuron
+//!   unit hierarchy (H0/H1/H2) that sums partial dot products *in the
+//!   current domain* — Kirchhoff's law instead of ADCs — supporting
+//!   kernels up to `R_f ≤ 16M` without a single analog-to-digital
+//!   conversion.
+
+use crate::array::AtomicCrossbar;
+use crate::config::CrossbarConfig;
+use crate::error::CrossbarError;
+use nebula_device::units::{Amps, Joules};
+
+/// The neuron-unit hierarchy level a kernel activates (paper Fig. 7a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NuLevel {
+    /// Per-AC neuron units: `R_f ≤ M`.
+    H0,
+    /// Tile-level units merging up to 4 ACs: `M < R_f ≤ 4M`.
+    H1,
+    /// Super-tile-level units merging up to 16 ACs: `4M < R_f ≤ 16M`.
+    H2,
+}
+
+/// Chooses the NU hierarchy level for a receptive field of `rf` rows on
+/// `m`-row atomic crossbars; `None` means the kernel overflows the
+/// super-tile and must spill across neural cores (ADC + RU reduction).
+pub fn nu_level_for(rf: usize, m: usize) -> Option<NuLevel> {
+    if rf == 0 {
+        return None;
+    }
+    if rf <= m {
+        Some(NuLevel::H0)
+    } else if rf <= 4 * m {
+        Some(NuLevel::H1)
+    } else if rf <= 16 * m {
+        Some(NuLevel::H2)
+    } else {
+        None
+    }
+}
+
+/// Number of atomic crossbars stacked vertically to host one kernel of
+/// receptive field `rf` (each contributes up to `m` rows).
+pub fn acs_per_kernel(rf: usize, m: usize) -> usize {
+    rf.div_ceil(m)
+}
+
+/// How many kernels of receptive field `rf` one super-tile (16 ACs of
+/// side `m`) can evaluate in parallel. Kernels occupy up to `m` columns
+/// each; stacking for large `rf` consumes ACs.
+pub fn kernels_per_supertile(rf: usize, m: usize) -> usize {
+    match nu_level_for(rf, m) {
+        None => 0,
+        Some(_) => {
+            let stacks = 16 / acs_per_kernel(rf, m);
+            stacks * m
+        }
+    }
+}
+
+/// A super-tile: 16 atomic crossbars (2×2 tiles of 2×2 ACs) programmed
+/// with one kernel matrix and evaluated with pure current-domain
+/// aggregation.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_crossbar::config::{CrossbarConfig, Mode};
+/// use nebula_crossbar::tile::{NuLevel, SuperTile};
+///
+/// let mut cfg = CrossbarConfig::paper_default(Mode::Ann);
+/// cfg.m = 8; // small arrays for the example
+/// let mut st = SuperTile::new(cfg)?;
+/// // A 20-row kernel needs H1 (8 < 20 ≤ 32).
+/// let weights = vec![vec![0.5, -0.5]; 20];
+/// let level = st.program(&weights, 1.0)?;
+/// assert_eq!(level, NuLevel::H1);
+/// let out = st.dot(&vec![1.0; 20])?;
+/// assert_eq!(out.len(), 2);
+/// # Ok::<(), nebula_crossbar::CrossbarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuperTile {
+    acs: Vec<AtomicCrossbar>,
+    m: usize,
+    rf: usize,
+    kernels: usize,
+    level: Option<NuLevel>,
+}
+
+impl SuperTile {
+    /// Creates a super-tile of 16 unprogrammed ACs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn new(config: CrossbarConfig) -> Result<Self, CrossbarError> {
+        let m = config.m;
+        let acs = (0..16)
+            .map(|_| AtomicCrossbar::new(config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            acs,
+            m,
+            rf: 0,
+            kernels: 0,
+            level: None,
+        })
+    }
+
+    /// Atomic-crossbar side `M`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The hierarchy level the current programming activates.
+    pub fn active_level(&self) -> Option<NuLevel> {
+        self.level
+    }
+
+    /// Programs a kernel matrix `weights[rf][k]` (`k` kernels as columns)
+    /// onto the super-tile, splitting rows across vertically stacked ACs.
+    /// Returns the NU level the evaluation will use.
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::ReceptiveFieldTooLarge`] when `rf > 16M`
+    ///   (the kernel must spill across neural cores).
+    /// * [`CrossbarError::DimensionMismatch`] when `k` exceeds the column
+    ///   capacity for this `rf`.
+    pub fn program(&mut self, weights: &[Vec<f64>], clip: f64) -> Result<NuLevel, CrossbarError> {
+        let rf = weights.len();
+        let k = weights.first().map_or(0, Vec::len);
+        let level = nu_level_for(rf, self.m).ok_or(CrossbarError::ReceptiveFieldTooLarge {
+            rf,
+            max: 16 * self.m,
+        })?;
+        if k > self.m {
+            // One kernel per column; a super-tile exposes M columns per
+            // stack. Multi-stack column packing is the mapper's job.
+            return Err(CrossbarError::DimensionMismatch {
+                rows: rf,
+                cols: k,
+                max_rows: 16 * self.m,
+                max_cols: self.m,
+            });
+        }
+        let stacks_needed = acs_per_kernel(rf, self.m);
+        for (chunk_idx, chunk) in weights.chunks(self.m).enumerate() {
+            debug_assert!(chunk_idx < stacks_needed);
+            self.acs[chunk_idx].program(chunk, clip)?;
+        }
+        // Reset remaining ACs to an unprogrammed state.
+        for ac in self.acs.iter_mut().skip(stacks_needed) {
+            *ac = AtomicCrossbar::new(ac.config().clone())?;
+        }
+        self.rf = rf;
+        self.kernels = k;
+        self.level = Some(level);
+        Ok(level)
+    }
+
+    /// Evaluates one dot-product cycle: splits `inputs` across the
+    /// stacked ACs and sums their partial column currents in the current
+    /// domain (the H1/H2 aggregation). Returns `kernels` differential
+    /// currents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] when
+    /// `inputs.len() != rf`.
+    pub fn dot(&mut self, inputs: &[f64]) -> Result<Vec<Amps>, CrossbarError> {
+        if inputs.len() != self.rf {
+            return Err(CrossbarError::InputLengthMismatch {
+                len: inputs.len(),
+                expected: self.rf,
+            });
+        }
+        let mut totals = vec![Amps::ZERO; self.kernels];
+        for (chunk_idx, chunk) in inputs.chunks(self.m).enumerate() {
+            let partial = self.acs[chunk_idx].dot(chunk)?;
+            for (t, p) in totals.iter_mut().zip(partial) {
+                *t += p; // Kirchhoff current summation
+            }
+        }
+        Ok(totals)
+    }
+
+    /// Natural current scale: see
+    /// [`AtomicCrossbar::unit_current`](crate::array::AtomicCrossbar::unit_current).
+    pub fn unit_current(&self) -> Amps {
+        self.acs[0].unit_current()
+    }
+
+    /// Total read energy accrued across all ACs.
+    pub fn accumulated_read_energy(&self) -> Joules {
+        self.acs
+            .iter()
+            .map(AtomicCrossbar::accumulated_read_energy)
+            .sum()
+    }
+
+    /// Total programming energy accrued across all ACs.
+    pub fn accumulated_program_energy(&self) -> Joules {
+        self.acs
+            .iter()
+            .map(AtomicCrossbar::accumulated_program_energy)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+
+    fn small_config() -> CrossbarConfig {
+        let mut cfg = CrossbarConfig::paper_default(Mode::Ann);
+        cfg.m = 8;
+        cfg
+    }
+
+    #[test]
+    fn nu_level_selection_matches_paper_rules() {
+        let m = 128;
+        assert_eq!(nu_level_for(27, m), Some(NuLevel::H0)); // VGG conv1
+        assert_eq!(nu_level_for(128, m), Some(NuLevel::H0));
+        assert_eq!(nu_level_for(129, m), Some(NuLevel::H1));
+        assert_eq!(nu_level_for(512, m), Some(NuLevel::H1));
+        assert_eq!(nu_level_for(513, m), Some(NuLevel::H2));
+        assert_eq!(nu_level_for(2048, m), Some(NuLevel::H2));
+        assert_eq!(nu_level_for(2049, m), None); // spills across NCs
+        assert_eq!(nu_level_for(0, m), None);
+    }
+
+    #[test]
+    fn kernel_capacity_shrinks_with_receptive_field() {
+        let m = 128;
+        assert_eq!(kernels_per_supertile(100, m), 16 * 128);
+        assert_eq!(kernels_per_supertile(256, m), 8 * 128);
+        assert_eq!(kernels_per_supertile(1024, m), 2 * 128);
+        assert_eq!(kernels_per_supertile(2048, m), 128);
+        assert_eq!(kernels_per_supertile(4096, m), 0);
+        assert_eq!(acs_per_kernel(2048, m), 16);
+    }
+
+    #[test]
+    fn h0_kernel_computes_in_single_ac() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        let w = vec![vec![1.0, -1.0]; 4]; // rf=4 ≤ m=8
+        assert_eq!(st.program(&w, 1.0).unwrap(), NuLevel::H0);
+        let out = st.dot(&[1.0; 4]).unwrap();
+        let unit = st.unit_current().0;
+        assert!((out[0].0 / unit - 4.0).abs() < 0.05);
+        assert!((out[1].0 / unit + 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn h1_kernel_spans_multiple_acs_and_sums_currents() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        let rf = 20; // 8 < 20 ≤ 32 → H1, 3 ACs
+        // ±1.0 sit exactly on the 16-level conductance grid.
+        let w = vec![vec![1.0]; rf];
+        assert_eq!(st.program(&w, 1.0).unwrap(), NuLevel::H1);
+        let out = st.dot(&vec![1.0; rf]).unwrap();
+        let val = out[0].0 / st.unit_current().0;
+        assert!((val - 20.0).abs() < 0.2, "summed dot {val} vs exact 20");
+    }
+
+    #[test]
+    fn h2_kernel_uses_up_to_sixteen_acs() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        let rf = 100; // 32 < 100 ≤ 128 → H2, 13 ACs
+        let w = vec![vec![-1.0]; rf]; // exactly representable
+        assert_eq!(st.program(&w, 1.0).unwrap(), NuLevel::H2);
+        let out = st.dot(&vec![1.0; rf]).unwrap();
+        let val = out[0].0 / st.unit_current().0;
+        assert!((val + 100.0).abs() < 1.0, "summed dot {val} vs exact -100");
+    }
+
+    #[test]
+    fn oversized_kernels_are_rejected() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        let w = vec![vec![0.0]; 16 * 8 + 1];
+        assert!(matches!(
+            st.program(&w, 1.0),
+            Err(CrossbarError::ReceptiveFieldTooLarge { .. })
+        ));
+        let too_wide = vec![vec![0.0; 9]; 4];
+        assert!(matches!(
+            st.program(&too_wide, 1.0),
+            Err(CrossbarError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dot_validates_input_length() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        st.program(&vec![vec![1.0]; 10], 1.0).unwrap();
+        assert!(st.dot(&[1.0; 9]).is_err());
+    }
+
+    #[test]
+    fn reprogramming_clears_stale_acs() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        st.program(&vec![vec![1.0]; 20], 1.0).unwrap(); // 3 ACs
+        st.program(&vec![vec![1.0]; 4], 1.0).unwrap(); // back to 1 AC
+        let out = st.dot(&[1.0; 4]).unwrap();
+        let val = out[0].0 / st.unit_current().0;
+        assert!((val - 4.0).abs() < 0.05, "stale rows leaked: {val}");
+    }
+
+    #[test]
+    fn energy_accounting_aggregates_across_acs() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        st.program(&vec![vec![1.0]; 20], 1.0).unwrap();
+        assert!(st.accumulated_program_energy().0 > 0.0);
+        st.dot(&[1.0; 20]).unwrap();
+        assert!(st.accumulated_read_energy().0 > 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of the crossbar circuit layer.
+
+#![allow(clippy::needless_range_loop)]
+
+use nebula_crossbar::{kernels_per_supertile, nu_level_for, AtomicCrossbar, CrossbarConfig, Mode};
+use proptest::prelude::*;
+
+fn small_weights() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..16, 1usize..16).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, c), r)
+    })
+}
+
+proptest! {
+    #[test]
+    fn analog_dot_is_bounded_by_row_count(w in small_weights(), drive in 0.0f64..1.0) {
+        let mut x = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
+        let rows = w.len();
+        let cols = w[0].len();
+        x.program(&w, 1.0).unwrap();
+        let out = x.dot(&vec![drive; rows]).unwrap();
+        let unit = x.unit_current().0;
+        for j in 0..cols {
+            let v = out[j].0 / unit;
+            // |Σ x·w| ≤ rows·drive with |w| ≤ 1.
+            prop_assert!(v.abs() <= rows as f64 * drive + 1e-6, "col {} = {}", j, v);
+        }
+    }
+
+    #[test]
+    fn dot_is_monotone_in_drive(w in small_weights(), d1 in 0.0f64..1.0, d2 in 0.0f64..1.0) {
+        // For all-positive weights, higher drive → higher column current.
+        let pos: Vec<Vec<f64>> = w.iter().map(|r| r.iter().map(|v| v.abs()).collect()).collect();
+        let mut x = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
+        x.program(&pos, 1.0).unwrap();
+        let rows = pos.len();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let out_lo = x.dot(&vec![lo; rows]).unwrap();
+        let out_hi = x.dot(&vec![hi; rows]).unwrap();
+        for (a, b) in out_lo.iter().zip(&out_hi) {
+            prop_assert!(b.0 >= a.0 - 1e-18);
+        }
+    }
+
+    #[test]
+    fn programming_is_idempotent(w in small_weights()) {
+        let mut x = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
+        x.program(&w, 1.0).unwrap();
+        let first: Vec<f64> = (0..w.len())
+            .flat_map(|r| (0..w[0].len()).map(move |c| (r, c)))
+            .map(|(r, c)| x.effective_weight(r, c))
+            .collect();
+        x.program(&w, 1.0).unwrap();
+        let second: Vec<f64> = (0..w.len())
+            .flat_map(|r| (0..w[0].len()).map(move |c| (r, c)))
+            .map(|(r, c)| x.effective_weight(r, c))
+            .collect();
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn hierarchy_capacity_is_monotone_decreasing(rf1 in 1usize..2048, rf2 in 1usize..2048) {
+        let (lo, hi) = if rf1 <= rf2 { (rf1, rf2) } else { (rf2, rf1) };
+        prop_assert!(kernels_per_supertile(lo, 128) >= kernels_per_supertile(hi, 128));
+        prop_assert!(nu_level_for(lo, 128).is_some());
+    }
+
+    #[test]
+    fn read_energy_never_decreases(w in small_weights(), evals in 1usize..5) {
+        let mut x = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Snn)).unwrap();
+        x.program(&w, 1.0).unwrap();
+        let rows = w.len();
+        let mut last = x.accumulated_read_energy().0;
+        for _ in 0..evals {
+            x.dot(&vec![1.0; rows]).unwrap();
+            let now = x.accumulated_read_energy().0;
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+}

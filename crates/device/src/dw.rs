@@ -1,0 +1,234 @@
+//! Domain-wall motion model for the elongated free layer of a DW-MTJ.
+//!
+//! The paper's device simulations (MuMax + NEGF, calibrated to Emori et
+//! al.'s spin-Hall torque measurements) reduce, at the architecture level,
+//! to a *linear* transfer characteristic: domain-wall displacement is
+//! proportional to the super-critical drive current integrated over the
+//! pulse (Fig. 1b). This module implements exactly that reduced model:
+//!
+//! ```text
+//! dx/dt = μ · (|I| − I_c)    for |I| > I_c, signed by the current direction
+//! dx/dt = 0                  otherwise (the wall stays pinned)
+//! ```
+//!
+//! with the wall position clamped to `[0, L]` and, on release, relaxed to
+//! the nearest of the `L / 20 nm` pinning sites — which is what quantizes
+//! the device to 16 resistive states.
+
+use crate::params::DeviceParams;
+use crate::units::{Amps, Meters, Seconds};
+
+/// State of a domain wall inside one free layer.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_device::dw::DomainWall;
+/// use nebula_device::params::DeviceParams;
+/// use nebula_device::units::Seconds;
+///
+/// let params = DeviceParams::default();
+/// let mut wall = DomainWall::new(&params);
+/// // A full-scale pulse for one switching time sweeps the whole layer.
+/// wall.apply_current(params.full_scale_current(), params.switching_time());
+/// assert!((wall.normalized_position() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainWall {
+    position: Meters,
+    length: Meters,
+    pitch: Meters,
+    critical_current: Amps,
+    mobility: f64,
+}
+
+impl DomainWall {
+    /// Creates a wall pinned at the left edge (position 0) of a free layer
+    /// described by `params`.
+    pub fn new(params: &DeviceParams) -> Self {
+        Self {
+            position: Meters::ZERO,
+            length: params.free_layer_length(),
+            pitch: params.pinning_resolution(),
+            critical_current: params.critical_current(),
+            mobility: params.dw_mobility(),
+        }
+    }
+
+    /// Current wall position along the free layer.
+    pub fn position(&self) -> Meters {
+        self.position
+    }
+
+    /// Position normalized to `[0, 1]` over the free-layer length.
+    pub fn normalized_position(&self) -> f64 {
+        self.position.0 / self.length.0
+    }
+
+    /// Whether the wall has reached the far (right) edge of the layer —
+    /// the firing condition for the spiking-neuron device.
+    pub fn at_far_edge(&self) -> bool {
+        self.position.0 >= self.length.0 - 1e-15
+    }
+
+    /// Number of pinning sites the layer supports (= resistive levels).
+    pub fn levels(&self) -> usize {
+        (self.length.0 / self.pitch.0).round() as usize
+    }
+
+    /// Drives the wall with `current` for duration `dt`.
+    ///
+    /// Positive current pushes the wall toward the far edge, negative
+    /// current pulls it back; currents at or below the critical current
+    /// leave the wall pinned. The resulting position is clamped to the
+    /// physical layer bounds. Returns the signed displacement actually
+    /// travelled.
+    pub fn apply_current(&mut self, current: Amps, dt: Seconds) -> Meters {
+        let drive = current.0.abs() - self.critical_current.0;
+        if drive <= 0.0 || dt.0 <= 0.0 {
+            return Meters::ZERO;
+        }
+        let delta = self.mobility * drive * dt.0 * current.0.signum();
+        let before = self.position.0;
+        self.position = Meters((before + delta).clamp(0.0, self.length.0));
+        Meters(self.position.0 - before)
+    }
+
+    /// Displacement the wall *would* travel under `current` for `dt`
+    /// starting from an unpinned mid-layer position (no clamping) — the
+    /// open-loop transfer characteristic plotted in Fig. 1b.
+    pub fn displacement_for(&self, current: Amps, dt: Seconds) -> Meters {
+        let drive = current.0.abs() - self.critical_current.0;
+        if drive <= 0.0 || dt.0 <= 0.0 {
+            return Meters::ZERO;
+        }
+        Meters(self.mobility * drive * dt.0 * current.0.signum())
+    }
+
+    /// Relaxes the wall to the nearest pinning site, quantizing the analog
+    /// position into one of the discrete device states. Returns the state
+    /// index in `0..levels()` (the far-edge site maps to the top state).
+    pub fn relax_to_pinning_site(&mut self) -> usize {
+        let site = (self.position.0 / self.pitch.0).round();
+        let max_state = self.levels() as f64 - 1.0;
+        let state = site.clamp(0.0, max_state);
+        self.position = Meters(state * self.pitch.0);
+        state as usize
+    }
+
+    /// Current state index without moving the wall (nearest pinning site,
+    /// clamped to `0..levels()`).
+    pub fn state(&self) -> usize {
+        let site = (self.position.0 / self.pitch.0).round() as isize;
+        site.clamp(0, self.levels() as isize - 1) as usize
+    }
+
+    /// Forces the wall to the pinning site for `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= levels()`; use
+    /// [`DwMtjSynapse::program_state`](crate::synapse::DwMtjSynapse::program_state)
+    /// for a fallible programming path.
+    pub fn set_state(&mut self, state: usize) {
+        assert!(
+            state < self.levels(),
+            "state {state} out of range for a {}-level device",
+            self.levels()
+        );
+        self.position = Meters(state as f64 * self.pitch.0);
+    }
+
+    /// Resets the wall to the left edge (the post-spike reset of the
+    /// neuron device).
+    pub fn reset(&mut self) {
+        self.position = Meters::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wall() -> (DeviceParams, DomainWall) {
+        let p = DeviceParams::default();
+        let w = DomainWall::new(&p);
+        (p, w)
+    }
+
+    #[test]
+    fn subcritical_current_leaves_wall_pinned() {
+        let (p, mut w) = wall();
+        let moved = w.apply_current(Amps(p.critical_current().0 * 0.5), p.switching_time());
+        assert_eq!(moved, Meters::ZERO);
+        assert_eq!(w.normalized_position(), 0.0);
+    }
+
+    #[test]
+    fn displacement_is_linear_in_supercritical_current() {
+        let (p, w) = wall();
+        let dt = p.switching_time();
+        let i_c = p.critical_current().0;
+        let d1 = w.displacement_for(Amps(i_c + 10e-6), dt).0;
+        let d2 = w.displacement_for(Amps(i_c + 20e-6), dt).0;
+        let d3 = w.displacement_for(Amps(i_c + 30e-6), dt).0;
+        assert!((d2 - 2.0 * d1).abs() < 1e-12);
+        assert!((d3 - 3.0 * d1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_current_moves_wall_backwards() {
+        let (p, mut w) = wall();
+        w.apply_current(p.full_scale_current(), p.switching_time());
+        assert!(w.at_far_edge());
+        w.apply_current(-p.full_scale_current(), p.switching_time());
+        assert_eq!(w.normalized_position(), 0.0);
+    }
+
+    #[test]
+    fn position_clamps_at_edges() {
+        let (p, mut w) = wall();
+        w.apply_current(p.full_scale_current() * 4.0, p.switching_time());
+        assert!(w.at_far_edge());
+        assert!(w.normalized_position() <= 1.0);
+        w.apply_current(-(p.full_scale_current() * 4.0), p.switching_time());
+        assert_eq!(w.normalized_position(), 0.0);
+    }
+
+    #[test]
+    fn relaxation_quantizes_to_sixteen_states() {
+        let (p, mut w) = wall();
+        assert_eq!(w.levels(), 16);
+        // Drive to ~37% of the layer: 0.37*320 = 118.4 nm → nearest site 120 nm → state 6.
+        let i = p.critical_current() + (p.full_scale_current() - p.critical_current()) * 0.37;
+        w.apply_current(i, p.switching_time());
+        let state = w.relax_to_pinning_site();
+        assert_eq!(state, 6);
+        assert!((w.position().as_nm() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_state_round_trips_through_state() {
+        let (_p, mut w) = wall();
+        for s in 0..w.levels() {
+            w.set_state(s);
+            assert_eq!(w.state(), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_state_panics_out_of_range() {
+        let (_p, mut w) = wall();
+        w.set_state(16);
+    }
+
+    #[test]
+    fn reset_returns_to_left_edge() {
+        let (p, mut w) = wall();
+        w.apply_current(p.full_scale_current(), p.switching_time());
+        w.reset();
+        assert_eq!(w.normalized_position(), 0.0);
+        assert_eq!(w.state(), 0);
+    }
+}

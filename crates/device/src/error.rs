@@ -1,0 +1,65 @@
+//! Error types for the device layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or driving DW-MTJ devices.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A physical parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: String,
+        /// Human-readable explanation of the constraint that failed.
+        reason: String,
+    },
+    /// A requested programmed state exceeds the device's level count.
+    StateOutOfRange {
+        /// The requested state index.
+        requested: usize,
+        /// Number of states the device supports.
+        levels: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter { name, reason } => {
+                write!(f, "invalid device parameter `{name}`: {reason}")
+            }
+            DeviceError::StateOutOfRange { requested, levels } => {
+                write!(
+                    f,
+                    "requested device state {requested} out of range for a {levels}-level device"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DeviceError::StateOutOfRange {
+            requested: 99,
+            levels: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("99"));
+        assert!(s.contains("16"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,63 @@
+//! # nebula-device
+//!
+//! Device-level models for the NEBULA neuromorphic architecture
+//! (Singh et al., ISCA 2020): spintronic **domain-wall magnetic tunnel
+//! junction (DW-MTJ)** synapses and neurons.
+//!
+//! The paper characterizes its devices with a micromagnetic/transport/SPICE
+//! co-simulation stack; everything the architecture layers consume reduces
+//! to the device *transfer characteristics* and energy constants, which
+//! this crate reproduces analytically:
+//!
+//! * [`dw`] — domain-wall motion with a critical depinning current,
+//!   linear velocity above threshold, and 20 nm pinning sites quantizing a
+//!   320 nm free layer into 16 states.
+//! * [`synapse`] — the 3-terminal synaptic cell: spin-Hall write path,
+//!   MTJ conductance read, ~100 fJ programming events, 7× TMR conductance
+//!   range, plus the Fig. 1b transfer-characteristic sweep.
+//! * [`neuron`] — the integrate-and-fire spiking neuron (membrane
+//!   potential stored as wall position; fire-and-reset at the far edge)
+//!   and the saturating-ReLU non-spiking neuron.
+//! * [`variation`] — the 10 % Monte-Carlo device-variation model of §IV-D.
+//! * [`units`] — physical-unit newtypes shared by the whole stack.
+//!
+//! # Examples
+//!
+//! ```
+//! use nebula_device::params::DeviceParams;
+//! use nebula_device::synapse::DwMtjSynapse;
+//! use nebula_device::neuron::SpikingNeuron;
+//!
+//! let params = DeviceParams::default();
+//!
+//! // Program a synapse to its 10th conductance level and read it.
+//! let mut synapse = DwMtjSynapse::new(&params);
+//! synapse.program_state(10)?;
+//! let current = synapse.read_current(params.read_voltage());
+//!
+//! // Feed the read current into a spiking neuron until it fires.
+//! let mut neuron = SpikingNeuron::new(&params);
+//! let mut steps = 0u32;
+//! while !neuron.integrate(current * 40.0).fired() {
+//!     steps += 1;
+//!     assert!(steps < 10_000);
+//! }
+//! # Ok::<(), nebula_device::error::DeviceError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dw;
+pub mod error;
+pub mod neuron;
+pub mod params;
+pub mod synapse;
+pub mod units;
+pub mod variation;
+
+pub use dw::DomainWall;
+pub use error::DeviceError;
+pub use neuron::{SaturatingReluNeuron, SpikeEvent, SpikingNeuron};
+pub use params::{DeviceParams, DeviceParamsBuilder};
+pub use synapse::{transfer_characteristic, DwMtjSynapse, TransferPoint};
+pub use variation::VariationModel;

@@ -1,0 +1,314 @@
+//! Spiking and non-spiking MTJ neuron devices (Fig. 2 of the paper).
+//!
+//! Both neurons reuse the DW-MTJ structure, but with the detection MTJ at
+//! the extreme edge of the ferromagnet:
+//!
+//! * **Spiking (IF) neuron** — column current from the crossbar integrates
+//!   as domain-wall displacement (the membrane potential is *stored in the
+//!   wall position*, so no SRAM read/write is needed per timestep). When
+//!   the wall reaches the far edge, the MTJ flips, the resistive divider
+//!   with a reference MTJ trips the inverter, a spike is emitted, and a
+//!   reverse current resets the wall to the left edge.
+//! * **Non-spiking neuron** — the same structure interfaced with a
+//!   transistor in saturation instead of an inverter acts as a
+//!   *saturating rectified-linear* unit: output is proportional to wall
+//!   position, zero for negative drive, clamped at the far edge
+//!   (16 output levels at 4-bit precision).
+
+use crate::dw::DomainWall;
+use crate::params::DeviceParams;
+use crate::units::{Amps, Joules, Seconds};
+
+/// Outcome of driving a spiking neuron for one timestep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpikeEvent {
+    /// The membrane (wall) integrated the input but stayed below threshold.
+    Quiet,
+    /// The wall reached the far edge: a spike fired and the wall reset.
+    Fired,
+}
+
+impl SpikeEvent {
+    /// True when a spike fired.
+    pub fn fired(self) -> bool {
+        matches!(self, SpikeEvent::Fired)
+    }
+}
+
+/// Integrate-and-fire spiking neuron device.
+///
+/// The wall position *is* the membrane potential: `potential()` reports it
+/// normalized so that the firing threshold is `1.0`.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_device::neuron::SpikingNeuron;
+/// use nebula_device::params::DeviceParams;
+///
+/// let params = DeviceParams::default();
+/// let mut neuron = SpikingNeuron::new(&params);
+/// // A drive that moves the wall 51% of the layer per timestep:
+/// let i_c = params.critical_current();
+/// let half = i_c + (params.full_scale_current() - i_c) * 0.51;
+/// // Two such timesteps integrate to threshold.
+/// assert!(!neuron.integrate(half).fired());
+/// assert!(neuron.integrate(half).fired());
+/// assert_eq!(neuron.potential(), 0.0); // reset after firing
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikingNeuron {
+    wall: DomainWall,
+    params: DeviceParams,
+    spikes: u64,
+    write_energy: Joules,
+}
+
+impl SpikingNeuron {
+    /// Creates a neuron at resting potential (wall at the left edge).
+    pub fn new(params: &DeviceParams) -> Self {
+        Self {
+            wall: DomainWall::new(params),
+            params: params.clone(),
+            spikes: 0,
+            write_energy: Joules::ZERO,
+        }
+    }
+
+    /// Membrane potential normalized so the firing threshold is `1.0`.
+    pub fn potential(&self) -> f64 {
+        self.wall.normalized_position()
+    }
+
+    /// Number of spikes fired since construction (rate-encoded activation).
+    pub fn spike_count(&self) -> u64 {
+        self.spikes
+    }
+
+    /// Drives the neuron with the summed column current for one
+    /// switching-time timestep. Fires (and resets) when the wall reaches
+    /// the far edge.
+    ///
+    /// The input is rectified at the device level: reverse column current
+    /// can only pull the wall back toward rest, never below it.
+    pub fn integrate(&mut self, column_current: Amps) -> SpikeEvent {
+        self.integrate_for(column_current, self.params.switching_time())
+    }
+
+    /// Like [`integrate`](Self::integrate) but with an explicit pulse
+    /// duration.
+    pub fn integrate_for(&mut self, column_current: Amps, dt: Seconds) -> SpikeEvent {
+        self.wall.apply_current(column_current, dt);
+        self.write_energy += (column_current.abs()
+            * self.params.heavy_metal_resistance()
+            * column_current.abs())
+            * dt;
+        if self.wall.at_far_edge() {
+            self.spikes += 1;
+            // Reset pulse: a reverse full-scale sweep. Cost accounted once.
+            self.write_energy += (self.params.full_scale_current()
+                * self.params.heavy_metal_resistance()
+                * self.params.full_scale_current())
+                * self.params.switching_time();
+            self.wall.reset();
+            SpikeEvent::Fired
+        } else {
+            SpikeEvent::Quiet
+        }
+    }
+
+    /// Resets membrane potential and spike count (new inference window).
+    pub fn reset(&mut self) {
+        self.wall.reset();
+        self.spikes = 0;
+    }
+
+    /// Energy dissipated in the device's write path so far (integration
+    /// pulses plus reset pulses).
+    pub fn accumulated_write_energy(&self) -> Joules {
+        self.write_energy
+    }
+}
+
+/// Saturating rectified-linear (non-spiking) neuron device for ANN mode.
+///
+/// One evaluation drives the wall for a single switching time and reads the
+/// resulting position as a quantized activation in `0 ..= levels-1`.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_device::neuron::SaturatingReluNeuron;
+/// use nebula_device::params::DeviceParams;
+///
+/// let params = DeviceParams::default();
+/// let mut neuron = SaturatingReluNeuron::new(&params);
+/// let out = neuron.evaluate(params.full_scale_current() * 0.5);
+/// assert!(out > 0 && out < 15);
+/// assert_eq!(neuron.evaluate(-params.full_scale_current()), 0); // rectified
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturatingReluNeuron {
+    wall: DomainWall,
+    params: DeviceParams,
+    write_energy: Joules,
+}
+
+impl SaturatingReluNeuron {
+    /// Creates a neuron with the wall at rest.
+    pub fn new(params: &DeviceParams) -> Self {
+        Self {
+            wall: DomainWall::new(params),
+            params: params.clone(),
+            write_energy: Joules::ZERO,
+        }
+    }
+
+    /// Number of distinct output levels (16 at 4-bit precision).
+    pub fn levels(&self) -> usize {
+        self.wall.levels()
+    }
+
+    /// Evaluates one dot-product result: drives the wall from rest for one
+    /// switching time with `column_current` and returns the quantized
+    /// activation level. Negative currents rectify to 0; currents at or
+    /// beyond full scale saturate at `levels - 1`.
+    pub fn evaluate(&mut self, column_current: Amps) -> usize {
+        self.wall.reset();
+        self.wall
+            .apply_current(column_current, self.params.switching_time());
+        self.write_energy += (column_current.abs()
+            * self.params.heavy_metal_resistance()
+            * column_current.abs())
+            * self.params.switching_time();
+        // Map [0, L] onto 0..levels-1: full sweep = max level.
+        let frac = self.wall.normalized_position();
+        ((frac * (self.levels() - 1) as f64).round() as usize).min(self.levels() - 1)
+    }
+
+    /// Continuous (pre-quantization) activation in `[0, 1]` for the same
+    /// drive, useful for validating linearity.
+    pub fn evaluate_analog(&mut self, column_current: Amps) -> f64 {
+        self.wall.reset();
+        self.wall
+            .apply_current(column_current, self.params.switching_time());
+        self.wall.normalized_position()
+    }
+
+    /// Energy dissipated in the device write path so far.
+    pub fn accumulated_write_energy(&self) -> Joules {
+        self.write_energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn if_neuron_integrates_across_timesteps_without_sram() {
+        let p = DeviceParams::default();
+        let mut n = SpikingNeuron::new(&p);
+        // Drive that advances the wall 26% of the layer per timestep.
+        let quarter = p.critical_current() + (p.full_scale_current() - p.critical_current()) * 0.26;
+        // Potential persists between calls: this is the paper's "membrane
+        // potential stored as domain-wall position" property.
+        for step in 0..3 {
+            assert!(!n.integrate(quarter).fired(), "fired too early at {step}");
+        }
+        assert!(n.potential() > 0.5);
+        assert!(n.integrate(quarter).fired());
+        assert_eq!(n.spike_count(), 1);
+    }
+
+    #[test]
+    fn spike_resets_membrane() {
+        let p = DeviceParams::default();
+        let mut n = SpikingNeuron::new(&p);
+        n.integrate(p.full_scale_current());
+        assert_eq!(n.potential(), 0.0);
+    }
+
+    #[test]
+    fn firing_rate_tracks_input_current() {
+        let p = DeviceParams::default();
+        let mut weak = SpikingNeuron::new(&p);
+        let mut strong = SpikingNeuron::new(&p);
+        for _ in 0..100 {
+            weak.integrate(p.full_scale_current() * 0.2);
+            strong.integrate(p.full_scale_current() * 0.6);
+        }
+        assert!(strong.spike_count() > 2 * weak.spike_count());
+    }
+
+    #[test]
+    fn subthreshold_input_never_fires() {
+        let p = DeviceParams::default();
+        let mut n = SpikingNeuron::new(&p);
+        for _ in 0..1000 {
+            assert!(!n.integrate(Amps(p.critical_current().0 * 0.9)).fired());
+        }
+        assert_eq!(n.spike_count(), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let p = DeviceParams::default();
+        let mut n = SpikingNeuron::new(&p);
+        n.integrate(p.full_scale_current());
+        n.integrate(p.full_scale_current() * 0.5);
+        n.reset();
+        assert_eq!(n.potential(), 0.0);
+        assert_eq!(n.spike_count(), 0);
+    }
+
+    #[test]
+    fn write_energy_accrues_with_activity() {
+        let p = DeviceParams::default();
+        let mut n = SpikingNeuron::new(&p);
+        n.integrate(p.full_scale_current() * 0.5);
+        let e1 = n.accumulated_write_energy();
+        n.integrate(p.full_scale_current() * 0.5);
+        let e2 = n.accumulated_write_energy();
+        assert!(e2 > e1);
+        assert!(e1.0 > 0.0);
+    }
+
+    #[test]
+    fn relu_neuron_rectifies_negative_input() {
+        let p = DeviceParams::default();
+        let mut n = SaturatingReluNeuron::new(&p);
+        assert_eq!(n.evaluate(-p.full_scale_current()), 0);
+        assert_eq!(n.evaluate(Amps::ZERO), 0);
+    }
+
+    #[test]
+    fn relu_neuron_saturates_at_top_level() {
+        let p = DeviceParams::default();
+        let mut n = SaturatingReluNeuron::new(&p);
+        assert_eq!(n.evaluate(p.full_scale_current() * 3.0), 15);
+        assert_eq!(n.evaluate(p.full_scale_current()), 15);
+    }
+
+    #[test]
+    fn relu_neuron_is_linear_between_rails() {
+        let p = DeviceParams::default();
+        let mut n = SaturatingReluNeuron::new(&p);
+        let i_c = p.critical_current().0;
+        let span = p.full_scale_current().0 - i_c;
+        let a1 = n.evaluate_analog(Amps(i_c + span * 0.25));
+        let a2 = n.evaluate_analog(Amps(i_c + span * 0.50));
+        let a3 = n.evaluate_analog(Amps(i_c + span * 0.75));
+        assert!((a2 - a1 - (a3 - a2)).abs() < 1e-9, "not linear");
+        assert!((a2 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relu_neuron_is_stateless_between_evaluations() {
+        let p = DeviceParams::default();
+        let mut n = SaturatingReluNeuron::new(&p);
+        let first = n.evaluate(p.full_scale_current() * 0.5);
+        let second = n.evaluate(p.full_scale_current() * 0.5);
+        assert_eq!(first, second, "ANN neuron must not carry state");
+    }
+}

@@ -1,0 +1,365 @@
+//! Device-level parameters for the DW-MTJ synapse and neuron devices.
+//!
+//! Defaults follow the constants published in the NEBULA paper (§II-B,
+//! §V-C): 20 nm minimum domain-wall pinning resolution, 320 nm free layer
+//! (16 programmable states), ~100 mV read voltage, ~100 fJ programming
+//! energy, 110 ns domain-wall switching time and a 7× tunnel
+//! magneto-resistance (TMR) conductance ratio.
+
+use crate::error::DeviceError;
+use crate::units::{Amps, Meters, Ohms, Seconds, Volts};
+
+/// Immutable physical description of a DW-MTJ device.
+///
+/// Construct via [`DeviceParams::builder`]; the [`Default`] instance is the
+/// paper-calibrated device.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_device::params::DeviceParams;
+///
+/// let params = DeviceParams::default();
+/// assert_eq!(params.levels(), 16);
+/// assert_eq!(params.free_layer_length().as_nm(), 320.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceParams {
+    free_layer_length: Meters,
+    pinning_resolution: Meters,
+    critical_current: Amps,
+    dw_mobility: f64, // meters per coulomb: dx = mobility * (I - Ic) * dt
+    switching_time: Seconds,
+    read_voltage: Volts,
+    heavy_metal_resistance: Ohms,
+    tmr_ratio: f64,
+    max_resistance: Ohms,
+}
+
+impl DeviceParams {
+    /// Starts building a parameter set from the paper-calibrated defaults.
+    pub fn builder() -> DeviceParamsBuilder {
+        DeviceParamsBuilder::new()
+    }
+
+    /// Length of the elongated free layer along which the wall moves.
+    pub fn free_layer_length(&self) -> Meters {
+        self.free_layer_length
+    }
+
+    /// Minimum programmable domain-wall displacement (pinning-site pitch).
+    pub fn pinning_resolution(&self) -> Meters {
+        self.pinning_resolution
+    }
+
+    /// Number of programmable resistive states
+    /// (`free_layer_length / pinning_resolution`).
+    pub fn levels(&self) -> usize {
+        (self.free_layer_length.0 / self.pinning_resolution.0).round() as usize
+    }
+
+    /// Critical (threshold) current below which the wall stays pinned.
+    pub fn critical_current(&self) -> Amps {
+        self.critical_current
+    }
+
+    /// Domain-wall mobility in meters per coulomb: the wall moves
+    /// `mobility · (I − I_c) · Δt` for super-critical current `I`.
+    pub fn dw_mobility(&self) -> f64 {
+        self.dw_mobility
+    }
+
+    /// Time to sweep the wall across the whole free layer at full drive;
+    /// this sets NEBULA's 110 ns pipeline-stage latency.
+    pub fn switching_time(&self) -> Seconds {
+        self.switching_time
+    }
+
+    /// Read voltage applied across the MTJ stack (T1–T3).
+    pub fn read_voltage(&self) -> Volts {
+        self.read_voltage
+    }
+
+    /// Resistance of the heavy-metal write path (T2–T3).
+    pub fn heavy_metal_resistance(&self) -> Ohms {
+        self.heavy_metal_resistance
+    }
+
+    /// Ratio of anti-parallel to parallel resistance (equivalently
+    /// `G_max / G_min`).
+    pub fn tmr_ratio(&self) -> f64 {
+        self.tmr_ratio
+    }
+
+    /// MTJ resistance with the device fully anti-parallel (wall at the
+    /// left edge).
+    pub fn max_resistance(&self) -> Ohms {
+        self.max_resistance
+    }
+
+    /// MTJ resistance with the device fully parallel (wall at the right
+    /// edge): `R_max / tmr_ratio`.
+    pub fn min_resistance(&self) -> Ohms {
+        Ohms(self.max_resistance.0 / self.tmr_ratio)
+    }
+
+    /// The drive current that moves the wall across the full free layer in
+    /// exactly [`switching_time`](Self::switching_time).
+    pub fn full_scale_current(&self) -> Amps {
+        let excess = self.free_layer_length.0 / (self.dw_mobility * self.switching_time.0);
+        Amps(self.critical_current.0 + excess)
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        DeviceParamsBuilder::new()
+            .build()
+            .expect("paper-default device parameters are valid")
+    }
+}
+
+/// Builder for [`DeviceParams`] ([C-BUILDER]).
+///
+/// # Examples
+///
+/// ```
+/// use nebula_device::params::DeviceParams;
+/// use nebula_device::units::Meters;
+///
+/// let params = DeviceParams::builder()
+///     .free_layer_length(Meters::from_nm(640.0))
+///     .build()?;
+/// assert_eq!(params.levels(), 32);
+/// # Ok::<(), nebula_device::error::DeviceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceParamsBuilder {
+    free_layer_length: Meters,
+    pinning_resolution: Meters,
+    critical_current: Amps,
+    switching_time: Seconds,
+    read_voltage: Volts,
+    heavy_metal_resistance: Ohms,
+    tmr_ratio: f64,
+    max_resistance: Ohms,
+}
+
+impl DeviceParamsBuilder {
+    /// Creates a builder pre-loaded with the paper-calibrated values.
+    pub fn new() -> Self {
+        Self {
+            free_layer_length: Meters::from_nm(320.0),
+            pinning_resolution: Meters::from_nm(20.0),
+            critical_current: Amps(1e-6),
+            switching_time: Seconds::from_ns(110.0),
+            read_voltage: Volts(0.1),
+            heavy_metal_resistance: Ohms(400.0),
+            tmr_ratio: 7.0,
+            // 7 MΩ anti-parallel / 1 MΩ parallel. With these values the
+            // paper's Table III crossbar powers are self-consistent: a
+            // 128×128 array at mid conductance draws ≈0.46 mW per atomic
+            // crossbar at the 0.25 V SNN read voltage (16 ACs ≈ 7.4 mW)
+            // and ≈4.6 mW at the 0.75 V ANN voltage (16 ACs ≈ 72 mW).
+            max_resistance: Ohms(7e6),
+        }
+    }
+
+    /// Sets the free-layer length.
+    pub fn free_layer_length(mut self, v: Meters) -> Self {
+        self.free_layer_length = v;
+        self
+    }
+
+    /// Sets the pinning-site pitch (minimum programmable displacement).
+    pub fn pinning_resolution(mut self, v: Meters) -> Self {
+        self.pinning_resolution = v;
+        self
+    }
+
+    /// Sets the critical depinning current.
+    pub fn critical_current(mut self, v: Amps) -> Self {
+        self.critical_current = v;
+        self
+    }
+
+    /// Sets the full-sweep switching time (pipeline-stage latency).
+    pub fn switching_time(mut self, v: Seconds) -> Self {
+        self.switching_time = v;
+        self
+    }
+
+    /// Sets the MTJ read voltage.
+    pub fn read_voltage(mut self, v: Volts) -> Self {
+        self.read_voltage = v;
+        self
+    }
+
+    /// Sets the heavy-metal write-path resistance.
+    pub fn heavy_metal_resistance(mut self, v: Ohms) -> Self {
+        self.heavy_metal_resistance = v;
+        self
+    }
+
+    /// Sets the TMR (anti-parallel / parallel) resistance ratio.
+    pub fn tmr_ratio(mut self, v: f64) -> Self {
+        self.tmr_ratio = v;
+        self
+    }
+
+    /// Sets the fully anti-parallel MTJ resistance.
+    pub fn max_resistance(mut self, v: Ohms) -> Self {
+        self.max_resistance = v;
+        self
+    }
+
+    /// Validates the configuration and produces [`DeviceParams`].
+    ///
+    /// The domain-wall mobility is derived so that the full-scale
+    /// programming current sweeps the wall across the free layer in exactly
+    /// one switching time; the full-scale current is chosen such that the
+    /// programming-event energy through the heavy metal lands in the
+    /// ~100 fJ regime the paper reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] when a length, time,
+    /// resistance or ratio is non-positive, or when the free-layer length is
+    /// not an integer multiple of the pinning resolution (the device could
+    /// not then encode a whole number of states).
+    pub fn build(self) -> Result<DeviceParams, DeviceError> {
+        fn positive(name: &str, v: f64) -> Result<(), DeviceError> {
+            if v > 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(DeviceError::InvalidParameter {
+                    name: name.to_string(),
+                    reason: format!("must be positive and finite, got {v}"),
+                })
+            }
+        }
+
+        positive("free_layer_length", self.free_layer_length.0)?;
+        positive("pinning_resolution", self.pinning_resolution.0)?;
+        positive("critical_current", self.critical_current.0)?;
+        positive("switching_time", self.switching_time.0)?;
+        positive("read_voltage", self.read_voltage.0)?;
+        positive("heavy_metal_resistance", self.heavy_metal_resistance.0)?;
+        positive("max_resistance", self.max_resistance.0)?;
+        if self.tmr_ratio <= 1.0 || !self.tmr_ratio.is_finite() {
+            return Err(DeviceError::InvalidParameter {
+                name: "tmr_ratio".to_string(),
+                reason: format!("must exceed 1.0, got {}", self.tmr_ratio),
+            });
+        }
+
+        let ratio = self.free_layer_length.0 / self.pinning_resolution.0;
+        if (ratio - ratio.round()).abs() > 1e-6 || ratio < 2.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "free_layer_length".to_string(),
+                reason: format!(
+                    "must be an integer multiple (≥2) of the pinning resolution; got ratio {ratio}"
+                ),
+            });
+        }
+
+        // Full-scale write current: 50 µA full drive reproduces the
+        // ~100 fJ/program figure: I²·R_hm·t = (50 µA)²·400 Ω·110 ns ≈ 110 fJ.
+        let full_scale = Amps(50e-6);
+        let excess = full_scale.0 - self.critical_current.0;
+        if excess <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "critical_current".to_string(),
+                reason: "critical current must stay below the 50 µA full-scale drive".to_string(),
+            });
+        }
+        let dw_mobility = self.free_layer_length.0 / (excess * self.switching_time.0);
+
+        Ok(DeviceParams {
+            free_layer_length: self.free_layer_length,
+            pinning_resolution: self.pinning_resolution,
+            critical_current: self.critical_current,
+            dw_mobility,
+            switching_time: self.switching_time,
+            read_voltage: self.read_voltage,
+            heavy_metal_resistance: self.heavy_metal_resistance,
+            tmr_ratio: self.tmr_ratio,
+            max_resistance: self.max_resistance,
+        })
+    }
+}
+
+impl Default for DeviceParamsBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let p = DeviceParams::default();
+        assert_eq!(p.levels(), 16);
+        assert_eq!(p.free_layer_length().as_nm(), 320.0);
+        assert_eq!(p.pinning_resolution().as_nm(), 20.0);
+        assert_eq!(p.switching_time().as_ns(), 110.0);
+        assert_eq!(p.read_voltage(), Volts(0.1));
+        assert_eq!(p.tmr_ratio(), 7.0);
+    }
+
+    #[test]
+    fn full_scale_current_sweeps_in_one_cycle() {
+        let p = DeviceParams::default();
+        let i = p.full_scale_current();
+        let dx = p.dw_mobility() * (i.0 - p.critical_current().0) * p.switching_time().0;
+        assert!((dx - p.free_layer_length().0).abs() < 1e-15);
+        assert!((i.0 - 50e-6).abs() < 1e-9, "full scale should be ~50 µA");
+    }
+
+    #[test]
+    fn programming_energy_is_about_100_fj() {
+        let p = DeviceParams::default();
+        let i = p.full_scale_current();
+        let e = (i * p.heavy_metal_resistance() * i) * p.switching_time();
+        assert!(
+            (50.0..200.0).contains(&e.as_fj()),
+            "program energy {} fJ outside the ~100 fJ regime",
+            e.as_fj()
+        );
+    }
+
+    #[test]
+    fn min_resistance_follows_tmr_ratio() {
+        let p = DeviceParams::default();
+        assert!((p.min_resistance().0 - p.max_resistance().0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        assert!(DeviceParams::builder()
+            .free_layer_length(Meters::from_nm(-1.0))
+            .build()
+            .is_err());
+        assert!(DeviceParams::builder().tmr_ratio(0.5).build().is_err());
+        assert!(DeviceParams::builder()
+            .free_layer_length(Meters::from_nm(330.0))
+            .build()
+            .is_err());
+        assert!(DeviceParams::builder()
+            .critical_current(Amps(60e-6))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn doubling_length_doubles_levels() {
+        let p = DeviceParams::builder()
+            .free_layer_length(Meters::from_nm(640.0))
+            .build()
+            .unwrap();
+        assert_eq!(p.levels(), 32);
+    }
+}

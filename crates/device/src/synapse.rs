@@ -1,0 +1,329 @@
+//! DW-MTJ synaptic device (Fig. 1a of the paper).
+//!
+//! The synapse is a three-terminal device: a write current through the
+//! heavy-metal layer (T2–T3) displaces the domain wall via the spin-Hall
+//! effect, changing the proportion of parallel/anti-parallel domains and
+//! hence the MTJ conductance read between T1 and T3. Conductance varies
+//! linearly with wall position between `G_min` (fully anti-parallel) and
+//! `G_max = tmr_ratio · G_min` (fully parallel), giving
+//! `levels()` programmable states at the pinning sites.
+
+use crate::dw::DomainWall;
+use crate::error::DeviceError;
+use crate::params::DeviceParams;
+use crate::units::{Amps, Joules, Seconds, Siemens, Volts};
+
+/// A single DW-MTJ synapse cell.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_device::synapse::DwMtjSynapse;
+/// use nebula_device::params::DeviceParams;
+///
+/// let params = DeviceParams::default();
+/// let mut syn = DwMtjSynapse::new(&params);
+/// syn.program_state(15)?; // fully parallel: maximum conductance
+/// let g = syn.conductance();
+/// assert!(g.0 > 0.0);
+/// # Ok::<(), nebula_device::error::DeviceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DwMtjSynapse {
+    wall: DomainWall,
+    params: DeviceParams,
+    program_energy: Joules,
+}
+
+impl DwMtjSynapse {
+    /// Creates a synapse in its minimum-conductance state (wall at the
+    /// left edge, fully anti-parallel MTJ).
+    pub fn new(params: &DeviceParams) -> Self {
+        Self {
+            wall: DomainWall::new(params),
+            params: params.clone(),
+            program_energy: Joules::ZERO,
+        }
+    }
+
+    /// The device parameters this synapse was built from.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Number of programmable conductance states.
+    pub fn levels(&self) -> usize {
+        self.wall.levels()
+    }
+
+    /// Current state index (nearest pinning site).
+    pub fn state(&self) -> usize {
+        self.wall.state()
+    }
+
+    /// Minimum device conductance (wall at left edge).
+    pub fn min_conductance(&self) -> Siemens {
+        self.params.max_resistance().to_siemens()
+    }
+
+    /// Maximum device conductance (wall at far edge).
+    pub fn max_conductance(&self) -> Siemens {
+        self.params.min_resistance().to_siemens()
+    }
+
+    /// Present MTJ conductance: linear interpolation between
+    /// [`min_conductance`](Self::min_conductance) and
+    /// [`max_conductance`](Self::max_conductance) over the *programmable*
+    /// span of the free layer (the top pinning site, `(levels-1)·pitch`,
+    /// maps to `G_max`).
+    pub fn conductance(&self) -> Siemens {
+        let g_min = self.min_conductance().0;
+        let g_max = self.max_conductance().0;
+        let span = (self.levels() - 1) as f64 * self.params.pinning_resolution().0;
+        let frac = (self.wall.position().0 / span).clamp(0.0, 1.0);
+        Siemens(g_min + (g_max - g_min) * frac)
+    }
+
+    /// Conductance the device would have in `state`, without programming.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::StateOutOfRange`] when `state >= levels()`.
+    pub fn conductance_for_state(&self, state: usize) -> Result<Siemens, DeviceError> {
+        let levels = self.levels();
+        if state >= levels {
+            return Err(DeviceError::StateOutOfRange {
+                requested: state,
+                levels,
+            });
+        }
+        let g_min = self.min_conductance().0;
+        let g_max = self.max_conductance().0;
+        let frac = state as f64 / (levels - 1) as f64;
+        Ok(Siemens(g_min + (g_max - g_min) * frac))
+    }
+
+    /// Programs the synapse with a write-current pulse through the heavy
+    /// metal, then relaxes the wall to the nearest pinning site. Returns
+    /// the resulting state index.
+    ///
+    /// Energy `I²·R_hm·t` is accrued and readable via
+    /// [`accumulated_program_energy`](Self::accumulated_program_energy).
+    pub fn program_pulse(&mut self, current: Amps, duration: Seconds) -> usize {
+        self.wall.apply_current(current, duration);
+        let dissipated =
+            (current.abs() * self.params.heavy_metal_resistance() * current.abs()) * duration;
+        self.program_energy += dissipated;
+        self.wall.relax_to_pinning_site()
+    }
+
+    /// Programs the synapse directly to `state` using a single calibrated
+    /// pulse (resetting to the left edge first, then driving forward).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::StateOutOfRange`] when `state >= levels()`.
+    pub fn program_state(&mut self, state: usize) -> Result<(), DeviceError> {
+        let levels = self.levels();
+        if state >= levels {
+            return Err(DeviceError::StateOutOfRange {
+                requested: state,
+                levels,
+            });
+        }
+        self.wall.reset();
+        if state > 0 {
+            let frac = state as f64 / (levels - 1) as f64;
+            // Drive for a fraction of the switching time at full scale; the
+            // wall travels frac · L because displacement is linear in time.
+            // The top state needs the full layer, whose pinning site count
+            // is levels, so scale by (levels-1)/levels of the full sweep.
+            let sweep_frac = frac * (levels - 1) as f64 / levels as f64;
+            let duration = Seconds(self.params.switching_time().0 * sweep_frac);
+            self.program_pulse(self.params.full_scale_current(), duration);
+            // Snap exactly (relaxation already rounds to the nearest site).
+            self.wall.set_state(state);
+        }
+        Ok(())
+    }
+
+    /// Read current through the MTJ stack for a given applied read
+    /// voltage: `I = G · V`.
+    pub fn read_current(&self, read_voltage: Volts) -> Amps {
+        self.conductance() * read_voltage
+    }
+
+    /// Energy dissipated in the MTJ stack by one read of duration `dt`:
+    /// `V²·G·t`.
+    pub fn read_energy(&self, read_voltage: Volts, dt: Seconds) -> Joules {
+        (read_voltage * (self.conductance() * read_voltage)) * dt
+    }
+
+    /// Total energy spent programming this device since construction.
+    pub fn accumulated_program_energy(&self) -> Joules {
+        self.program_energy
+    }
+}
+
+/// One point of the device transfer characteristic of Fig. 1b.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferPoint {
+    /// Programming current applied through the heavy metal.
+    pub current: Amps,
+    /// Domain-wall displacement produced by one switching-time pulse.
+    pub displacement: crate::units::Meters,
+    /// Conductance change produced by that displacement (from the left
+    /// edge).
+    pub conductance_change: Siemens,
+}
+
+/// Sweeps the programming current and reports displacement and conductance
+/// change per point — the data behind Fig. 1b. `steps` points are spaced
+/// uniformly over `0 ..= max_current`.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_device::params::DeviceParams;
+/// use nebula_device::synapse::transfer_characteristic;
+///
+/// let params = DeviceParams::default();
+/// let curve = transfer_characteristic(&params, params.full_scale_current(), 20);
+/// assert_eq!(curve.len(), 20);
+/// // Monotonically non-decreasing displacement with current.
+/// assert!(curve.windows(2).all(|w| w[1].displacement.0 >= w[0].displacement.0));
+/// ```
+pub fn transfer_characteristic(
+    params: &DeviceParams,
+    max_current: Amps,
+    steps: usize,
+) -> Vec<TransferPoint> {
+    let template = DwMtjSynapse::new(params);
+    let g_min = template.min_conductance().0;
+    let g_max = template.max_conductance().0;
+    let length = params.free_layer_length().0;
+    let span = (template.levels() - 1) as f64 * params.pinning_resolution().0;
+    (0..steps)
+        .map(|k| {
+            let current = Amps(max_current.0 * k as f64 / (steps.max(2) - 1) as f64);
+            let wall = DomainWall::new(params);
+            let displacement = wall.displacement_for(current, params.switching_time());
+            let clamped = displacement.0.clamp(0.0, length);
+            let dg = (g_max - g_min) * (clamped / span).clamp(0.0, 1.0);
+            TransferPoint {
+                current,
+                displacement: crate::units::Meters(clamped),
+                conductance_change: Siemens(dg),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synapse() -> DwMtjSynapse {
+        DwMtjSynapse::new(&DeviceParams::default())
+    }
+
+    #[test]
+    fn fresh_synapse_is_at_minimum_conductance() {
+        let s = synapse();
+        assert_eq!(s.state(), 0);
+        assert!((s.conductance().0 - s.min_conductance().0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conductance_range_matches_tmr_ratio() {
+        let s = synapse();
+        let ratio = s.max_conductance().0 / s.min_conductance().0;
+        assert!((ratio - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn program_state_reaches_every_level() {
+        let mut s = synapse();
+        for state in 0..s.levels() {
+            s.program_state(state).unwrap();
+            assert_eq!(s.state(), state, "failed to program state {state}");
+            let expected = s.conductance_for_state(state).unwrap();
+            assert!(
+                (s.conductance().0 - expected.0).abs() < expected.0 * 1e-6,
+                "conductance mismatch at state {state}"
+            );
+        }
+    }
+
+    #[test]
+    fn program_state_rejects_out_of_range() {
+        let mut s = synapse();
+        assert_eq!(
+            s.program_state(16),
+            Err(DeviceError::StateOutOfRange {
+                requested: 16,
+                levels: 16
+            })
+        );
+    }
+
+    #[test]
+    fn conductance_is_monotonic_in_state() {
+        let s = synapse();
+        let gs: Vec<f64> = (0..16)
+            .map(|st| s.conductance_for_state(st).unwrap().0)
+            .collect();
+        assert!(gs.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn read_current_follows_ohms_law() {
+        let mut s = synapse();
+        s.program_state(15).unwrap();
+        let v = Volts(0.1);
+        let i = s.read_current(v);
+        assert!((i.0 - s.conductance().0 * 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn programming_accrues_roughly_100_fj() {
+        let mut s = synapse();
+        s.program_state(15).unwrap();
+        let e = s.accumulated_program_energy().as_fj();
+        assert!(
+            (10.0..500.0).contains(&e),
+            "programming energy {e} fJ outside plausible ~100 fJ band"
+        );
+    }
+
+    #[test]
+    fn read_energy_is_orders_below_program_energy() {
+        let mut s = synapse();
+        s.program_state(15).unwrap();
+        let p = DeviceParams::default();
+        let read = s.read_energy(p.read_voltage(), p.switching_time());
+        assert!(read < s.accumulated_program_energy());
+        assert!(read.0 > 0.0);
+    }
+
+    #[test]
+    fn transfer_curve_is_linear_above_threshold_and_flat_below() {
+        let p = DeviceParams::default();
+        let curve = transfer_characteristic(&p, p.full_scale_current(), 51);
+        // Below critical current no motion.
+        assert_eq!(curve[0].displacement.0, 0.0);
+        assert_eq!(curve[0].conductance_change.0, 0.0);
+        // Take three supercritical points and check collinearity.
+        let pts: Vec<&TransferPoint> = curve
+            .iter()
+            .filter(|t| t.current.0 > p.critical_current().0 * 2.0 && !t.displacement.0.is_nan())
+            .collect();
+        assert!(pts.len() >= 3);
+        let slope = |a: &TransferPoint, b: &TransferPoint| {
+            (b.displacement.0 - a.displacement.0) / (b.current.0 - a.current.0)
+        };
+        let s1 = slope(pts[0], pts[1]);
+        let s2 = slope(pts[1], pts[2]);
+        assert!((s1 - s2).abs() < s1.abs() * 1e-6, "curve not linear");
+    }
+}

@@ -1,0 +1,463 @@
+//! Physical-unit newtypes used across the NEBULA simulation stack.
+//!
+//! Every quantity that crosses a module boundary is wrapped in a unit
+//! newtype so that, e.g., a programming *current* can never be passed where
+//! a *voltage* is expected ([C-NEWTYPE]). The wrappers are thin: a single
+//! `f64` in SI base units, `Copy`, and with the handful of cross-unit
+//! operators that the device and energy models actually use
+//! (`Volts * Amps = Watts`, `Watts * Seconds = Joules`, ...).
+//!
+//! # Examples
+//!
+//! ```
+//! use nebula_device::units::{Amps, Seconds, Volts};
+//!
+//! let power = Volts(0.1) * Amps(50e-6);
+//! let energy = power * Seconds(110e-9);
+//! assert!(energy.0 > 0.0);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the shared boilerplate for a unit newtype.
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw value in SI base units.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// True when the underlying value is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let (scaled, prefix) = si_scale(self.0);
+                if let Some(prec) = f.precision() {
+                    write!(f, "{scaled:.prec$} {prefix}{}", $suffix)
+                } else {
+                    write!(f, "{scaled:.3} {prefix}{}", $suffix)
+                }
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+unit!(
+    /// Electrical resistance in ohms.
+    Ohms,
+    "Ω"
+);
+unit!(
+    /// Electrical conductance in siemens.
+    Siemens,
+    "S"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Length in meters.
+    Meters,
+    "m"
+);
+unit!(
+    /// Area in square millimeters (the unit the paper's Table III uses).
+    SquareMillimeters,
+    "mm²"
+);
+
+/// Picks an SI engineering prefix so `Display` output stays readable.
+fn si_scale(v: f64) -> (f64, &'static str) {
+    let a = v.abs();
+    if v == 0.0 || !v.is_finite() {
+        (v, "")
+    } else if a >= 1e9 {
+        (v / 1e9, "G")
+    } else if a >= 1e6 {
+        (v / 1e6, "M")
+    } else if a >= 1e3 {
+        (v / 1e3, "k")
+    } else if a >= 1.0 {
+        (v, "")
+    } else if a >= 1e-3 {
+        (v * 1e3, "m")
+    } else if a >= 1e-6 {
+        (v * 1e6, "µ")
+    } else if a >= 1e-9 {
+        (v * 1e9, "n")
+    } else if a >= 1e-12 {
+        (v * 1e12, "p")
+    } else {
+        (v * 1e15, "f")
+    }
+}
+
+// --- Cross-unit relations actually used by the models -----------------
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    /// `P = V · I`
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    /// `P = I · V`
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// `E = P · t`
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    /// `E = t · P`
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    /// `P = E / t`
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    /// `I = V / R`
+    #[inline]
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Siemens> for Volts {
+    type Output = Amps;
+    /// `I = V · G`
+    #[inline]
+    fn mul(self, rhs: Siemens) -> Amps {
+        Amps(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Siemens {
+    type Output = Amps;
+    /// `I = G · V`
+    #[inline]
+    fn mul(self, rhs: Volts) -> Amps {
+        Amps(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    /// `V = I · R`
+    #[inline]
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+impl Siemens {
+    /// Converts conductance to its reciprocal resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the conductance is zero.
+    #[inline]
+    pub fn to_ohms(self) -> Ohms {
+        debug_assert!(self.0 != 0.0, "zero conductance has no finite resistance");
+        Ohms(1.0 / self.0)
+    }
+}
+
+impl Ohms {
+    /// Converts resistance to its reciprocal conductance.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the resistance is zero.
+    #[inline]
+    pub fn to_siemens(self) -> Siemens {
+        debug_assert!(self.0 != 0.0, "zero resistance has no finite conductance");
+        Siemens(1.0 / self.0)
+    }
+}
+
+impl Meters {
+    /// Constructs a length expressed in nanometers.
+    #[inline]
+    pub fn from_nm(nm: f64) -> Self {
+        Meters(nm * 1e-9)
+    }
+
+    /// Returns the length expressed in nanometers.
+    #[inline]
+    pub fn as_nm(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Joules {
+    /// Constructs an energy expressed in femtojoules.
+    #[inline]
+    pub fn from_fj(fj: f64) -> Self {
+        Joules(fj * 1e-15)
+    }
+
+    /// Returns the energy expressed in femtojoules.
+    #[inline]
+    pub fn as_fj(self) -> f64 {
+        self.0 * 1e15
+    }
+
+    /// Constructs an energy expressed in picojoules.
+    #[inline]
+    pub fn from_pj(pj: f64) -> Self {
+        Joules(pj * 1e-12)
+    }
+}
+
+impl Watts {
+    /// Constructs a power expressed in milliwatts.
+    #[inline]
+    pub fn from_mw(mw: f64) -> Self {
+        Watts(mw * 1e-3)
+    }
+
+    /// Returns the power expressed in milliwatts.
+    #[inline]
+    pub fn as_mw(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Seconds {
+    /// Constructs a time expressed in nanoseconds.
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Returns the time expressed in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_round_trips() {
+        let r = Ohms(2_000.0);
+        let v = Volts(0.1);
+        let i = v / r;
+        assert!((i.0 - 5e-5).abs() < 1e-12);
+        assert!(((i * r).0 - v.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_reciprocal() {
+        let g = Siemens(1e-4);
+        assert!((g.to_ohms().0 - 1e4).abs() < 1e-9);
+        assert!((g.to_ohms().to_siemens().0 - g.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_energy_relation() {
+        let p = Volts(0.1) * Amps(1e-3);
+        assert!((p.0 - 1e-4).abs() < 1e-15);
+        let e = p * Seconds::from_ns(110.0);
+        assert!((e.0 - 1.1e-11).abs() < 1e-20);
+        let back = e / Seconds::from_ns(110.0);
+        assert!((back.0 - p.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_uses_si_prefixes() {
+        assert_eq!(format!("{}", Watts::from_mw(9.55)), "9.550 mW");
+        assert_eq!(format!("{}", Joules::from_fj(100.0)), "100.000 fJ");
+        assert_eq!(format!("{}", Seconds::from_ns(110.0)), "110.000 ns");
+        assert_eq!(format!("{:.1}", Volts(0.75)), "750.0 mV");
+    }
+
+    #[test]
+    fn nm_and_fj_helpers_round_trip() {
+        assert!((Meters::from_nm(320.0).as_nm() - 320.0).abs() < 1e-9);
+        assert!((Joules::from_fj(42.0).as_fj() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_and_arithmetic() {
+        let total: Joules = [Joules(1.0), Joules(2.0), Joules(3.0)].into_iter().sum();
+        assert_eq!(total, Joules(6.0));
+        let mut acc = Watts(1.0);
+        acc += Watts(0.5);
+        acc -= Watts(0.25);
+        assert!((acc.0 - 1.25).abs() < 1e-12);
+        assert_eq!(-Amps(2.0), Amps(-2.0));
+        assert_eq!(Joules(4.0) / Joules(2.0), 2.0);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(Volts(-1.0).abs(), Volts(1.0));
+        assert_eq!(Volts(1.0).max(Volts(2.0)), Volts(2.0));
+        assert_eq!(Volts(1.0).min(Volts(2.0)), Volts(1.0));
+        assert!(Volts(1.0).is_finite());
+        assert!(!Volts(f64::NAN).is_finite());
+    }
+}

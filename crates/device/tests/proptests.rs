@@ -1,0 +1,72 @@
+//! Property-based tests of the DW-MTJ device models.
+
+use nebula_device::dw::DomainWall;
+use nebula_device::neuron::SpikingNeuron;
+use nebula_device::params::DeviceParams;
+use nebula_device::synapse::DwMtjSynapse;
+use nebula_device::units::{Amps, Meters, Seconds};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn displacement_is_additive_in_time(ua in 5.0f64..50.0, ns1 in 1.0f64..50.0, ns2 in 1.0f64..50.0) {
+        // Two pulses == one combined pulse (when nothing clamps).
+        let p = DeviceParams::default();
+        let i = Amps(ua * 1e-6);
+        let mut w1 = DomainWall::new(&p);
+        w1.apply_current(i, Seconds(ns1 * 1e-9));
+        w1.apply_current(i, Seconds(ns2 * 1e-9));
+        let mut w2 = DomainWall::new(&p);
+        w2.apply_current(i, Seconds((ns1 + ns2) * 1e-9));
+        prop_assert!((w1.position().0 - w2.position().0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn programmed_state_reads_back(state in 0usize..16) {
+        let p = DeviceParams::default();
+        let mut s = DwMtjSynapse::new(&p);
+        s.program_state(state).unwrap();
+        prop_assert_eq!(s.state(), state);
+        let g = s.conductance().0;
+        prop_assert!(g >= s.min_conductance().0 - 1e-18);
+        prop_assert!(g <= s.max_conductance().0 + 1e-18);
+    }
+
+    #[test]
+    fn read_current_scales_with_voltage(state in 0usize..16, mv in 10.0f64..500.0) {
+        let p = DeviceParams::default();
+        let mut s = DwMtjSynapse::new(&p);
+        s.program_state(state).unwrap();
+        let v = nebula_device::units::Volts(mv * 1e-3);
+        let i = s.read_current(v);
+        prop_assert!((i.0 - s.conductance().0 * v.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn neuron_spike_count_is_monotone_in_drive(frac1 in 0.1f64..0.9, frac2 in 0.1f64..0.9) {
+        let p = DeviceParams::default();
+        let drive = |f: f64| {
+            Amps(p.critical_current().0 + (p.full_scale_current().0 - p.critical_current().0) * f)
+        };
+        let (lo, hi) = if frac1 <= frac2 { (frac1, frac2) } else { (frac2, frac1) };
+        let mut weak = SpikingNeuron::new(&p);
+        let mut strong = SpikingNeuron::new(&p);
+        for _ in 0..60 {
+            weak.integrate(drive(lo));
+            strong.integrate(drive(hi));
+        }
+        prop_assert!(strong.spike_count() >= weak.spike_count());
+    }
+
+    #[test]
+    fn custom_lengths_quantize_consistently(factor in 1usize..5) {
+        // Free layers of 320, 640, ... nm give 16·factor states.
+        let p = DeviceParams::builder()
+            .free_layer_length(Meters::from_nm(320.0 * factor as f64))
+            .build()
+            .unwrap();
+        prop_assert_eq!(p.levels(), 16 * factor);
+        let w = DomainWall::new(&p);
+        prop_assert_eq!(w.levels(), 16 * factor);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the neural-network layer.
+
+use nebula_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, training or converting networks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// `backward` was called before `forward` (no cached activations).
+    BackwardBeforeForward {
+        /// The layer that was asked to run backward.
+        layer: String,
+    },
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The network topology cannot support the requested operation
+    /// (e.g. converting a network containing max-pool to an SNN).
+    UnsupportedTopology {
+        /// Human-readable description of the unsupported construct.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on layer `{layer}`")
+            }
+            NnError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            NnError::UnsupportedTopology { reason } => {
+                write!(f, "unsupported topology: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_errors_convert_and_chain() {
+        let te = TensorError::InvalidGeometry {
+            reason: "x".to_string(),
+        };
+        let ne: NnError = te.clone().into();
+        assert!(ne.to_string().contains("tensor operation failed"));
+        assert!(Error::source(&ne).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

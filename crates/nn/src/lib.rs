@@ -1,0 +1,75 @@
+//! # nebula-nn
+//!
+//! The algorithm level of the NEBULA stack (Singh et al., ISCA 2020):
+//! a from-scratch neural-network library covering everything the paper's
+//! evaluation needs —
+//!
+//! * [`layer`] / [`network`] — ANN layers (dense, conv, depthwise conv,
+//!   batch-norm, ReLU, average pooling) with full backward passes.
+//! * [`optim`] / [`loss`] — SGD-with-momentum training on labelled
+//!   datasets.
+//! * [`quant`] — the paper's 4-bit post-training quantization: percentile
+//!   activation clipping plus range-based linear quantization of weights
+//!   and activations (§IV-C, Fig. 9).
+//! * [`snn`] — leak-free integrate-and-fire simulation with Poisson rate
+//!   encoding and per-layer spike statistics (Fig. 4).
+//! * [`convert`] — ANN→SNN conversion: batch-norm folding and data-based
+//!   threshold balancing (§V-A, Table I).
+//! * [`hybrid`] — hybrid SNN-ANN models with accumulate-and-rescale
+//!   boundaries (§V-B, Table II, Fig. 17).
+//! * [`stats`] — layer descriptors feeding the architecture-level energy
+//!   model, and the ANN/SNN feature-map correlation metric (Fig. 10).
+//!
+//! # Examples
+//!
+//! Train a small ANN, quantize it to 4 bits, convert it to an SNN and
+//! check that the spiking model classifies:
+//!
+//! ```
+//! use nebula_nn::{Layer, Network};
+//! use nebula_nn::optim::{train, Dataset, TrainConfig};
+//! use nebula_nn::quant::{quantize_network, QuantConfig};
+//! use nebula_nn::convert::{ann_to_snn, ConversionConfig};
+//! use nebula_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut net = Network::new(vec![
+//!     Layer::dense(2, 8, &mut rng),
+//!     Layer::relu(),
+//!     Layer::dense(8, 2, &mut rng),
+//! ]);
+//! // A toy two-class task: which input is larger.
+//! let inputs = Tensor::from_vec(vec![0.9, 0.1, 0.1, 0.9, 0.8, 0.2, 0.3, 0.7], &[4, 2])?;
+//! let data = Dataset::new(inputs, vec![0, 1, 0, 1])?;
+//! train(&mut net, &data, &TrainConfig::builder().epochs(60).batch_size(4).build(), &mut rng)?;
+//!
+//! let quantized = quantize_network(&net, &data, &QuantConfig::default())?;
+//! let mut snn = ann_to_snn(&quantized, &data, &ConversionConfig::default())?;
+//! let acc = snn.accuracy(&data.inputs, &data.labels, 100, &mut rng)?;
+//! assert!(acc >= 0.5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod error;
+pub mod hybrid;
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod network;
+pub mod optim;
+pub mod param;
+pub mod quant;
+pub mod snn;
+pub mod stats;
+
+pub use error::NnError;
+pub use hybrid::HybridNetwork;
+pub use layer::Layer;
+pub use network::Network;
+pub use optim::{Dataset, TrainConfig};
+pub use snn::{InputEncoding, ResetMode, SpikingNetwork};
+pub use stats::{LayerDescriptor, LayerOp};

@@ -1,0 +1,164 @@
+//! Loss functions for training.
+
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::NnError;
+use nebula_tensor::Tensor;
+
+/// Softmax cross-entropy over logits.
+///
+/// Returns `(mean loss, gradient w.r.t. logits)`. The gradient is already
+/// divided by the batch size, ready to feed into
+/// [`Network::backward`](crate::Network::backward).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] when the logits are not rank-2 or
+/// the label count does not match the batch size, or a label is out of
+/// range.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_nn::loss::softmax_cross_entropy;
+/// use nebula_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0], &[2, 2])?;
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1])?;
+/// assert!(loss < 0.2);
+/// assert_eq!(grad.shape(), &[2, 2]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), NnError> {
+    if logits.rank() != 2 {
+        return Err(NnError::InvalidConfig {
+            reason: format!("cross-entropy expects rank-2 logits, got {:?}", logits.shape()),
+        });
+    }
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    if labels.len() != n {
+        return Err(NnError::InvalidConfig {
+            reason: format!("{} labels for a batch of {n}", labels.len()),
+        });
+    }
+    let mut grad = Tensor::zeros(&[n, c]);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let label = labels[i];
+        if label >= c {
+            return Err(NnError::InvalidConfig {
+                reason: format!("label {label} out of range for {c} classes"),
+            });
+        }
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let log_z = z.ln();
+        total += (log_z - (row[label] - m)) as f64;
+        let g = &mut grad.data_mut()[i * c..(i + 1) * c];
+        for j in 0..c {
+            let p = exps[j] / z;
+            g[j] = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    Ok(((total / n as f64) as f32, grad))
+}
+
+/// Softmax probabilities per row (numerically stable).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for non-rank-2 input.
+pub fn softmax(logits: &Tensor) -> Result<Tensor, NnError> {
+    if logits.rank() != 2 {
+        return Err(NnError::InvalidConfig {
+            reason: format!("softmax expects rank-2 logits, got {:?}", logits.shape()),
+        });
+    }
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[n, c]);
+    for i in 0..n {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let o = &mut out.data_mut()[i * c..(i + 1) * c];
+        for j in 0..c {
+            o[j] = exps[j] / z;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_logits_give_small_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 10.0], &[2, 2]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.25], &[2, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]).unwrap();
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 0.9], &[1, 3]).unwrap();
+        let labels = [1usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[j] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[j] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels).unwrap();
+            let (fm, _) = softmax_cross_entropy(&lm, &labels).unwrap();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[j]).abs() < 1e-3,
+                "grad mismatch at {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 5]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[6]), &[0]).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let logits = Tensor::from_vec(vec![100.0, 0.0, -3.0, 2.0], &[2, 2]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for i in 0..2 {
+            let s: f32 = p.data()[i * 2..(i + 1) * 2].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(p.data()[0] > 0.999); // the 100-vs-0 row saturates
+    }
+}

@@ -1,0 +1,253 @@
+//! Classification-evaluation metrics: confusion matrices, per-class
+//! precision/recall and top-k accuracy — the reporting layer the
+//! accuracy experiments (Tables I–II) build on.
+
+use crate::error::NnError;
+use nebula_tensor::Tensor;
+
+/// A `classes × classes` confusion matrix: `counts[truth][predicted]`.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_nn::metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(1, 1);
+/// assert_eq!(cm.accuracy(), 2.0 / 3.0);
+/// assert_eq!(cm.recall(0), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "confusion matrix needs at least one class");
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Builds a matrix from parallel truth/prediction slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when lengths differ or a label
+    /// is out of range.
+    pub fn from_predictions(
+        classes: usize,
+        truths: &[usize],
+        predictions: &[usize],
+    ) -> Result<Self, NnError> {
+        if truths.len() != predictions.len() {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "{} truths vs {} predictions",
+                    truths.len(),
+                    predictions.len()
+                ),
+            });
+        }
+        let mut cm = Self::new(classes);
+        for (&t, &p) in truths.iter().zip(predictions) {
+            if t >= classes || p >= classes {
+                return Err(NnError::InvalidConfig {
+                    reason: format!("label {t}/{p} out of range for {classes} classes"),
+                });
+            }
+            cm.record(t, p);
+        }
+        Ok(cm)
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either label is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.classes && predicted < self.classes);
+        self.counts[truth * self.classes + predicted] += 1;
+    }
+
+    /// Count at `(truth, predicted)`.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Recall of one class: correct / actual occurrences (0 when the
+    /// class never occurred).
+    pub fn recall(&self, class: usize) -> f64 {
+        let actual: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / actual as f64
+        }
+    }
+
+    /// Precision of one class: correct / predicted occurrences (0 when
+    /// the class was never predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let predicted: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / predicted as f64
+        }
+    }
+
+    /// Macro-averaged F1 score across classes.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        for c in 0..self.classes {
+            let (p, r) = (self.precision(c), self.recall(c));
+            if p + r > 0.0 {
+                sum += 2.0 * p * r / (p + r);
+            }
+        }
+        sum / self.classes as f64
+    }
+}
+
+/// Top-k accuracy from logits: a sample counts as correct when its true
+/// class is among the k highest logits.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for non-rank-2 logits, mismatched
+/// label counts, `k == 0`, or `k` above the class count.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> Result<f64, NnError> {
+    if logits.rank() != 2 {
+        return Err(NnError::InvalidConfig {
+            reason: format!("top-k expects rank-2 logits, got {:?}", logits.shape()),
+        });
+    }
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    if labels.len() != n || k == 0 || k > c {
+        return Err(NnError::InvalidConfig {
+            reason: format!("bad top-k arguments: n={n}, labels={}, k={k}, classes={c}", labels.len()),
+        });
+    }
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let target = row[label];
+        // Rank of the target = number of strictly larger logits.
+        let larger = row.iter().filter(|&&v| v > target).count();
+        if larger < k {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / n.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cm() -> ConfusionMatrix {
+        // truth 0: 3 correct, 1 as class 1; truth 1: 2 correct, 2 as 0.
+        ConfusionMatrix::from_predictions(
+            2,
+            &[0, 0, 0, 0, 1, 1, 1, 1],
+            &[0, 0, 0, 1, 1, 1, 0, 0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let cm = sample_cm();
+        assert_eq!(cm.count(0, 0), 3);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 0), 2);
+        assert_eq!(cm.total(), 8);
+        assert_eq!(cm.accuracy(), 5.0 / 8.0);
+    }
+
+    #[test]
+    fn precision_and_recall() {
+        let cm = sample_cm();
+        assert_eq!(cm.recall(0), 0.75);
+        assert_eq!(cm.recall(1), 0.5);
+        assert_eq!(cm.precision(0), 3.0 / 5.0);
+        assert_eq!(cm.precision(1), 2.0 / 3.0);
+        assert!(cm.macro_f1() > 0.5 && cm.macro_f1() < 0.7);
+    }
+
+    #[test]
+    fn degenerate_classes_return_zero() {
+        let cm = ConfusionMatrix::new(3);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.recall(2), 0.0);
+        assert_eq!(cm.precision(2), 0.0);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ConfusionMatrix::from_predictions(2, &[0], &[0, 1]).is_err());
+        assert!(ConfusionMatrix::from_predictions(2, &[2], &[0]).is_err());
+    }
+
+    #[test]
+    fn top_k_counts_near_misses() {
+        let logits = Tensor::from_vec(
+            vec![
+                0.1, 0.9, 0.0, // truth 0: rank 2
+                0.2, 0.7, 0.1, // truth 1: rank 1
+            ],
+            &[2, 3],
+        )
+        .unwrap();
+        assert_eq!(top_k_accuracy(&logits, &[0, 1], 1).unwrap(), 0.5);
+        assert_eq!(top_k_accuracy(&logits, &[0, 1], 2).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn top_k_validates_inputs() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(top_k_accuracy(&logits, &[0], 1).is_err());
+        assert!(top_k_accuracy(&logits, &[0, 1], 0).is_err());
+        assert!(top_k_accuracy(&logits, &[0, 1], 4).is_err());
+        assert!(top_k_accuracy(&Tensor::zeros(&[6]), &[0], 1).is_err());
+    }
+
+    #[test]
+    fn top_full_k_is_always_one() {
+        let logits = Tensor::zeros(&[3, 4]);
+        assert_eq!(top_k_accuracy(&logits, &[0, 1, 2], 4).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Trainable parameters: value, gradient and optimizer state bundled
+//! together.
+
+use nebula_tensor::Tensor;
+
+/// One trainable parameter tensor with its accumulated gradient and the
+/// momentum buffer the SGD optimizer uses.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_nn::param::Param;
+/// use nebula_tensor::Tensor;
+///
+/// let mut p = Param::new(Tensor::ones(&[2, 2]));
+/// p.grad.data_mut()[0] = 1.0;
+/// p.sgd_step(0.1, 0.0, 0.0);
+/// assert!((p.value.data()[0] - 0.9).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// The parameter values.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass.
+    pub grad: Tensor,
+    /// Momentum (velocity) buffer.
+    pub velocity: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with zeroed gradient and momentum buffers.
+    pub fn new(value: Tensor) -> Self {
+        let shape = value.shape().to_vec();
+        Self {
+            value,
+            grad: Tensor::zeros(&shape),
+            velocity: Tensor::zeros(&shape),
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.data_mut() {
+            *g = 0.0;
+        }
+    }
+
+    /// Applies one SGD-with-momentum update:
+    /// `v ← μ·v − lr·(g + wd·w)`, `w ← w + v`.
+    pub fn sgd_step(&mut self, lr: f32, momentum: f32, weight_decay: f32) {
+        let (w, g, v) = (
+            self.value.data_mut(),
+            self.grad.data(),
+            self.velocity.data_mut(),
+        );
+        for i in 0..w.len() {
+            v[i] = momentum * v[i] - lr * (g[i] + weight_decay * w[i]);
+            w[i] += v[i];
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_and_velocity() {
+        let p = Param::new(Tensor::ones(&[3]));
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        assert!(p.velocity.data().iter().all(|&v| v == 0.0));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut p = Param::new(Tensor::zeros(&[1]));
+        p.grad.data_mut()[0] = 1.0;
+        p.sgd_step(0.1, 0.9, 0.0);
+        assert!((p.value.data()[0] + 0.1).abs() < 1e-6);
+        p.sgd_step(0.1, 0.9, 0.0);
+        // v = 0.9*(-0.1) - 0.1 = -0.19; w = -0.1 - 0.19 = -0.29.
+        assert!((p.value.data()[0] + 0.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_pulls_towards_zero() {
+        let mut p = Param::new(Tensor::ones(&[1]));
+        p.sgd_step(0.1, 0.0, 0.5); // grad 0, wd pulls down by 0.1*0.5
+        assert!((p.value.data()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[2]));
+        p.grad.data_mut()[1] = 3.0;
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+}

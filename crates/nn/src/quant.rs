@@ -1,0 +1,340 @@
+//! Post-training quantization (§IV-C of the paper).
+//!
+//! NEBULA stores 4-bit weights and activations (16 levels — the 16
+//! resistive states of the DW-MTJ synapse). The paper's flow, reproduced
+//! here:
+//!
+//! 1. Pass a calibration subset through the trained network and fix a
+//!    per-layer activation ceiling `amax` at a percentile of the observed
+//!    ReLU outputs; clip and linearly quantize activations to `[0, amax]`.
+//! 2. Clip each layer's weights to an empirically chosen range (the
+//!    crossbar's limited `G_max/G_min` ratio bounds the representable
+//!    weight range) and quantize to 16 uniform levels.
+//!
+//! The [`quantize_network`] pass produces a *new* network with quantized
+//! weights and explicit [`Layer::ActivationQuant`] stages after every
+//! ReLU.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::network::Network;
+use crate::optim::Dataset;
+use nebula_tensor::Tensor;
+
+/// Configuration for post-training quantization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantConfig {
+    /// Number of weight levels (16 = 4-bit; `None`-like full precision is
+    /// expressed by simply not quantizing).
+    pub weight_levels: usize,
+    /// Number of activation levels.
+    pub activation_levels: usize,
+    /// Percentile (0–1) of activation magnitude used as the clipping
+    /// ceiling `amax`.
+    pub activation_percentile: f64,
+    /// Percentile (0–1) of |weight| used as the per-layer weight clip.
+    pub weight_percentile: f64,
+}
+
+impl Default for QuantConfig {
+    /// The paper's operating point: 4-bit weights and activations,
+    /// 99.9th-percentile activation clipping, 99.5th-percentile weight
+    /// clipping.
+    fn default() -> Self {
+        Self {
+            weight_levels: 16,
+            activation_levels: 16,
+            activation_percentile: 0.999,
+            weight_percentile: 0.995,
+        }
+    }
+}
+
+impl QuantConfig {
+    /// The paper's 4-bit default with a different weight level count —
+    /// used by the Fig. 9 sweep over weight discretization levels.
+    pub fn with_weight_levels(levels: usize) -> Self {
+        Self {
+            weight_levels: levels,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-layer activation ceilings measured on calibration data. Entry `i`
+/// corresponds to layer `i` of the *original* network and is `Some(amax)`
+/// only for ReLU layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationCalibration {
+    ceilings: Vec<Option<f32>>,
+}
+
+impl ActivationCalibration {
+    /// The ceiling for layer `i`, when layer `i` is a calibrated ReLU.
+    pub fn ceiling(&self, layer: usize) -> Option<f32> {
+        self.ceilings.get(layer).copied().flatten()
+    }
+
+    /// All ceilings, indexed by original layer position.
+    pub fn ceilings(&self) -> &[Option<f32>] {
+        &self.ceilings
+    }
+}
+
+/// Measures per-ReLU activation ceilings by passing `calib` through the
+/// network and taking the `percentile` quantile of each ReLU output.
+///
+/// # Errors
+///
+/// Propagates forward-pass errors; errors when the calibration set is
+/// empty.
+pub fn calibrate_activations(
+    net: &mut Network,
+    calib: &Dataset,
+    percentile: f64,
+) -> Result<ActivationCalibration, NnError> {
+    if calib.is_empty() {
+        return Err(NnError::InvalidConfig {
+            reason: "calibration set is empty".to_string(),
+        });
+    }
+    let outputs = net.forward_collect(&calib.inputs)?;
+    let ceilings = net
+        .layers()
+        .iter()
+        .zip(&outputs)
+        .map(|(layer, out)| {
+            if matches!(layer, Layer::Relu(_)) {
+                // Guard against an all-zero layer output.
+                let q = out.quantile(percentile);
+                Some(if q > 0.0 { q } else { out.max().max(1e-6) })
+            } else {
+                None
+            }
+        })
+        .collect();
+    Ok(ActivationCalibration { ceilings })
+}
+
+/// Quantizes a weight tensor in place: clips to the `percentile` quantile
+/// of |w| and rounds onto `levels` uniform steps over `[-clip, clip]`.
+///
+/// Returns the clip value used. With `levels == 0` the weights are left
+/// untouched (full precision) and the returned clip is the max |w|.
+pub fn quantize_weights_inplace(w: &mut Tensor, levels: usize, percentile: f64) -> f32 {
+    let abs = w.map(f32::abs);
+    let clip = {
+        let q = abs.quantile(percentile);
+        if q > 0.0 {
+            q
+        } else {
+            abs.max().max(1e-6)
+        }
+    };
+    if levels == 0 {
+        return clip;
+    }
+    debug_assert!(levels >= 2, "weight quantization needs >= 2 levels");
+    // Symmetric quantization onto the *device* grid: `levels` states
+    // spread uniformly over [-clip, clip], i.e. `-clip + k·step` for
+    // k = 0..levels-1. With an even level count this grid contains no
+    // exact zero — matching the 16 conductance states of the DW-MTJ
+    // crossbar cell, so software-quantized weights program losslessly.
+    let step = 2.0 * clip / (levels - 1) as f32;
+    w.map_inplace(|v| {
+        let c = v.clamp(-clip, clip);
+        -clip + ((c + clip) / step).round() * step
+    });
+    clip
+}
+
+/// Produces a quantized copy of `net`:
+///
+/// * every weight layer's parameters are clipped and quantized to
+///   `config.weight_levels`;
+/// * every ReLU gains a following [`Layer::ActivationQuant`] stage with
+///   its calibrated ceiling and `config.activation_levels` levels.
+///
+/// Batch-norm layers should be folded away first
+/// ([`crate::convert::fold_batch_norm`]) — quantizing through live BN
+/// layers is rejected because crossbars cannot realize them.
+///
+/// # Errors
+///
+/// Returns [`NnError::UnsupportedTopology`] when the network still
+/// contains batch-norm layers, plus any calibration errors.
+pub fn quantize_network(
+    net: &Network,
+    calib: &Dataset,
+    config: &QuantConfig,
+) -> Result<Network, NnError> {
+    if net
+        .layers()
+        .iter()
+        .any(|l| matches!(l, Layer::BatchNorm2d(_)))
+    {
+        return Err(NnError::UnsupportedTopology {
+            reason: "fold batch-norm layers before quantization".to_string(),
+        });
+    }
+    let mut work = net.clone();
+    let calibration =
+        calibrate_activations(&mut work, calib, config.activation_percentile)?;
+
+    let mut layers = Vec::with_capacity(net.len() * 2);
+    for (i, layer) in net.layers().iter().enumerate() {
+        let mut layer = layer.clone();
+        if layer.is_weight_layer() && config.weight_levels > 0 {
+            for p in layer.params_mut() {
+                // Quantize the weight tensor; biases ride along at the same
+                // level count (they map to crossbar bias columns).
+                quantize_weights_inplace(&mut p.value, config.weight_levels, config.weight_percentile);
+            }
+        }
+        let is_relu = matches!(layer, Layer::Relu(_));
+        layers.push(layer);
+        if is_relu {
+            if let Some(amax) = calibration.ceiling(i) {
+                layers.push(Layer::activation_quant(amax, config.activation_levels));
+            }
+        }
+    }
+    Ok(Network::new(layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{train, TrainConfig};
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(21)
+    }
+
+    fn blob_dataset(n_per: usize, r: &mut rand::rngs::StdRng) -> Dataset {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..2 * n_per {
+            let class = i % 2;
+            let center = if class == 0 { -1.0 } else { 1.0 };
+            data.push(center + r.gen_range(-0.4..0.4));
+            data.push(center + r.gen_range(-0.4..0.4));
+            labels.push(class);
+        }
+        Dataset::new(Tensor::from_vec(data, &[2 * n_per, 2]).unwrap(), labels).unwrap()
+    }
+
+    fn trained_net(data: &Dataset, r: &mut rand::rngs::StdRng) -> Network {
+        let mut net = Network::new(vec![
+            Layer::dense(2, 16, r),
+            Layer::relu(),
+            Layer::dense(16, 2, r),
+        ]);
+        let cfg = TrainConfig::builder().epochs(25).batch_size(10).build();
+        train(&mut net, data, &cfg, r).unwrap();
+        net
+    }
+
+    #[test]
+    fn weight_quantization_snaps_to_grid() {
+        let mut w = Tensor::from_vec(vec![-2.0, -0.31, 0.02, 0.3, 1.9], &[5]).unwrap();
+        let clip = quantize_weights_inplace(&mut w, 16, 1.0);
+        assert!((clip - 2.0).abs() < 1e-6);
+        let step = 2.0 * clip / 15.0;
+        for &v in w.data() {
+            // Device grid: -clip + k·step.
+            let k = (v + clip) / step;
+            assert!((k - k.round()).abs() < 1e-4, "{v} not on grid");
+            assert!(v.abs() <= clip + 1e-6);
+        }
+    }
+
+    #[test]
+    fn weight_quantization_clips_outliers() {
+        let mut data = vec![0.1f32; 99];
+        data.push(100.0); // outlier
+        let mut w = Tensor::from_vec(data, &[100]).unwrap();
+        quantize_weights_inplace(&mut w, 16, 0.95);
+        assert!(w.max() < 1.0, "outlier survived clipping: {}", w.max());
+    }
+
+    #[test]
+    fn zero_levels_means_full_precision() {
+        let mut w = Tensor::from_vec(vec![0.123, -0.456], &[2]).unwrap();
+        let orig = w.clone();
+        quantize_weights_inplace(&mut w, 0, 1.0);
+        assert_eq!(w, orig);
+    }
+
+    #[test]
+    fn calibration_finds_relu_ceilings_only() {
+        let mut r = rng();
+        let data = blob_dataset(20, &mut r);
+        let mut net = trained_net(&data, &mut r);
+        let calib = calibrate_activations(&mut net, &data, 0.999).unwrap();
+        assert_eq!(calib.ceilings().len(), 3);
+        assert!(calib.ceiling(0).is_none());
+        assert!(calib.ceiling(1).is_some());
+        assert!(calib.ceiling(1).unwrap() > 0.0);
+        assert!(calib.ceiling(2).is_none());
+    }
+
+    #[test]
+    fn quantized_network_keeps_accuracy_at_16_levels() {
+        let mut r = rng();
+        let data = blob_dataset(40, &mut r);
+        let mut net = trained_net(&data, &mut r);
+        let fp_acc = net.accuracy(&data.inputs, &data.labels).unwrap();
+        let mut q = quantize_network(&net, &data.take(20), &QuantConfig::default()).unwrap();
+        let q_acc = q.accuracy(&data.inputs, &data.labels).unwrap();
+        assert!(
+            q_acc >= fp_acc - 0.05,
+            "16-level quantization lost too much: {fp_acc} → {q_acc}"
+        );
+        // The quantized net has an extra ActivationQuant stage.
+        assert_eq!(q.len(), net.len() + 1);
+        assert!(q
+            .layers()
+            .iter()
+            .any(|l| matches!(l, Layer::ActivationQuant(_))));
+    }
+
+    #[test]
+    fn binary_weights_degrade_more_than_16_levels() {
+        let mut r = rng();
+        let data = blob_dataset(40, &mut r);
+        let net = trained_net(&data, &mut r);
+        let calib = data.take(20);
+        let mut q16 =
+            quantize_network(&net, &calib, &QuantConfig::with_weight_levels(16)).unwrap();
+        let mut q2 = quantize_network(&net, &calib, &QuantConfig::with_weight_levels(2)).unwrap();
+        let a16 = q16.accuracy(&data.inputs, &data.labels).unwrap();
+        let a2 = q2.accuracy(&data.inputs, &data.labels).unwrap();
+        assert!(a16 >= a2, "16 levels ({a16}) should beat 2 levels ({a2})");
+    }
+
+    #[test]
+    fn quantize_rejects_live_batch_norm() {
+        let mut r = rng();
+        let net = Network::new(vec![
+            Layer::conv2d(1, 2, 3, 1, 1, &mut r),
+            Layer::batch_norm2d(2),
+            Layer::relu(),
+        ]);
+        let calib = Dataset::new(Tensor::ones(&[1, 1, 4, 4]), vec![0]).unwrap();
+        assert!(matches!(
+            quantize_network(&net, &calib, &QuantConfig::default()),
+            Err(NnError::UnsupportedTopology { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_calibration_set_is_rejected() {
+        let mut r = rng();
+        let mut net = Network::new(vec![Layer::dense(2, 2, &mut r), Layer::relu()]);
+        let empty = Dataset::new(Tensor::zeros(&[0, 2]), vec![]).unwrap();
+        assert!(calibrate_activations(&mut net, &empty, 0.999).is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! Layer descriptors and statistics that drive the architecture-level
+//! energy model, plus the feature-map correlation metric of Fig. 10.
+//!
+//! A [`LayerDescriptor`] captures everything NEBULA's mapper needs about a
+//! weight layer — receptive-field size `R_f = K_H·K_W·C`, kernel count,
+//! output elements, MACs — without materializing weights, so full-size
+//! topologies (AlexNet on 224×224 inputs, etc.) can be described cheaply.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::network::Network;
+use nebula_tensor::Tensor;
+
+/// The arithmetic operation a weight layer performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerOp {
+    /// Dense convolution.
+    Conv {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels (number of kernels).
+        out_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Depthwise convolution.
+    DepthwiseConv {
+        /// Channels (each convolved independently).
+        channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Fully connected layer.
+    Dense {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+}
+
+/// Everything the architecture mapper needs to know about one weight
+/// layer of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDescriptor {
+    /// Position among the network's weight layers (0-based).
+    pub index: usize,
+    /// Human-readable label, e.g. `"conv3"`.
+    pub name: String,
+    /// The operation.
+    pub op: LayerOp,
+    /// Input spatial size `(h, w)`; `(1, 1)` for dense layers.
+    pub input_hw: (usize, usize),
+    /// Output spatial size `(h, w)`; `(1, 1)` for dense layers.
+    pub output_hw: (usize, usize),
+    /// Receptive-field size `R_f` — the number of crossbar rows one
+    /// kernel needs (paper Fig. 5): `K_H·K_W·C` for conv, `in_features`
+    /// for dense, `K_H·K_W` for depthwise.
+    pub receptive_field: usize,
+    /// Number of kernels mapped as crossbar columns (output channels /
+    /// output features; depthwise maps each channel's kernel separately).
+    pub kernels: usize,
+    /// Number of output activations this layer produces per inference.
+    pub output_elements: usize,
+    /// Multiply-accumulate operations per inference.
+    pub macs: u64,
+    /// Average input activity for SNN-mode energy accounting: the mean
+    /// spikes per input neuron per timestep. `1.0` models dense ANN
+    /// inputs.
+    pub input_activity: f64,
+}
+
+impl LayerDescriptor {
+    /// Builds a conv-layer descriptor from geometry.
+    #[allow(clippy::too_many_arguments)] // geometry parameters mirror the layer definition
+    pub fn conv(
+        index: usize,
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        input_hw: (usize, usize),
+    ) -> Self {
+        let oh = (input_hw.0 + 2 * pad - kernel) / stride + 1;
+        let ow = (input_hw.1 + 2 * pad - kernel) / stride + 1;
+        let receptive_field = kernel * kernel * in_channels;
+        let output_elements = out_channels * oh * ow;
+        Self {
+            index,
+            name: name.into(),
+            op: LayerOp::Conv {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                pad,
+            },
+            input_hw,
+            output_hw: (oh, ow),
+            receptive_field,
+            kernels: out_channels,
+            output_elements,
+            macs: output_elements as u64 * receptive_field as u64,
+            input_activity: 1.0,
+        }
+    }
+
+    /// Builds a depthwise-conv descriptor from geometry.
+    pub fn depthwise(
+        index: usize,
+        name: impl Into<String>,
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        input_hw: (usize, usize),
+    ) -> Self {
+        let oh = (input_hw.0 + 2 * pad - kernel) / stride + 1;
+        let ow = (input_hw.1 + 2 * pad - kernel) / stride + 1;
+        let receptive_field = kernel * kernel;
+        let output_elements = channels * oh * ow;
+        Self {
+            index,
+            name: name.into(),
+            op: LayerOp::DepthwiseConv {
+                channels,
+                kernel,
+                stride,
+                pad,
+            },
+            input_hw,
+            output_hw: (oh, ow),
+            receptive_field,
+            kernels: channels,
+            output_elements,
+            macs: output_elements as u64 * receptive_field as u64,
+            input_activity: 1.0,
+        }
+    }
+
+    /// Builds a dense-layer descriptor.
+    pub fn dense(
+        index: usize,
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+    ) -> Self {
+        Self {
+            index,
+            name: name.into(),
+            op: LayerOp::Dense {
+                in_features,
+                out_features,
+            },
+            input_hw: (1, 1),
+            output_hw: (1, 1),
+            receptive_field: in_features,
+            kernels: out_features,
+            output_elements: out_features,
+            macs: in_features as u64 * out_features as u64,
+            input_activity: 1.0,
+        }
+    }
+
+    /// Returns a copy with the given SNN input activity attached.
+    pub fn with_activity(mut self, activity: f64) -> Self {
+        self.input_activity = activity;
+        self
+    }
+
+    /// True for the depthwise-separable layers whose small `R_f` drives
+    /// NEBULA's biggest wins over ISAAC (paper Fig. 12 discussion).
+    pub fn is_depthwise(&self) -> bool {
+        matches!(self.op, LayerOp::DepthwiseConv { .. })
+    }
+}
+
+/// Describes every weight layer of a concrete network for an input of
+/// shape `[C, H, W]` (conv-first nets) or `[F]` (dense-first nets).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] when the input shape is
+/// incompatible with the first layer.
+pub fn describe_network(
+    net: &Network,
+    input_shape: &[usize],
+) -> Result<Vec<LayerDescriptor>, NnError> {
+    let mut shape: Vec<usize> = std::iter::once(1usize)
+        .chain(input_shape.iter().copied())
+        .collect();
+    let mut descriptors = Vec::new();
+    let mut weight_index = 0usize;
+    for layer in net.layers() {
+        let out = layer.output_shape(&shape)?;
+        match layer {
+            Layer::Conv2d(c) => {
+                let w = c.weight.value.shape();
+                descriptors.push(LayerDescriptor::conv(
+                    weight_index,
+                    format!("conv{}", weight_index + 1),
+                    w[1],
+                    w[0],
+                    w[2],
+                    c.geom.stride,
+                    c.geom.pad,
+                    (shape[2], shape[3]),
+                ));
+                weight_index += 1;
+            }
+            Layer::DepthwiseConv2d(c) => {
+                let w = c.weight.value.shape();
+                descriptors.push(LayerDescriptor::depthwise(
+                    weight_index,
+                    format!("dwconv{}", weight_index + 1),
+                    w[0],
+                    w[2],
+                    c.geom.stride,
+                    c.geom.pad,
+                    (shape[2], shape[3]),
+                ));
+                weight_index += 1;
+            }
+            Layer::Dense(d) => {
+                let w = d.weight.value.shape();
+                descriptors.push(LayerDescriptor::dense(
+                    weight_index,
+                    format!("fc{}", weight_index + 1),
+                    w[0],
+                    w[1],
+                ));
+                weight_index += 1;
+            }
+            _ => {}
+        }
+        shape = out;
+    }
+    Ok(descriptors)
+}
+
+/// Pearson correlation between two equally shaped maps — the Fig. 10
+/// metric comparing ANN feature maps with SNN rate-coded feature maps.
+///
+/// Returns 0 when either map has zero variance.
+///
+/// # Errors
+///
+/// Returns a shape error when the tensors disagree.
+pub fn feature_map_correlation(a: &Tensor, b: &Tensor) -> Result<f64, NnError> {
+    if a.shape() != b.shape() {
+        return Err(NnError::Tensor(nebula_tensor::TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "feature_map_correlation",
+        }));
+    }
+    let n = a.len() as f64;
+    if n == 0.0 {
+        return Ok(0.0);
+    }
+    let (ma, mb) = (a.mean() as f64, b.mean() as f64);
+    let mut cov = 0.0f64;
+    let mut va = 0.0f64;
+    let mut vb = 0.0f64;
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        let (dx, dy) = (x as f64 - ma, y as f64 - mb);
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(cov / (va.sqrt() * vb.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_descriptor_geometry() {
+        // VGG first layer: 3→64, 3x3, same padding, 32x32 input.
+        let d = LayerDescriptor::conv(0, "conv1", 3, 64, 3, 1, 1, (32, 32));
+        assert_eq!(d.receptive_field, 27);
+        assert_eq!(d.kernels, 64);
+        assert_eq!(d.output_hw, (32, 32));
+        assert_eq!(d.output_elements, 64 * 32 * 32);
+        assert_eq!(d.macs, 64 * 32 * 32 * 27);
+        assert!(!d.is_depthwise());
+    }
+
+    #[test]
+    fn depthwise_descriptor_has_tiny_receptive_field() {
+        let d = LayerDescriptor::depthwise(1, "dw", 64, 3, 1, 1, (16, 16));
+        assert_eq!(d.receptive_field, 9);
+        assert_eq!(d.kernels, 64);
+        assert!(d.is_depthwise());
+    }
+
+    #[test]
+    fn dense_descriptor() {
+        let d = LayerDescriptor::dense(5, "fc", 512, 10);
+        assert_eq!(d.receptive_field, 512);
+        assert_eq!(d.kernels, 10);
+        assert_eq!(d.macs, 5120);
+    }
+
+    #[test]
+    fn describe_network_walks_shapes() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(0);
+        let net = Network::new(vec![
+            Layer::conv2d(1, 4, 3, 1, 1, &mut r),
+            Layer::relu(),
+            Layer::avg_pool(2),
+            Layer::flatten(),
+            Layer::dense(4 * 16 * 16, 10, &mut r),
+        ]);
+        let ds = describe_network(&net, &[1, 32, 32]).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].receptive_field, 9);
+        assert_eq!(ds[0].output_hw, (32, 32));
+        assert_eq!(ds[1].receptive_field, 4 * 16 * 16);
+        assert_eq!(ds[1].kernels, 10);
+    }
+
+    #[test]
+    fn with_activity_attaches_rate() {
+        let d = LayerDescriptor::dense(0, "fc", 4, 2).with_activity(0.1);
+        assert_eq!(d.input_activity, 0.1);
+    }
+
+    #[test]
+    fn correlation_of_identical_maps_is_one() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        assert!((feature_map_correlation(&a, &a).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_of_anticorrelated_maps_is_minus_one() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 2.0, 1.0], &[3]).unwrap();
+        assert!((feature_map_correlation(&a, &b).unwrap() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_handles_degenerate_inputs() {
+        let a = Tensor::zeros(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        assert_eq!(feature_map_correlation(&a, &b).unwrap(), 0.0);
+        assert!(feature_map_correlation(&a, &Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn noisy_copy_correlates_strongly_but_imperfectly() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(9);
+        let a = Tensor::rand_uniform(&[1000], 0.0, 1.0, &mut r);
+        let noise = Tensor::rand_uniform(&[1000], -0.05, 0.05, &mut r);
+        let b = a.add(&noise).unwrap();
+        let c = feature_map_correlation(&a, &b).unwrap();
+        assert!(c > 0.95 && c < 1.0, "correlation {c}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the neural-network layer: training machinery,
+//! quantization and conversion invariants.
+
+use nebula_nn::layer::Layer;
+use nebula_nn::quant::quantize_weights_inplace;
+use nebula_nn::snn::{IfPopulation, ResetMode};
+use nebula_nn::Network;
+use nebula_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn quantized_weights_stay_on_the_device_grid(
+        data in proptest::collection::vec(-3.0f32..3.0, 2..64),
+        levels in prop::sample::select(vec![2usize, 4, 8, 16, 32]),
+    ) {
+        let n = data.len();
+        let mut w = Tensor::from_vec(data, &[n]).unwrap();
+        let clip = quantize_weights_inplace(&mut w, levels, 1.0);
+        let step = 2.0 * clip / (levels - 1) as f32;
+        for &v in w.data() {
+            let k = (v + clip) / step;
+            prop_assert!((k - k.round()).abs() < 1e-3, "{} off-grid (clip {})", v, clip);
+            prop_assert!(v.abs() <= clip * (1.0 + 1e-5));
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_step(
+        data in proptest::collection::vec(-1.0f32..1.0, 2..64),
+    ) {
+        let n = data.len();
+        let orig = Tensor::from_vec(data, &[n]).unwrap();
+        let mut q = orig.clone();
+        let clip = quantize_weights_inplace(&mut q, 16, 1.0);
+        let step = 2.0 * clip / 15.0;
+        for (o, v) in orig.data().iter().zip(q.data()) {
+            prop_assert!((o - v).abs() <= step / 2.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn per_element_error_is_bounded_by_the_level_step(
+        data in proptest::collection::vec(-1.0f32..1.0, 8..64),
+    ) {
+        // The offset (device) grids of different level counts are not
+        // nested, so per-vector totals are not strictly monotone — but
+        // every element's error is bounded by half its grid step, which
+        // shrinks with the level count.
+        let n = data.len();
+        let orig = Tensor::from_vec(data, &[n]).unwrap();
+        for levels in [4usize, 16, 32] {
+            let mut q = orig.clone();
+            let clip = quantize_weights_inplace(&mut q, levels, 1.0);
+            let step = 2.0 * clip / (levels - 1) as f32;
+            for (o, v) in orig.data().iter().zip(q.data()) {
+                prop_assert!((o - v).abs() <= step / 2.0 + 1e-5);
+            }
+        }
+        // And the 32-level grid beats the binary grid overall.
+        let err = |levels: usize| {
+            let mut q = orig.clone();
+            quantize_weights_inplace(&mut q, levels, 1.0);
+            orig.sub(&q).unwrap().map(f32::abs).sum()
+        };
+        prop_assert!(err(32) <= err(2) + 1e-4);
+    }
+
+    #[test]
+    fn if_rate_approximates_input_rate(rate in 0.05f32..0.95) {
+        // The conversion identity: IF with v_th 1 fires at the input rate.
+        let mut pop = IfPopulation::new(1.0, ResetMode::Subtract);
+        let t = 400;
+        for _ in 0..t {
+            pop.step(&Tensor::full(&[1], rate)).unwrap();
+        }
+        let measured = pop.total_spikes() as f64 / t as f64;
+        prop_assert!((measured - rate as f64).abs() < 0.02, "{} vs {}", measured, rate);
+    }
+
+    #[test]
+    fn forward_is_deterministic(seed in 0u64..500) {
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = Network::new(vec![
+            Layer::dense(4, 8, &mut r),
+            Layer::relu(),
+            Layer::dense(8, 3, &mut r),
+        ]);
+        let x = Tensor::rand_uniform(&[2, 4], -1.0, 1.0, &mut r);
+        let y1 = net.forward(&x).unwrap();
+        let y2 = net.forward(&x).unwrap();
+        prop_assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn relu_network_output_is_scale_covariant(
+        seed in 0u64..200,
+        k in 0.1f32..5.0,
+    ) {
+        // Bias-free ReLU networks are positively homogeneous:
+        // f(kx) = k·f(x). This is the identity ANN→SNN threshold
+        // balancing relies on.
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = Network::new(vec![
+            Layer::dense(3, 6, &mut r),
+            Layer::relu(),
+            Layer::dense(6, 2, &mut r),
+        ]);
+        // Biases are zero-initialized by construction.
+        let x = Tensor::rand_uniform(&[1, 3], 0.0, 1.0, &mut r);
+        let y = net.forward(&x).unwrap();
+        let yk = net.forward(&x.scale(k)).unwrap();
+        for (a, b) in y.data().iter().zip(yk.data()) {
+            prop_assert!((a * k - b).abs() < 1e-3 * b.abs().max(1.0), "{} vs {}", a * k, b);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! # nebula-noc
+//!
+//! Mesh network-on-chip substrate for the NEBULA architecture
+//! (Singh et al., ISCA 2020, Fig. 6b): neural cores tiled on a 2-D mesh,
+//! XY dimension-order routing, and **augmented routing units (RUs)** —
+//! routers carrying an adder and activation/spike logic so partial sums
+//! of kernels that overflow a neural core can be reduced *in the
+//! network* on their way to the destination core.
+//!
+//! The model is transaction-level: it reports hop counts, flit·hop
+//! traffic and cycle latency per transfer, which the architecture layer
+//! converts to energy. It is not a flit-accurate simulator (the paper's
+//! evaluation likewise uses an analytical system model).
+//!
+//! # Examples
+//!
+//! ```
+//! use nebula_noc::{MeshTopology, MeshNetwork, NodeId};
+//!
+//! let mesh = MeshTopology::new(14, 14)?;
+//! let mut net = MeshNetwork::new(mesh);
+//! let report = net.send(NodeId(0), NodeId(27), 512)?;
+//! assert!(report.hops > 0);
+//! # Ok::<(), nebula_noc::NocError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod router;
+pub mod topology;
+
+pub use network::{MeshNetwork, RouteReport, TrafficStats};
+pub use router::{ReduceOutcome, RoutingUnit};
+pub use topology::{MeshTopology, NodeId};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the NoC layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// A mesh dimension was zero.
+    EmptyMesh,
+    /// A node id fell outside the mesh.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the mesh.
+        nodes: usize,
+    },
+    /// A reduction was requested with no sources.
+    EmptyReduction,
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::EmptyMesh => write!(f, "mesh dimensions must be nonzero"),
+            NocError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for a {nodes}-node mesh")
+            }
+            NocError::EmptyReduction => write!(f, "reduction requires at least one source"),
+        }
+    }
+}
+
+impl Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NocError>();
+        assert!(NocError::EmptyMesh.to_string().contains("nonzero"));
+    }
+}

@@ -1,0 +1,335 @@
+//! Transaction-level mesh network: transfers, reduction trees and
+//! traffic accounting.
+
+use crate::router::RoutingUnit;
+use crate::topology::{MeshTopology, NodeId};
+use crate::NocError;
+
+/// Flit width in bits (a 4-bit-activation design packs many activations
+/// per flit; 32 bits matches small control+payload packets).
+pub const FLIT_BITS: u64 = 32;
+
+/// Per-transfer report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteReport {
+    /// Router-to-router hops traversed.
+    pub hops: usize,
+    /// Flits the payload occupied.
+    pub flits: u64,
+    /// Flit·hop product (the NoC energy proxy).
+    pub flit_hops: u64,
+    /// Cycles to deliver assuming one hop per cycle plus serialization.
+    pub latency_cycles: u64,
+}
+
+/// Cumulative traffic statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficStats {
+    /// Transfers performed.
+    pub transfers: u64,
+    /// Total flit·hops moved.
+    pub flit_hops: u64,
+    /// Total reduction additions performed at RUs.
+    pub ru_adds: u64,
+    /// Total activations applied at RUs.
+    pub ru_activations: u64,
+}
+
+/// A mesh network with per-node routing units.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_noc::{MeshNetwork, MeshTopology, NodeId};
+///
+/// let mut net = MeshNetwork::new(MeshTopology::new(4, 4)?);
+/// // Reduce partial sums from three cores into node 15.
+/// let (value, report) = net.reduce_to(
+///     &[(NodeId(0), 1.0), (NodeId(3), 2.0), (NodeId(5), -0.5)],
+///     NodeId(15),
+///     64,
+/// )?;
+/// assert_eq!(value, 2.5);
+/// assert!(report.hops > 0);
+/// # Ok::<(), nebula_noc::NocError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeshNetwork {
+    topology: MeshTopology,
+    rus: Vec<RoutingUnit>,
+    stats: TrafficStats,
+}
+
+impl MeshNetwork {
+    /// Creates a network over a topology, one RU per node.
+    pub fn new(topology: MeshTopology) -> Self {
+        Self {
+            topology,
+            rus: vec![RoutingUnit::new(); topology.nodes()],
+            stats: TrafficStats::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &MeshTopology {
+        &self.topology
+    }
+
+    /// The routing unit at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn routing_unit(&self, node: NodeId) -> &RoutingUnit {
+        &self.rus[node.0]
+    }
+
+    /// Cumulative traffic statistics.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Sends `bits` of payload from `src` to `dst`, returning the route
+    /// report. A zero-hop (local) transfer is free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] for invalid endpoints.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, bits: u64) -> Result<RouteReport, NocError> {
+        self.topology.validate(src)?;
+        self.topology.validate(dst)?;
+        let hops = self.topology.hops(src, dst);
+        let flits = bits.div_ceil(FLIT_BITS).max(1);
+        let flit_hops = flits * hops as u64;
+        let report = RouteReport {
+            hops,
+            flits,
+            flit_hops,
+            // Wormhole: head latency = hops, body streams behind.
+            latency_cycles: hops as u64 + flits.saturating_sub(1),
+        };
+        self.stats.transfers += 1;
+        self.stats.flit_hops += flit_hops;
+        Ok(report)
+    }
+
+    /// Multicasts `bits` from `src` to several destinations along a
+    /// shared XY tree: links common to several branches carry the payload
+    /// once (how replicated kernels receive the same activations without
+    /// paying per-replica unicast traffic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::EmptyReduction`] when `dsts` is empty, or
+    /// [`NocError::NodeOutOfRange`] for invalid nodes.
+    pub fn multicast(
+        &mut self,
+        src: NodeId,
+        dsts: &[NodeId],
+        bits: u64,
+    ) -> Result<RouteReport, NocError> {
+        if dsts.is_empty() {
+            return Err(NocError::EmptyReduction);
+        }
+        self.topology.validate(src)?;
+        let mut links = std::collections::HashSet::new();
+        let mut max_hops = 0usize;
+        for &dst in dsts {
+            self.topology.validate(dst)?;
+            let route = self.topology.xy_route(src, dst);
+            max_hops = max_hops.max(route.len() - 1);
+            for pair in route.windows(2) {
+                links.insert((pair[0], pair[1]));
+            }
+        }
+        let flits = bits.div_ceil(FLIT_BITS).max(1);
+        let flit_hops = flits * links.len() as u64;
+        let report = RouteReport {
+            hops: links.len(),
+            flits,
+            flit_hops,
+            latency_cycles: max_hops as u64 + flits.saturating_sub(1),
+        };
+        self.stats.transfers += 1;
+        self.stats.flit_hops += flit_hops;
+        Ok(report)
+    }
+
+    /// Reduces partial sums from several source nodes into `dst` using
+    /// the RU adders: every source routes its value toward `dst`
+    /// (XY order), values are accumulated at the destination RU, and the
+    /// aggregate route report is returned alongside the reduced value.
+    ///
+    /// `bits` is the payload size per partial sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::EmptyReduction`] when `sources` is empty, or
+    /// [`NocError::NodeOutOfRange`] for invalid nodes.
+    pub fn reduce_to(
+        &mut self,
+        sources: &[(NodeId, f64)],
+        dst: NodeId,
+        bits: u64,
+    ) -> Result<(f64, RouteReport), NocError> {
+        if sources.is_empty() {
+            return Err(NocError::EmptyReduction);
+        }
+        self.topology.validate(dst)?;
+        let mut total = RouteReport {
+            hops: 0,
+            flits: 0,
+            flit_hops: 0,
+            latency_cycles: 0,
+        };
+        for &(src, value) in sources {
+            let r = self.send(src, dst, bits)?;
+            total.hops += r.hops;
+            total.flits += r.flits;
+            total.flit_hops += r.flit_hops;
+            // Reductions from different sources overlap; latency is the
+            // slowest branch plus one add per extra source.
+            total.latency_cycles = total.latency_cycles.max(r.latency_cycles);
+            self.rus[dst.0].accumulate(value);
+            self.stats.ru_adds += 1;
+        }
+        total.latency_cycles += sources.len() as u64 - 1;
+        let value = self.rus[dst.0].partial();
+        // Clear the RU accumulator without applying an activation: the
+        // caller decides between ReLU and spike finalization.
+        let _ = self.rus[dst.0].finish_relu();
+        self.stats.ru_activations += 1;
+        Ok((value, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> MeshNetwork {
+        MeshNetwork::new(MeshTopology::new(4, 4).unwrap())
+    }
+
+    #[test]
+    fn send_reports_hops_and_flits() {
+        let mut n = net();
+        let r = n.send(NodeId(0), NodeId(15), 128).unwrap();
+        assert_eq!(r.hops, 6);
+        assert_eq!(r.flits, 4);
+        assert_eq!(r.flit_hops, 24);
+        assert_eq!(r.latency_cycles, 9);
+    }
+
+    #[test]
+    fn local_transfer_is_free() {
+        let mut n = net();
+        let r = n.send(NodeId(5), NodeId(5), 512).unwrap();
+        assert_eq!(r.hops, 0);
+        assert_eq!(r.flit_hops, 0);
+    }
+
+    #[test]
+    fn tiny_payload_still_occupies_one_flit() {
+        let mut n = net();
+        let r = n.send(NodeId(0), NodeId(1), 4).unwrap();
+        assert_eq!(r.flits, 1);
+    }
+
+    #[test]
+    fn send_validates_nodes() {
+        let mut n = net();
+        assert!(n.send(NodeId(0), NodeId(16), 8).is_err());
+        assert!(n.send(NodeId(99), NodeId(0), 8).is_err());
+    }
+
+    #[test]
+    fn reduce_sums_partials_and_accounts_traffic() {
+        let mut n = net();
+        let (v, r) = n
+            .reduce_to(
+                &[(NodeId(0), 1.0), (NodeId(1), 2.0), (NodeId(2), 3.0)],
+                NodeId(3),
+                32,
+            )
+            .unwrap();
+        assert_eq!(v, 6.0);
+        assert_eq!(r.hops, 3 + 2 + 1);
+        let stats = n.stats();
+        assert_eq!(stats.transfers, 3);
+        assert_eq!(stats.ru_adds, 3);
+        assert_eq!(stats.ru_activations, 1);
+    }
+
+    #[test]
+    fn reduce_latency_is_slowest_branch_plus_adds() {
+        let mut n = net();
+        let (_, r) = n
+            .reduce_to(&[(NodeId(0), 1.0), (NodeId(12), 1.0)], NodeId(15), 32)
+            .unwrap();
+        // Branch latencies: hops(0→15)=6, hops(12→15)=3 → max 6, +1 add.
+        assert_eq!(r.latency_cycles, 7);
+    }
+
+    #[test]
+    fn reduce_rejects_empty_sources() {
+        let mut n = net();
+        assert!(matches!(
+            n.reduce_to(&[], NodeId(0), 32),
+            Err(NocError::EmptyReduction)
+        ));
+    }
+
+    #[test]
+    fn multicast_shares_common_path_prefixes() {
+        let mut n = net();
+        // XY routes go X-first: node 3 (3,0) lies on the prefix of the
+        // route to node 15 (3,3), so the whole top row is shared.
+        let m = n.multicast(NodeId(0), &[NodeId(3), NodeId(15)], 32).unwrap();
+        // Unicast would cost 3 + 6 = 9 link traversals; the tree needs 6.
+        assert_eq!(m.hops, 6);
+        assert_eq!(m.flit_hops, 6);
+        // Latency is the longest branch.
+        assert_eq!(m.latency_cycles, 6);
+    }
+
+    #[test]
+    fn multicast_to_one_destination_matches_unicast() {
+        let mut a = net();
+        let mut b = net();
+        let uni = a.send(NodeId(0), NodeId(15), 96).unwrap();
+        let multi = b.multicast(NodeId(0), &[NodeId(15)], 96).unwrap();
+        assert_eq!(uni.hops, multi.hops);
+        assert_eq!(uni.flit_hops, multi.flit_hops);
+        assert_eq!(uni.latency_cycles, multi.latency_cycles);
+    }
+
+    #[test]
+    fn multicast_never_exceeds_unicast_total(
+    ) {
+        let mut n = net();
+        let dsts = [NodeId(5), NodeId(6), NodeId(7), NodeId(10)];
+        let m = n.multicast(NodeId(0), &dsts, 64).unwrap();
+        let unicast_total: usize = dsts
+            .iter()
+            .map(|&d| n.topology().hops(NodeId(0), d))
+            .sum();
+        assert!(m.hops <= unicast_total);
+    }
+
+    #[test]
+    fn multicast_validates_inputs() {
+        let mut n = net();
+        assert!(n.multicast(NodeId(0), &[], 8).is_err());
+        assert!(n.multicast(NodeId(0), &[NodeId(99)], 8).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate_across_operations() {
+        let mut n = net();
+        n.send(NodeId(0), NodeId(1), 32).unwrap();
+        n.send(NodeId(1), NodeId(2), 32).unwrap();
+        assert_eq!(n.stats().transfers, 2);
+        assert_eq!(n.stats().flit_hops, 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Augmented routing units (RUs): routers with an adder and
+//! activation/spike logic (paper §IV-B3, Fig. 6a).
+//!
+//! When a kernel's receptive field overflows a neural core
+//! (`R_f > 16M`), its partial sums are digitized and reduced by adders
+//! placed at the RUs along the route; after the last reduction hop the RU
+//! applies the activation (ReLU in ANN mode, threshold-and-spike in SNN
+//! mode) before writing the result to the destination core's eDRAM.
+
+/// Result of finalizing a reduction at an RU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReduceOutcome {
+    /// ANN mode: the rectified activation value.
+    Activation(f64),
+    /// SNN mode: whether the accumulated potential crossed threshold.
+    Spike(bool),
+}
+
+/// One routing unit: accumulates partial sums and applies the final
+/// activation.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_noc::{ReduceOutcome, RoutingUnit};
+///
+/// let mut ru = RoutingUnit::new();
+/// ru.accumulate(0.5);
+/// ru.accumulate(-0.25);
+/// assert_eq!(ru.finish_relu(), ReduceOutcome::Activation(0.25));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoutingUnit {
+    partial: f64,
+    adds: u64,
+    activations: u64,
+}
+
+impl RoutingUnit {
+    /// Creates an idle RU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one partial sum into the RU's accumulator.
+    pub fn accumulate(&mut self, partial: f64) {
+        self.partial += partial;
+        self.adds += 1;
+    }
+
+    /// Current accumulator value (before activation).
+    pub fn partial(&self) -> f64 {
+        self.partial
+    }
+
+    /// Finishes an ANN reduction: applies ReLU, clears the accumulator.
+    pub fn finish_relu(&mut self) -> ReduceOutcome {
+        self.activations += 1;
+        let v = self.partial.max(0.0);
+        self.partial = 0.0;
+        // Clean up floating-point negative zero for stable comparisons.
+        ReduceOutcome::Activation(if v == 0.0 { 0.0 } else { v })
+    }
+
+    /// Finishes an SNN reduction: compares against `threshold`, clears
+    /// the accumulator (reset-to-zero, matching the device behaviour).
+    pub fn finish_spike(&mut self, threshold: f64) -> ReduceOutcome {
+        self.activations += 1;
+        let fired = self.partial >= threshold;
+        self.partial = 0.0;
+        ReduceOutcome::Spike(fired)
+    }
+
+    /// Additions performed (for energy accounting).
+    pub fn add_count(&self) -> u64 {
+        self.adds
+    }
+
+    /// Activations applied (for energy accounting).
+    pub fn activation_count(&self) -> u64 {
+        self.activations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_rectifies() {
+        let mut ru = RoutingUnit::new();
+        ru.accumulate(1.5);
+        ru.accumulate(-2.0);
+        assert_eq!(ru.partial(), -0.5);
+        assert_eq!(ru.finish_relu(), ReduceOutcome::Activation(0.0));
+        assert_eq!(ru.partial(), 0.0, "finish must clear the accumulator");
+    }
+
+    #[test]
+    fn positive_sums_pass_through_relu() {
+        let mut ru = RoutingUnit::new();
+        ru.accumulate(0.25);
+        ru.accumulate(0.5);
+        assert_eq!(ru.finish_relu(), ReduceOutcome::Activation(0.75));
+    }
+
+    #[test]
+    fn spike_threshold_comparison() {
+        let mut ru = RoutingUnit::new();
+        ru.accumulate(0.6);
+        assert_eq!(ru.finish_spike(1.0), ReduceOutcome::Spike(false));
+        ru.accumulate(0.6);
+        ru.accumulate(0.6);
+        assert_eq!(ru.finish_spike(1.0), ReduceOutcome::Spike(true));
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let mut ru = RoutingUnit::new();
+        ru.accumulate(1.0);
+        ru.accumulate(1.0);
+        ru.finish_relu();
+        ru.accumulate(1.0);
+        ru.finish_spike(0.5);
+        assert_eq!(ru.add_count(), 3);
+        assert_eq!(ru.activation_count(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! 2-D mesh topology and XY dimension-order routing.
+
+use crate::NocError;
+
+/// Identifier of one mesh node (row-major).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A `width × height` 2-D mesh.
+///
+/// # Examples
+///
+/// ```
+/// use nebula_noc::{MeshTopology, NodeId};
+///
+/// let mesh = MeshTopology::new(4, 4)?;
+/// assert_eq!(mesh.nodes(), 16);
+/// assert_eq!(mesh.hops(NodeId(0), NodeId(15)), 6); // 3 east + 3 south
+/// # Ok::<(), nebula_noc::NocError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshTopology {
+    width: usize,
+    height: usize,
+}
+
+impl MeshTopology {
+    /// Creates a mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::EmptyMesh`] when either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Result<Self, NocError> {
+        if width == 0 || height == 0 {
+            return Err(NocError::EmptyMesh);
+        }
+        Ok(Self { width, height })
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// `(x, y)` coordinates of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node is out of range; use [`validate`](Self::validate)
+    /// for a fallible check.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        assert!(node.0 < self.nodes(), "node {node} out of range");
+        (node.0 % self.width, node.0 / self.width)
+    }
+
+    /// Node at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are outside the mesh.
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        assert!(x < self.width && y < self.height, "({x},{y}) outside mesh");
+        NodeId(y * self.width + x)
+    }
+
+    /// Checks that a node id lies inside the mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] otherwise.
+    pub fn validate(&self, node: NodeId) -> Result<(), NocError> {
+        if node.0 < self.nodes() {
+            Ok(())
+        } else {
+            Err(NocError::NodeOutOfRange {
+                node: node.0,
+                nodes: self.nodes(),
+            })
+        }
+    }
+
+    /// Manhattan hop count between two nodes (the latency XY routing
+    /// achieves on an idle mesh).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The XY dimension-order route from `src` to `dst`, inclusive of
+    /// both endpoints: first all X hops, then all Y hops.
+    pub fn xy_route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut path = vec![src];
+        let (mut x, mut y) = (sx, sy);
+        while x != dx {
+            x = if dx > x { x + 1 } else { x - 1 };
+            path.push(self.node_at(x, y));
+        }
+        while y != dy {
+            y = if dy > y { y + 1 } else { y - 1 };
+            path.push(self.node_at(x, y));
+        }
+        path
+    }
+
+    /// Direct mesh neighbors of a node (2–4 of them).
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let (x, y) = self.coords(node);
+        let mut out = Vec::with_capacity(4);
+        if x > 0 {
+            out.push(self.node_at(x - 1, y));
+        }
+        if x + 1 < self.width {
+            out.push(self.node_at(x + 1, y));
+        }
+        if y > 0 {
+            out.push(self.node_at(x, y - 1));
+        }
+        if y + 1 < self.height {
+            out.push(self.node_at(x, y + 1));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_dimensions() {
+        assert!(MeshTopology::new(0, 3).is_err());
+        assert!(MeshTopology::new(3, 0).is_err());
+        let m = MeshTopology::new(14, 14).unwrap();
+        assert_eq!(m.nodes(), 196);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let m = MeshTopology::new(5, 3).unwrap();
+        for id in 0..m.nodes() {
+            let (x, y) = m.coords(NodeId(id));
+            assert_eq!(m.node_at(x, y), NodeId(id));
+        }
+    }
+
+    #[test]
+    fn hops_are_manhattan_distance() {
+        let m = MeshTopology::new(4, 4).unwrap();
+        assert_eq!(m.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(m.hops(NodeId(0), NodeId(3)), 3);
+        assert_eq!(m.hops(NodeId(0), NodeId(12)), 3);
+        assert_eq!(m.hops(NodeId(5), NodeId(10)), 2);
+    }
+
+    #[test]
+    fn xy_route_goes_x_first() {
+        let m = MeshTopology::new(4, 4).unwrap();
+        let route = m.xy_route(NodeId(0), NodeId(10)); // (0,0) → (2,2)
+        assert_eq!(
+            route,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(6), NodeId(10)]
+        );
+        // Route length = hops + 1.
+        assert_eq!(route.len(), m.hops(NodeId(0), NodeId(10)) + 1);
+    }
+
+    #[test]
+    fn xy_route_handles_reverse_directions() {
+        let m = MeshTopology::new(4, 4).unwrap();
+        let route = m.xy_route(NodeId(15), NodeId(0));
+        assert_eq!(route.first(), Some(&NodeId(15)));
+        assert_eq!(route.last(), Some(&NodeId(0)));
+        assert_eq!(route.len(), 7);
+    }
+
+    #[test]
+    fn neighbors_respect_borders() {
+        let m = MeshTopology::new(3, 3).unwrap();
+        assert_eq!(m.neighbors(NodeId(0)).len(), 2); // corner
+        assert_eq!(m.neighbors(NodeId(1)).len(), 3); // edge
+        assert_eq!(m.neighbors(NodeId(4)).len(), 4); // center
+    }
+
+    #[test]
+    fn validate_flags_out_of_range() {
+        let m = MeshTopology::new(2, 2).unwrap();
+        assert!(m.validate(NodeId(3)).is_ok());
+        assert!(matches!(
+            m.validate(NodeId(4)),
+            Err(NocError::NodeOutOfRange { node: 4, nodes: 4 })
+        ));
+    }
+}

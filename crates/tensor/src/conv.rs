@@ -1,0 +1,658 @@
+//! Convolution, pooling and the im2col/col2im lowering.
+//!
+//! NEBULA maps a convolution kernel of receptive field
+//! `R_f = K_H × K_W × C` onto crossbar columns by flattening it (paper
+//! Fig. 5); `im2col` is the software twin of that mapping, turning
+//! convolution into the matrix product the crossbars physically compute.
+//!
+//! All image tensors are `[N, C, H, W]` (batch, channels, height, width),
+//! weights are `[OC, IC, K_H, K_W]`, row-major.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Spatial geometry of a convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeometry {
+    /// A square kernel with stride 1 and "same"-preserving padding
+    /// `k / 2`.
+    pub fn same(k: usize) -> Self {
+        Self {
+            kh: k,
+            kw: k,
+            stride: 1,
+            pad: k / 2,
+        }
+    }
+
+    /// A square kernel with explicit stride and padding.
+    pub fn new(k: usize, stride: usize, pad: usize) -> Self {
+        Self {
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial size for an input of extent `dim` under this
+    /// geometry, or an error when the window does not fit.
+    pub fn out_dim(&self, dim: usize, k: usize) -> Result<usize, TensorError> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidGeometry {
+                reason: "stride must be nonzero".to_string(),
+            });
+        }
+        let padded = dim + 2 * self.pad;
+        if padded < k {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!("kernel {k} larger than padded input {padded}"),
+            });
+        }
+        Ok((padded - k) / self.stride + 1)
+    }
+
+    /// Output `(height, width)` for an input `(h, w)`.
+    pub fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize), TensorError> {
+        Ok((self.out_dim(h, self.kh)?, self.out_dim(w, self.kw)?))
+    }
+}
+
+fn expect_rank(t: &Tensor, rank: usize, op: &'static str) -> Result<(), TensorError> {
+    if t.rank() != rank {
+        return Err(TensorError::RankMismatch {
+            expected: rank,
+            actual: t.rank(),
+            op,
+        });
+    }
+    Ok(())
+}
+
+/// Lowers image patches to rows: output is
+/// `[N·OH·OW, C·KH·KW]`, one flattened receptive field per row —
+/// the exact vector a NEBULA crossbar column receives.
+///
+/// # Errors
+///
+/// Returns an error when `input` is not rank 4 or the geometry does not
+/// fit.
+pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Result<Tensor, TensorError> {
+    expect_rank(input, 4, "im2col")?;
+    let [n, c, h, w] = [
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    ];
+    let (oh, ow) = geom.out_hw(h, w)?;
+    let cols_per_row = c * geom.kh * geom.kw;
+    let mut out = vec![0.0f32; n * oh * ow * cols_per_row];
+    let data = input.data();
+    let (ih_stride, ic_stride, in_stride) = (w, h * w, c * h * w);
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((img * oh + oy) * ow + ox) * cols_per_row;
+                let mut col = 0;
+                for ch in 0..c {
+                    for ky in 0..geom.kh {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        for kx in 0..geom.kw {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                out[row + col] = data[img * in_stride
+                                    + ch * ic_stride
+                                    + iy as usize * ih_stride
+                                    + ix as usize];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, cols_per_row])
+}
+
+/// Inverse of [`im2col`] for gradients: scatters (accumulating) patch rows
+/// back into an image of shape `[n, c, h, w]`.
+///
+/// # Errors
+///
+/// Returns an error when `cols` does not have the shape `im2col` would
+/// have produced for this geometry.
+pub fn col2im(
+    cols: &Tensor,
+    shape: [usize; 4],
+    geom: ConvGeometry,
+) -> Result<Tensor, TensorError> {
+    expect_rank(cols, 2, "col2im")?;
+    let [n, c, h, w] = shape;
+    let (oh, ow) = geom.out_hw(h, w)?;
+    let cols_per_row = c * geom.kh * geom.kw;
+    if cols.shape() != [n * oh * ow, cols_per_row] {
+        return Err(TensorError::ShapeMismatch {
+            left: cols.shape().to_vec(),
+            right: vec![n * oh * ow, cols_per_row],
+            op: "col2im",
+        });
+    }
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let data = cols.data();
+    let (ih_stride, ic_stride, in_stride) = (w, h * w, c * h * w);
+    let out_data = out.data_mut();
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((img * oh + oy) * ow + ox) * cols_per_row;
+                let mut col = 0;
+                for ch in 0..c {
+                    for ky in 0..geom.kh {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        for kx in 0..geom.kw {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                out_data[img * in_stride
+                                    + ch * ic_stride
+                                    + iy as usize * ih_stride
+                                    + ix as usize] += data[row + col];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Dense 2-D convolution: input `[N, C, H, W]`, weight `[OC, C, KH, KW]`,
+/// optional bias `[OC]`, output `[N, OC, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape disagreements or impossible geometry.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    geom: ConvGeometry,
+) -> Result<Tensor, TensorError> {
+    expect_rank(input, 4, "conv2d")?;
+    expect_rank(weight, 4, "conv2d weight")?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (oc, wc, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    if wc != c || kh != geom.kh || kw != geom.kw {
+        return Err(TensorError::ShapeMismatch {
+            left: weight.shape().to_vec(),
+            right: vec![oc, c, geom.kh, geom.kw],
+            op: "conv2d",
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape() != [oc] {
+            return Err(TensorError::ShapeMismatch {
+                left: b.shape().to_vec(),
+                right: vec![oc],
+                op: "conv2d bias",
+            });
+        }
+    }
+    let (oh, ow) = geom.out_hw(h, w)?;
+    let cols = im2col(input, geom)?; // [N*OH*OW, C*KH*KW]
+    let wmat = weight.reshape(&[oc, c * kh * kw])?.transpose()?; // [CKK, OC]
+    let prod = cols.matmul(&wmat)?; // [N*OH*OW, OC]
+
+    // Permute [N*OH*OW, OC] → [N, OC, OH, OW], adding bias on the way.
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let src = prod.data();
+    let dst = out.data_mut();
+    let spatial = oh * ow;
+    for img in 0..n {
+        for s in 0..spatial {
+            let src_row = (img * spatial + s) * oc;
+            for o in 0..oc {
+                let b = bias.map_or(0.0, |bb| bb.data()[o]);
+                dst[img * oc * spatial + o * spatial + s] = src[src_row + o] + b;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Depthwise 2-D convolution (MobileNet's separable-conv building block):
+/// input `[N, C, H, W]`, weight `[C, 1, KH, KW]`, output `[N, C, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape disagreements or impossible geometry.
+pub fn depthwise_conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    geom: ConvGeometry,
+) -> Result<Tensor, TensorError> {
+    expect_rank(input, 4, "depthwise_conv2d")?;
+    expect_rank(weight, 4, "depthwise_conv2d weight")?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    if weight.shape() != [c, 1, geom.kh, geom.kw] {
+        return Err(TensorError::ShapeMismatch {
+            left: weight.shape().to_vec(),
+            right: vec![c, 1, geom.kh, geom.kw],
+            op: "depthwise_conv2d",
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                left: b.shape().to_vec(),
+                right: vec![c],
+                op: "depthwise_conv2d bias",
+            });
+        }
+    }
+    let (oh, ow) = geom.out_hw(h, w)?;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let src = input.data();
+    let wdat = weight.data();
+    let dst = out.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let in_base = (img * c + ch) * h * w;
+            let w_base = ch * geom.kh * geom.kw;
+            let out_base = (img * c + ch) * oh * ow;
+            let b = bias.map_or(0.0, |bb| bb.data()[ch]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ky in 0..geom.kh {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..geom.kw {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            acc += src[in_base + iy as usize * w + ix as usize]
+                                * wdat[w_base + ky * geom.kw + kx];
+                        }
+                    }
+                    dst[out_base + oy * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Average pooling with a `k×k` window and stride `k` (the
+/// non-overlapping pooling the ANN→SNN conversion requires):
+/// `[N, C, H, W] → [N, C, H/k, W/k]`.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input or a window that does not fit.
+pub fn avg_pool2d(input: &Tensor, k: usize) -> Result<Tensor, TensorError> {
+    pool2d(input, k, PoolKind::Average)
+}
+
+/// Max pooling with a `k×k` window and stride `k`. Provided for
+/// completeness (the paper trains with *average* pooling because max
+/// pooling loses information under binary spike encoding).
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input or a window that does not fit.
+pub fn max_pool2d(input: &Tensor, k: usize) -> Result<Tensor, TensorError> {
+    pool2d(input, k, PoolKind::Max)
+}
+
+#[derive(Clone, Copy)]
+enum PoolKind {
+    Average,
+    Max,
+}
+
+fn pool2d(input: &Tensor, k: usize, kind: PoolKind) -> Result<Tensor, TensorError> {
+    expect_rank(input, 4, "pool2d")?;
+    if k == 0 {
+        return Err(TensorError::InvalidGeometry {
+            reason: "pool window must be nonzero".to_string(),
+        });
+    }
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    if h % k != 0 || w % k != 0 {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!("pool window {k} does not divide input {h}×{w}"),
+        });
+    }
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let src = input.data();
+    let dst = out.data_mut();
+    let inv = 1.0 / (k * k) as f32;
+    for img in 0..n {
+        for ch in 0..c {
+            let in_base = (img * c + ch) * h * w;
+            let out_base = (img * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = match kind {
+                        PoolKind::Average => 0.0,
+                        PoolKind::Max => f32::NEG_INFINITY,
+                    };
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let v = src[in_base + (oy * k + ky) * w + (ox * k + kx)];
+                            match kind {
+                                PoolKind::Average => acc += v,
+                                PoolKind::Max => acc = acc.max(v),
+                            }
+                        }
+                    }
+                    dst[out_base + oy * ow + ox] = match kind {
+                        PoolKind::Average => acc * inv,
+                        PoolKind::Max => acc,
+                    };
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each output gradient equally
+/// over its `k×k` input window.
+///
+/// # Errors
+///
+/// Returns an error when `grad_out`'s shape is not the pooled shape of
+/// `input_shape`.
+pub fn avg_pool2d_backward(
+    grad_out: &Tensor,
+    input_shape: [usize; 4],
+    k: usize,
+) -> Result<Tensor, TensorError> {
+    expect_rank(grad_out, 4, "avg_pool2d_backward")?;
+    let [n, c, h, w] = input_shape;
+    if grad_out.shape() != [n, c, h / k, w / k] {
+        return Err(TensorError::ShapeMismatch {
+            left: grad_out.shape().to_vec(),
+            right: vec![n, c, h / k, w / k],
+            op: "avg_pool2d_backward",
+        });
+    }
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = grad_out.data();
+    let dst = out.data_mut();
+    let inv = 1.0 / (k * k) as f32;
+    for img in 0..n {
+        for ch in 0..c {
+            let out_base = (img * c + ch) * h * w;
+            let in_base = (img * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = src[in_base + oy * ow + ox] * inv;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            dst[out_base + (oy * k + ky) * w + (ox * k + kx)] = g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|i| i as f32).collect(), shape).unwrap()
+    }
+
+    #[test]
+    fn out_dim_formula() {
+        let g = ConvGeometry::new(3, 1, 1);
+        assert_eq!(g.out_hw(8, 8).unwrap(), (8, 8)); // "same" padding
+        let g2 = ConvGeometry::new(3, 2, 0);
+        assert_eq!(g2.out_hw(7, 7).unwrap(), (3, 3));
+        assert!(ConvGeometry::new(5, 1, 0).out_hw(3, 3).is_err());
+        assert!(ConvGeometry {
+            kh: 3,
+            kw: 3,
+            stride: 0,
+            pad: 0
+        }
+        .out_hw(8, 8)
+        .is_err());
+    }
+
+    #[test]
+    fn im2col_extracts_expected_patch() {
+        // 1 image, 1 channel, 3x3 input, 2x2 kernel, stride 1, no pad.
+        let x = seq_tensor(&[1, 1, 3, 3]);
+        let g = ConvGeometry::new(2, 1, 0);
+        let cols = im2col(&x, g).unwrap();
+        assert_eq!(cols.shape(), &[4, 4]);
+        // First patch is the top-left 2x2 block: 0 1 / 3 4.
+        assert_eq!(&cols.data()[0..4], &[0.0, 1.0, 3.0, 4.0]);
+        // Last patch is the bottom-right block: 4 5 / 7 8.
+        assert_eq!(&cols.data()[12..16], &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_zero_pads_the_border() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let g = ConvGeometry::new(3, 1, 1);
+        let cols = im2col(&x, g).unwrap();
+        assert_eq!(cols.shape(), &[4, 9]);
+        // Top-left output: the 3x3 window centered at (0,0) has 5 padded
+        // zeros and 4 ones.
+        let first: f32 = cols.data()[0..9].iter().sum();
+        assert_eq!(first, 4.0);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_preserves_input() {
+        let x = seq_tensor(&[1, 1, 4, 4]);
+        // 1x1 kernel of weight 1.0 = identity.
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let g = ConvGeometry::new(1, 1, 0);
+        let y = conv2d(&x, &w, None, g).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv2d_matches_hand_computation() {
+        // 2x2 input, 2x2 kernel, valid conv = dot product.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let w = Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0], &[1, 1, 2, 2]).unwrap();
+        let g = ConvGeometry::new(2, 1, 0);
+        let y = conv2d(&x, &w, None, g).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 10.0 + 40.0 + 90.0 + 160.0);
+    }
+
+    #[test]
+    fn conv2d_bias_is_added_per_channel() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let w = Tensor::zeros(&[2, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![5.0, -1.0], &[2]).unwrap();
+        let g = ConvGeometry::new(1, 1, 0);
+        let y = conv2d(&x, &w, Some(&b), g).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        assert!(y.data()[0..4].iter().all(|&v| v == 5.0));
+        assert!(y.data()[4..8].iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn conv2d_multichannel_sums_over_channels() {
+        let x = Tensor::ones(&[1, 3, 2, 2]);
+        let w = Tensor::ones(&[1, 3, 1, 1]);
+        let g = ConvGeometry::new(1, 1, 0);
+        let y = conv2d(&x, &w, None, g).unwrap();
+        assert!(y.data().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn conv2d_batched_is_per_image() {
+        let mut x = Tensor::zeros(&[2, 1, 2, 2]);
+        for i in 0..4 {
+            x.data_mut()[i] = 1.0; // image 0 = ones, image 1 = zeros
+        }
+        let w = Tensor::ones(&[1, 1, 2, 2]);
+        let g = ConvGeometry::new(2, 1, 0);
+        let y = conv2d(&x, &w, None, g).unwrap();
+        assert_eq!(y.shape(), &[2, 1, 1, 1]);
+        assert_eq!(y.data(), &[4.0, 0.0]);
+    }
+
+    #[test]
+    fn conv2d_rejects_mismatched_weight() {
+        let x = Tensor::ones(&[1, 3, 4, 4]);
+        let w = Tensor::ones(&[1, 2, 3, 3]); // wrong in-channels
+        assert!(conv2d(&x, &w, None, ConvGeometry::same(3)).is_err());
+    }
+
+    #[test]
+    fn depthwise_conv_keeps_channels_independent() {
+        let mut x = Tensor::zeros(&[1, 2, 2, 2]);
+        for i in 0..4 {
+            x.data_mut()[i] = 1.0; // channel 0 ones, channel 1 zeros
+        }
+        let w = Tensor::ones(&[2, 1, 2, 2]);
+        let g = ConvGeometry::new(2, 1, 0);
+        let y = depthwise_conv2d(&x, &w, None, g).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 1, 1]);
+        assert_eq!(y.data(), &[4.0, 0.0]);
+    }
+
+    #[test]
+    fn depthwise_matches_dense_with_diagonal_weight() {
+        // A depthwise conv equals a dense conv whose cross-channel taps
+        // are zero.
+        let x = seq_tensor(&[1, 2, 4, 4]);
+        let dw_w = seq_tensor(&[2, 1, 3, 3]);
+        let mut dense_w = Tensor::zeros(&[2, 2, 3, 3]);
+        for ch in 0..2 {
+            for t in 0..9 {
+                let v = dw_w.data()[ch * 9 + t];
+                dense_w.data_mut()[ch * 18 + ch * 9 + t] = v;
+            }
+        }
+        let g = ConvGeometry::same(3);
+        let a = depthwise_conv2d(&x, &dw_w, None, g).unwrap();
+        let b = conv2d(&x, &dense_w, None, g).unwrap();
+        for (u, v) in a.data().iter().zip(b.data()) {
+            assert!((u - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn avg_pool_averages_blocks() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = avg_pool2d(&x, 2).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn max_pool_takes_block_maxima() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = max_pool2d(&x, 2).unwrap();
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn pool_rejects_nondividing_window() {
+        let x = Tensor::ones(&[1, 1, 5, 5]);
+        assert!(avg_pool2d(&x, 2).is_err());
+        assert!(avg_pool2d(&x, 0).is_err());
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes_gradient() {
+        let g = Tensor::ones(&[1, 1, 2, 2]);
+        let dx = avg_pool2d_backward(&g, [1, 1, 4, 4], 2).unwrap();
+        assert_eq!(dx.shape(), &[1, 1, 4, 4]);
+        assert!(dx.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+        // Sum is preserved.
+        assert!((dx.sum() - g.sum()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let x = seq_tensor(&[1, 2, 4, 4]);
+        let g = ConvGeometry::same(3);
+        let cols = im2col(&x, g).unwrap();
+        let y = seq_tensor(&[cols.shape()[0], cols.shape()[1]]).map(|v| (v * 0.37).sin());
+        let lhs: f32 = cols
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let back = col2im(&y, [1, 2, 4, 4], g).unwrap();
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!(
+            (lhs - rhs).abs() < lhs.abs().max(1.0) * 1e-4,
+            "adjoint check failed: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn col2im_validates_shape() {
+        let bad = Tensor::zeros(&[3, 3]);
+        assert!(col2im(&bad, [1, 1, 4, 4], ConvGeometry::same(3)).is_err());
+    }
+}

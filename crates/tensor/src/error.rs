@@ -1,0 +1,88 @@
+//! Error types for the tensor substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and shape-sensitive operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two shapes that had to agree did not.
+    ShapeMismatch {
+        /// Shape of the left/first operand.
+        left: Vec<usize>,
+        /// Shape of the right/second operand.
+        right: Vec<usize>,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// The data length does not match the product of the shape dimensions.
+    LengthMismatch {
+        /// Number of elements supplied.
+        len: usize,
+        /// Shape requested.
+        shape: Vec<usize>,
+    },
+    /// An operation required a different rank (number of dimensions).
+    RankMismatch {
+        /// Rank the operation expected.
+        expected: usize,
+        /// Rank it received.
+        actual: usize,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// A convolution/pooling geometry was impossible (e.g. kernel larger
+    /// than the padded input, or zero stride).
+    InvalidGeometry {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in `{op}`: {left:?} vs {right:?}")
+            }
+            TensorError::LengthMismatch { len, shape } => {
+                write!(f, "data length {len} does not fit shape {shape:?}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => {
+                write!(f, "`{op}` expects rank {expected}, got rank {actual}")
+            }
+            TensorError::InvalidGeometry { reason } => {
+                write!(f, "invalid geometry: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_shapes() {
+        let e = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![4, 5],
+            op: "add",
+        };
+        let s = e.to_string();
+        assert!(s.contains("[2, 3]") && s.contains("[4, 5]") && s.contains("add"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the tensor substrate.
+
+use nebula_tensor::{conv2d, depthwise_conv2d, max_pool2d, ConvGeometry, Tensor};
+use proptest::prelude::*;
+
+fn matrix(r: usize, c: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-5.0f32..5.0, r * c)
+        .prop_map(move |v| Tensor::from_vec(v, &[r, c]).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn matmul_transpose_identity(a in matrix(4, 6), b in matrix(6, 3)) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scale_is_linear(a in matrix(3, 5), k in -4.0f32..4.0) {
+        let lhs = a.scale(k).sum();
+        let rhs = a.sum() * k;
+        prop_assert!((lhs - rhs).abs() < 1e-2 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(a in matrix(4, 4)) {
+        let r1 = a.relu();
+        let r2 = r1.relu();
+        prop_assert_eq!(&r1, &r2);
+        prop_assert!(r1.min() >= 0.0);
+    }
+
+    #[test]
+    fn clamp_bounds_hold(a in matrix(4, 4), lo in -2.0f32..0.0, hi in 0.0f32..2.0) {
+        let c = a.clamp(lo, hi);
+        prop_assert!(c.min() >= lo - 1e-6);
+        prop_assert!(c.max() <= hi + 1e-6);
+    }
+
+    #[test]
+    fn conv_with_delta_kernel_is_identity(data in proptest::collection::vec(-3.0f32..3.0, 36)) {
+        let x = Tensor::from_vec(data, &[1, 1, 6, 6]).unwrap();
+        // 3x3 kernel with a single center 1 = identity under same-padding.
+        let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+        w.set(&[0, 0, 1, 1], 1.0);
+        let y = conv2d(&x, &w, None, ConvGeometry::same(3)).unwrap();
+        for (a, b) in x.data().iter().zip(y.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(
+        d1 in proptest::collection::vec(-2.0f32..2.0, 32),
+        d2 in proptest::collection::vec(-2.0f32..2.0, 32),
+        w in proptest::collection::vec(-1.0f32..1.0, 18),
+    ) {
+        let x1 = Tensor::from_vec(d1, &[1, 2, 4, 4]).unwrap();
+        let x2 = Tensor::from_vec(d2, &[1, 2, 4, 4]).unwrap();
+        let k = Tensor::from_vec(w, &[1, 2, 3, 3]).unwrap();
+        let g = ConvGeometry::same(3);
+        let sum = x1.add(&x2).unwrap();
+        let lhs = conv2d(&sum, &k, None, g).unwrap();
+        let rhs = conv2d(&x1, &k, None, g).unwrap().add(&conv2d(&x2, &k, None, g).unwrap()).unwrap();
+        for (a, b) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn depthwise_respects_channel_isolation(
+        d in proptest::collection::vec(0.0f32..1.0, 32),
+        w in proptest::collection::vec(-1.0f32..1.0, 18),
+    ) {
+        // Zeroing channel 1's input zeroes channel 1's output only.
+        let mut x = Tensor::from_vec(d, &[1, 2, 4, 4]).unwrap();
+        for i in 16..32 {
+            x.data_mut()[i] = 0.0;
+        }
+        let k = Tensor::from_vec(w, &[2, 1, 3, 3]).unwrap();
+        let y = depthwise_conv2d(&x, &k, None, ConvGeometry::same(3)).unwrap();
+        for &v in &y.data()[16..32] {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn max_pool_dominates_avg_pool(data in proptest::collection::vec(0.0f32..4.0, 16)) {
+        let x = Tensor::from_vec(data, &[1, 1, 4, 4]).unwrap();
+        let mx = max_pool2d(&x, 2).unwrap();
+        let av = nebula_tensor::avg_pool2d(&x, 2).unwrap();
+        for (m, a) in mx.data().iter().zip(av.data()) {
+            prop_assert!(m >= a);
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone(data in proptest::collection::vec(-10.0f32..10.0, 2..60), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]).unwrap();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(t.quantile(lo) <= t.quantile(hi) + 1e-6);
+        prop_assert!(t.quantile(0.0) <= t.min() + 1e-6);
+        prop_assert!(t.quantile(1.0) >= t.max() - 1e-6);
+    }
+}

@@ -1,0 +1,26 @@
+//! # nebula-workloads
+//!
+//! Workloads for the NEBULA evaluation: the paper's model zoo as cheap
+//! layer descriptors ([`zoo`]), CPU-trainable scaled variants of the same
+//! topologies ([`scaled`]), and seeded synthetic datasets standing in for
+//! MNIST / CIFAR / SVHN / ImageNet ([`synthetic`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use nebula_workloads::zoo;
+//!
+//! let vgg = zoo::vgg13(10);
+//! assert_eq!(vgg.len(), 12);
+//! // The paper's crossbar-utilization example: VGG layer 1 is 27×64.
+//! assert_eq!(vgg[0].receptive_field, 27);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod scaled;
+pub mod synthetic;
+pub mod zoo;
+
+pub use synthetic::{generate, split, SyntheticConfig, SyntheticKind};
+pub use zoo::{all_models, paper_table1, PaperBenchmark};

@@ -1,0 +1,195 @@
+//! CPU-trainable scaled variants of the paper's networks.
+//!
+//! The accuracy experiments (Tables I–II, Figs. 9–10, §IV-D) need
+//! *trained* models. Full VGG-13/MobileNet training is out of scope for a
+//! CPU-bound simulator, so these builders produce channel-reduced
+//! versions with the same structural signatures — conv/pool rhythm of
+//! VGG, the depthwise-separable alternation of MobileNet, LeNet's
+//! conv-conv-fc stack — on 16×16 synthetic inputs. The substitution is
+//! recorded in `DESIGN.md`.
+
+use nebula_nn::{Layer, Network};
+use rand::Rng;
+
+/// Scaled 3-layer MLP for `side×side` single-channel glyphs.
+pub fn scaled_mlp<R: Rng + ?Sized>(side: usize, classes: usize, rng: &mut R) -> Network {
+    let input = side * side;
+    Network::new(vec![
+        Layer::flatten(),
+        Layer::dense(input, 64, rng),
+        Layer::relu(),
+        Layer::dense(64, 32, rng),
+        Layer::relu(),
+        Layer::dense(32, classes, rng),
+    ])
+}
+
+/// Scaled LeNet-5 for `side×side` single-channel glyphs (side must be
+/// divisible by 4).
+pub fn scaled_lenet<R: Rng + ?Sized>(side: usize, classes: usize, rng: &mut R) -> Network {
+    assert!(side.is_multiple_of(4), "side must be divisible by 4");
+    let feat = 8 * (side / 4) * (side / 4);
+    Network::new(vec![
+        Layer::conv2d(1, 4, 5, 1, 2, rng),
+        Layer::relu(),
+        Layer::avg_pool(2),
+        Layer::conv2d(4, 8, 5, 1, 2, rng),
+        Layer::relu(),
+        Layer::avg_pool(2),
+        Layer::flatten(),
+        Layer::dense(feat, 32, rng),
+        Layer::relu(),
+        Layer::dense(32, classes, rng),
+    ])
+}
+
+/// Scaled VGG-style network (4 convs, 2 pools, 2 fc) for `side×side`
+/// RGB textures (side divisible by 4).
+pub fn scaled_vgg<R: Rng + ?Sized>(side: usize, classes: usize, rng: &mut R) -> Network {
+    assert!(side.is_multiple_of(4), "side must be divisible by 4");
+    let feat = 32 * (side / 4) * (side / 4);
+    Network::new(vec![
+        Layer::conv2d(3, 16, 3, 1, 1, rng),
+        Layer::relu(),
+        Layer::conv2d(16, 16, 3, 1, 1, rng),
+        Layer::relu(),
+        Layer::avg_pool(2),
+        Layer::conv2d(16, 32, 3, 1, 1, rng),
+        Layer::relu(),
+        Layer::conv2d(32, 32, 3, 1, 1, rng),
+        Layer::relu(),
+        Layer::avg_pool(2),
+        Layer::flatten(),
+        Layer::dense(feat, 64, rng),
+        Layer::relu(),
+        Layer::dense(64, classes, rng),
+    ])
+}
+
+/// Scaled VGG with batch normalization after every convolution — used to
+/// exercise the BN-folding path of the conversion.
+pub fn scaled_vgg_bn<R: Rng + ?Sized>(side: usize, classes: usize, rng: &mut R) -> Network {
+    assert!(side.is_multiple_of(4), "side must be divisible by 4");
+    let feat = 32 * (side / 4) * (side / 4);
+    Network::new(vec![
+        Layer::conv2d(3, 16, 3, 1, 1, rng),
+        Layer::batch_norm2d(16),
+        Layer::relu(),
+        Layer::avg_pool(2),
+        Layer::conv2d(16, 32, 3, 1, 1, rng),
+        Layer::batch_norm2d(32),
+        Layer::relu(),
+        Layer::avg_pool(2),
+        Layer::flatten(),
+        Layer::dense(feat, 64, rng),
+        Layer::relu(),
+        Layer::dense(64, classes, rng),
+    ])
+}
+
+/// Scaled MobileNet-style network (stem conv + 3 depthwise-separable
+/// blocks + classifier) for RGB textures.
+pub fn scaled_mobilenet<R: Rng + ?Sized>(side: usize, classes: usize, rng: &mut R) -> Network {
+    assert!(side.is_multiple_of(4), "side must be divisible by 4");
+    let feat = 64 * (side / 4) * (side / 4);
+    Network::new(vec![
+        Layer::conv2d(3, 16, 3, 1, 1, rng),
+        Layer::relu(),
+        // Block 1.
+        Layer::depthwise_conv2d(16, 3, 1, 1, rng),
+        Layer::relu(),
+        Layer::conv2d(16, 32, 1, 1, 0, rng),
+        Layer::relu(),
+        Layer::avg_pool(2),
+        // Block 2.
+        Layer::depthwise_conv2d(32, 3, 1, 1, rng),
+        Layer::relu(),
+        Layer::conv2d(32, 64, 1, 1, 0, rng),
+        Layer::relu(),
+        Layer::avg_pool(2),
+        // Block 3.
+        Layer::depthwise_conv2d(64, 3, 1, 1, rng),
+        Layer::relu(),
+        Layer::conv2d(64, 64, 1, 1, 0, rng),
+        Layer::relu(),
+        Layer::flatten(),
+        Layer::dense(feat, classes, rng),
+    ])
+}
+
+/// Scaled SVHN-style network (3 convs + 2 fc) for cluttered glyphs.
+pub fn scaled_svhn<R: Rng + ?Sized>(side: usize, classes: usize, rng: &mut R) -> Network {
+    assert!(side.is_multiple_of(4), "side must be divisible by 4");
+    let feat = 24 * (side / 4) * (side / 4);
+    Network::new(vec![
+        Layer::conv2d(1, 12, 3, 1, 1, rng),
+        Layer::relu(),
+        Layer::avg_pool(2),
+        Layer::conv2d(12, 24, 3, 1, 1, rng),
+        Layer::relu(),
+        Layer::avg_pool(2),
+        Layer::conv2d(24, 24, 3, 1, 1, rng),
+        Layer::relu(),
+        Layer::flatten(),
+        Layer::dense(feat, 48, rng),
+        Layer::relu(),
+        Layer::dense(48, classes, rng),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn every_scaled_model_forward_passes() {
+        let mut r = rng();
+        let cases: Vec<(Network, Vec<usize>)> = vec![
+            (scaled_mlp(16, 10, &mut r), vec![2, 1, 16, 16]),
+            (scaled_lenet(16, 10, &mut r), vec![2, 1, 16, 16]),
+            (scaled_vgg(16, 10, &mut r), vec![2, 3, 16, 16]),
+            (scaled_vgg_bn(16, 10, &mut r), vec![2, 3, 16, 16]),
+            (scaled_mobilenet(16, 10, &mut r), vec![2, 3, 16, 16]),
+            (scaled_svhn(16, 10, &mut r), vec![2, 1, 16, 16]),
+        ];
+        for (mut net, shape) in cases {
+            let y = net.forward(&Tensor::zeros(&shape)).unwrap();
+            assert_eq!(y.shape(), &[2, 10], "wrong logit shape");
+        }
+    }
+
+    #[test]
+    fn mobilenet_contains_depthwise_layers() {
+        let mut r = rng();
+        let net = scaled_mobilenet(16, 10, &mut r);
+        let dw = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::DepthwiseConv2d(_)))
+            .count();
+        assert_eq!(dw, 3);
+    }
+
+    #[test]
+    fn vgg_bn_contains_batch_norm() {
+        let mut r = rng();
+        let net = scaled_vgg_bn(16, 10, &mut r);
+        assert!(net
+            .layers()
+            .iter()
+            .any(|l| matches!(l, Layer::BatchNorm2d(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn odd_sides_are_rejected() {
+        let mut r = rng();
+        scaled_vgg(15, 10, &mut r);
+    }
+}

@@ -1,0 +1,386 @@
+//! Synthetic datasets standing in for MNIST / CIFAR-10/100 / SVHN /
+//! ImageNet.
+//!
+//! The paper's accuracy experiments (Tables I–II, Figs. 9–10, §IV-D) test
+//! *algorithms* — quantization, ANN→SNN conversion, hybrid splits, noise
+//! injection — whose behaviour depends on the statistics of trained
+//! networks, not on dataset identity. These generators produce seeded,
+//! procedurally generated classification problems with enough visual
+//! structure (strokes, textures, clutter) to exercise the same pipelines
+//! end-to-end on CPU-trainable model sizes. The substitution is recorded
+//! in `DESIGN.md`.
+
+use nebula_nn::optim::Dataset;
+use nebula_nn::NnError;
+use nebula_tensor::Tensor;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which synthetic family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntheticKind {
+    /// Single-channel stroke glyphs — the MNIST stand-in.
+    Glyphs,
+    /// Three-channel oriented textures — the CIFAR stand-in.
+    Textures,
+    /// Glyphs over cluttered backgrounds — the SVHN stand-in.
+    ClutteredGlyphs,
+}
+
+/// Configuration for a synthetic dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticConfig {
+    /// Dataset family.
+    pub kind: SyntheticKind,
+    /// Number of classes.
+    pub classes: usize,
+    /// Image side (square images).
+    pub side: usize,
+    /// Samples to generate.
+    pub samples: usize,
+    /// RNG seed (datasets are fully reproducible).
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// MNIST-like glyphs: 10 classes of `side×side` strokes.
+    pub fn glyphs(side: usize, samples: usize) -> Self {
+        Self {
+            kind: SyntheticKind::Glyphs,
+            classes: 10,
+            side,
+            samples,
+            seed: 0xD161,
+        }
+    }
+
+    /// CIFAR-like textures with `classes` classes.
+    pub fn textures(side: usize, classes: usize, samples: usize) -> Self {
+        Self {
+            kind: SyntheticKind::Textures,
+            classes,
+            side,
+            samples,
+            seed: 0xC1FA,
+        }
+    }
+
+    /// SVHN-like cluttered glyphs.
+    pub fn cluttered(side: usize, samples: usize) -> Self {
+        Self {
+            kind: SyntheticKind::ClutteredGlyphs,
+            classes: 10,
+            side,
+            samples,
+            seed: 0x57A7,
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of channels images of this kind carry.
+    pub fn channels(&self) -> usize {
+        match self.kind {
+            SyntheticKind::Glyphs | SyntheticKind::ClutteredGlyphs => 1,
+            SyntheticKind::Textures => 3,
+        }
+    }
+}
+
+/// Generates the dataset described by `config`. Pixels are intensities
+/// in `[0, 1]` (ready for Poisson rate encoding); images are `[N, C, H,
+/// W]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero classes/side/samples.
+pub fn generate(config: &SyntheticConfig) -> Result<Dataset, NnError> {
+    if config.classes == 0 || config.side < 4 || config.samples == 0 {
+        return Err(NnError::InvalidConfig {
+            reason: format!(
+                "synthetic dataset needs classes ≥ 1, side ≥ 4, samples ≥ 1, got {config:?}"
+            ),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let c = config.channels();
+    let s = config.side;
+    let mut data = vec![0.0f32; config.samples * c * s * s];
+    let mut labels = Vec::with_capacity(config.samples);
+    for i in 0..config.samples {
+        let class = i % config.classes;
+        labels.push(class);
+        let img = &mut data[i * c * s * s..(i + 1) * c * s * s];
+        match config.kind {
+            SyntheticKind::Glyphs => draw_glyph(img, s, class, 0.0, &mut rng),
+            SyntheticKind::ClutteredGlyphs => draw_glyph(img, s, class, 0.35, &mut rng),
+            SyntheticKind::Textures => draw_texture(img, s, class, config.classes, &mut rng),
+        }
+    }
+    Dataset::new(
+        Tensor::from_vec(data, &[config.samples, c, s, s])?,
+        labels,
+    )
+}
+
+/// Draws a class-specific stroke pattern with positional jitter and
+/// pixel noise; `clutter` adds SVHN-style background distractors.
+fn draw_glyph<R: Rng>(img: &mut [f32], s: usize, class: usize, clutter: f64, rng: &mut R) {
+    // Background noise / clutter.
+    for p in img.iter_mut() {
+        *p = if rng.gen::<f64>() < clutter {
+            rng.gen_range(0.2..0.7)
+        } else {
+            rng.gen_range(0.0..0.12)
+        };
+    }
+    let jx = rng.gen_range(-1i32..=1);
+    let jy = rng.gen_range(-1i32..=1);
+    // Strokes occasionally break (pen lift), keeping glyph tasks from
+    // saturating at 100%.
+    let mut broken = {
+        let mut gaps = [false; 64];
+        for g in gaps.iter_mut() {
+            *g = rng.gen::<f64>() < 0.22;
+        }
+        let mut k = 0usize;
+        move || {
+            k = (k + 1) % 64;
+            gaps[k]
+        }
+    };
+    let mut set = |x: i32, y: i32, v: f32| {
+        if broken() {
+            return;
+        }
+        let (x, y) = (x + jx, y + jy);
+        if x >= 0 && y >= 0 && (x as usize) < s && (y as usize) < s {
+            img[y as usize * s + x as usize] = v.clamp(0.0, 1.0);
+        }
+    };
+    let m = s as i32;
+    let bright = || 0.85 + (class % 3) as f32 * 0.05;
+    // Ten distinct stroke motifs indexed by class.
+    match class % 10 {
+        0 => {
+            // Ring.
+            for t in 0..(4 * m) {
+                let a = t as f32 / (4 * m) as f32 * std::f32::consts::TAU;
+                set(
+                    (m / 2) + ((m as f32 / 3.2) * a.cos()) as i32,
+                    (m / 2) + ((m as f32 / 3.2) * a.sin()) as i32,
+                    bright(),
+                );
+            }
+        }
+        1 => {
+            for y in 1..m - 1 {
+                set(m / 2, y, bright());
+            }
+        }
+        2 => {
+            for x in 1..m - 1 {
+                set(x, m / 4, bright());
+                set(m - 1 - x * 3 / 4, m / 2, bright());
+                set(x, 3 * m / 4, bright());
+            }
+        }
+        3 => {
+            for y in 1..m - 1 {
+                set(3 * m / 4, y, bright());
+            }
+            for x in m / 4..3 * m / 4 {
+                set(x, m / 4, bright());
+                set(x, m / 2, bright());
+                set(x, 3 * m / 4, bright());
+            }
+        }
+        4 => {
+            for y in 1..m / 2 {
+                set(m / 4, y, bright());
+            }
+            for y in 1..m - 1 {
+                set(2 * m / 3, y, bright());
+            }
+            for x in m / 4..2 * m / 3 {
+                set(x, m / 2, bright());
+            }
+        }
+        5 => {
+            for d in 0..m - 2 {
+                set(d + 1, d + 1, bright());
+            }
+        }
+        6 => {
+            for d in 0..m - 2 {
+                set(m - 2 - d, d + 1, bright());
+            }
+            for x in 1..m - 1 {
+                set(x, m - 2, bright());
+            }
+        }
+        7 => {
+            for x in 1..m - 1 {
+                set(x, 1, bright());
+            }
+            for d in 0..m - 2 {
+                set(m - 2 - d * 2 / 3, d + 1, bright());
+            }
+        }
+        8 => {
+            for t in 0..(4 * m) {
+                let a = t as f32 / (4 * m) as f32 * std::f32::consts::TAU;
+                set(
+                    (m / 2) + ((m as f32 / 4.5) * a.cos()) as i32,
+                    (m / 4) + ((m as f32 / 5.0) * a.sin()) as i32,
+                    bright(),
+                );
+                set(
+                    (m / 2) + ((m as f32 / 4.5) * a.cos()) as i32,
+                    (3 * m / 4) + ((m as f32 / 5.0) * a.sin()) as i32,
+                    bright(),
+                );
+            }
+        }
+        _ => {
+            for x in 1..m - 1 {
+                set(x, x / 2 + m / 4, bright());
+                set(m / 2, x, bright());
+            }
+        }
+    }
+}
+
+/// Draws a three-channel oriented grating whose orientation, frequency
+/// and color balance identify the class.
+fn draw_texture<R: Rng>(img: &mut [f32], s: usize, class: usize, classes: usize, rng: &mut R) {
+    // Intra-class variability: orientation and frequency jitter create
+    // realistic class overlap so accuracies land below 100%.
+    let angle = class as f32 / classes as f32 * std::f32::consts::PI
+        + rng.gen_range(-0.16..0.16);
+    let freq = 2.0 + (class % 5) as f32 + rng.gen_range(-0.6..0.6);
+    let (ca, sa) = (angle.cos(), angle.sin());
+    let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    let color_shift = (class % 3) as f32 / 3.0;
+    let plane = s * s;
+    for y in 0..s {
+        for x in 0..s {
+            let u = (x as f32 * ca + y as f32 * sa) / s as f32;
+            let v = (0.5 + 0.45 * (u * freq * std::f32::consts::TAU + phase).sin())
+                .clamp(0.0, 1.0);
+            let noise: f32 = rng.gen_range(-0.10..0.10);
+            let base = (v + noise).clamp(0.0, 1.0);
+            img[y * s + x] = base;
+            img[plane + y * s + x] = (base * (1.0 - color_shift) + color_shift * 0.3).clamp(0.0, 1.0);
+            img[2 * plane + y * s + x] = (base * color_shift + 0.1).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Splits a dataset into a training head and evaluation tail.
+///
+/// # Panics
+///
+/// Panics when `train` exceeds the dataset size.
+pub fn split(data: &Dataset, train: usize) -> (Dataset, Dataset) {
+    assert!(train <= data.len(), "train split larger than dataset");
+    let head: Vec<usize> = (0..train).collect();
+    let tail: Vec<usize> = (train..data.len()).collect();
+    (data.gather(&head), data.gather(&tail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = SyntheticConfig::glyphs(16, 40);
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.labels, b.labels);
+        let c = generate(&cfg.clone().with_seed(99)).unwrap();
+        assert_ne!(a.inputs, c.inputs);
+    }
+
+    #[test]
+    fn shapes_and_ranges_are_correct() {
+        let g = generate(&SyntheticConfig::glyphs(16, 20)).unwrap();
+        assert_eq!(g.inputs.shape(), &[20, 1, 16, 16]);
+        let t = generate(&SyntheticConfig::textures(16, 10, 20)).unwrap();
+        assert_eq!(t.inputs.shape(), &[20, 3, 16, 16]);
+        for ds in [&g, &t] {
+            assert!(ds.inputs.min() >= 0.0 && ds.inputs.max() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn labels_cycle_through_classes() {
+        let g = generate(&SyntheticConfig::textures(16, 7, 21)).unwrap();
+        assert_eq!(g.labels[0], 0);
+        assert_eq!(g.labels[6], 6);
+        assert_eq!(g.labels[7], 0);
+        assert!(g.labels.iter().all(|&l| l < 7));
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean intra-class distance should be well below inter-class
+        // distance, otherwise nothing can learn the task.
+        let g = generate(&SyntheticConfig::glyphs(16, 100)).unwrap();
+        let pix = 256;
+        let img = |i: usize| &g.inputs.data()[i * pix..(i + 1) * pix];
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>()
+        };
+        // Average over many pairs: same-class pairs (stride 10 apart)
+        // versus different-class pairs (adjacent samples).
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let pairs = 40;
+        for k in 0..pairs {
+            intra += dist(img(k), img(k + 10));
+            inter += dist(img(k), img(k + 1));
+        }
+        assert!(
+            inter > intra * 1.1,
+            "classes not separable on average: intra {intra} inter {inter}"
+        );
+    }
+
+    #[test]
+    fn cluttered_glyphs_have_busier_backgrounds() {
+        let clean = generate(&SyntheticConfig::glyphs(16, 20)).unwrap();
+        let messy = generate(&SyntheticConfig::cluttered(16, 20)).unwrap();
+        assert!(messy.inputs.mean() > clean.inputs.mean() * 1.5);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(generate(&SyntheticConfig {
+            kind: SyntheticKind::Glyphs,
+            classes: 0,
+            side: 16,
+            samples: 5,
+            seed: 0
+        })
+        .is_err());
+        assert!(generate(&SyntheticConfig::glyphs(2, 5)).is_err());
+        assert!(generate(&SyntheticConfig::glyphs(16, 0)).is_err());
+    }
+
+    #[test]
+    fn split_partitions_without_overlap() {
+        let g = generate(&SyntheticConfig::glyphs(16, 30)).unwrap();
+        let (train, test) = split(&g, 20);
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 10);
+        assert_eq!(test.labels[0], g.labels[20]);
+    }
+}

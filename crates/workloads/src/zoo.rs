@@ -1,0 +1,358 @@
+//! The full-size model zoo: layer descriptors for every network the
+//! paper evaluates (Table I), used by the architecture-level energy
+//! experiments. Descriptors carry geometry only — no weights — so even
+//! AlexNet-on-ImageNet is cheap to build.
+
+use nebula_nn::stats::LayerDescriptor;
+
+/// A benchmark entry of the paper's Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperBenchmark {
+    /// Network name.
+    pub name: &'static str,
+    /// Dataset the paper trains on.
+    pub dataset: &'static str,
+    /// ANN accuracy (%) reported in Table I.
+    pub ann_accuracy: f64,
+    /// SNN accuracy (%) reported in Table I.
+    pub snn_accuracy: f64,
+    /// Timesteps the SNN integrates for.
+    pub timesteps: u32,
+    /// Network depth as reported.
+    pub depth: usize,
+}
+
+/// The paper's Table I, verbatim.
+pub fn paper_table1() -> Vec<PaperBenchmark> {
+    vec![
+        PaperBenchmark { name: "3-layer MLP", dataset: "MNIST", ann_accuracy: 96.81, snn_accuracy: 95.75, timesteps: 50, depth: 3 },
+        PaperBenchmark { name: "LeNet-5", dataset: "MNIST", ann_accuracy: 99.12, snn_accuracy: 98.56, timesteps: 40, depth: 5 },
+        PaperBenchmark { name: "MobileNet-v1", dataset: "CIFAR-10", ann_accuracy: 91.00, snn_accuracy: 81.08, timesteps: 500, depth: 29 },
+        PaperBenchmark { name: "VGG-13", dataset: "CIFAR-10", ann_accuracy: 91.60, snn_accuracy: 90.05, timesteps: 300, depth: 20 },
+        PaperBenchmark { name: "MobileNet-v1", dataset: "CIFAR-100", ann_accuracy: 66.06, snn_accuracy: 56.88, timesteps: 1000, depth: 29 },
+        PaperBenchmark { name: "VGG-13", dataset: "CIFAR-100", ann_accuracy: 71.50, snn_accuracy: 68.32, timesteps: 1000, depth: 18 },
+        PaperBenchmark { name: "SVHN Network", dataset: "SVHN", ann_accuracy: 94.96, snn_accuracy: 94.48, timesteps: 100, depth: 12 },
+        PaperBenchmark { name: "AlexNet", dataset: "ImageNet", ann_accuracy: 51.0, snn_accuracy: 50.0, timesteps: 500, depth: 11 },
+    ]
+}
+
+/// Layerwise spiking-activity profile: activity decays with depth
+/// (paper Fig. 4). `index` is the weight-layer index, `depth` the
+/// weight-layer count.
+pub fn default_activity(index: usize, depth: usize) -> f64 {
+    let frac = index as f64 / depth.max(1) as f64;
+    (0.35 * (-2.2 * frac).exp()).max(0.02)
+}
+
+/// Attaches the default decaying activity profile to a descriptor list.
+pub fn with_default_activities(mut layers: Vec<LayerDescriptor>) -> Vec<LayerDescriptor> {
+    let depth = layers.len();
+    for (i, l) in layers.iter_mut().enumerate() {
+        l.input_activity = default_activity(i, depth);
+    }
+    layers
+}
+
+/// Incremental builder walking spatial dimensions through a conv stack.
+struct NetBuilder {
+    layers: Vec<LayerDescriptor>,
+    channels: usize,
+    hw: (usize, usize),
+    features: usize,
+}
+
+impl NetBuilder {
+    fn image(channels: usize, side: usize) -> Self {
+        Self {
+            layers: Vec::new(),
+            channels,
+            hw: (side, side),
+            features: 0,
+        }
+    }
+
+    fn conv(mut self, out: usize, k: usize, stride: usize, pad: usize) -> Self {
+        let idx = self.layers.len();
+        let d = LayerDescriptor::conv(
+            idx,
+            format!("conv{}", idx + 1),
+            self.channels,
+            out,
+            k,
+            stride,
+            pad,
+            self.hw,
+        );
+        self.hw = d.output_hw;
+        self.channels = out;
+        self.layers.push(d);
+        self
+    }
+
+    fn depthwise(mut self, k: usize, stride: usize, pad: usize) -> Self {
+        let idx = self.layers.len();
+        let d = LayerDescriptor::depthwise(
+            idx,
+            format!("dwconv{}", idx + 1),
+            self.channels,
+            k,
+            stride,
+            pad,
+            self.hw,
+        );
+        self.hw = d.output_hw;
+        self.layers.push(d);
+        self
+    }
+
+    fn pool(mut self, k: usize) -> Self {
+        self.hw = (self.hw.0 / k, self.hw.1 / k);
+        self
+    }
+
+    fn global_pool(mut self) -> Self {
+        self.hw = (1, 1);
+        self
+    }
+
+    fn flatten(mut self) -> Self {
+        self.features = self.channels * self.hw.0 * self.hw.1;
+        self
+    }
+
+    fn dense(mut self, out: usize) -> Self {
+        let idx = self.layers.len();
+        let d = LayerDescriptor::dense(idx, format!("fc{}", idx + 1), self.features, out);
+        self.features = out;
+        self.layers.push(d);
+        self
+    }
+
+    fn build(self) -> Vec<LayerDescriptor> {
+        with_default_activities(self.layers)
+    }
+}
+
+/// The 3-layer MLP on 28×28 inputs (MNIST-class).
+pub fn mlp() -> Vec<LayerDescriptor> {
+    with_default_activities(vec![
+        LayerDescriptor::dense(0, "fc1", 784, 512),
+        LayerDescriptor::dense(1, "fc2", 512, 256),
+        LayerDescriptor::dense(2, "fc3", 256, 10),
+    ])
+}
+
+/// LeNet-5 on 28×28 inputs.
+pub fn lenet5() -> Vec<LayerDescriptor> {
+    NetBuilder::image(1, 28)
+        .conv(6, 5, 1, 2)
+        .pool(2)
+        .conv(16, 5, 1, 0)
+        .pool(2)
+        .flatten()
+        .dense(120)
+        .dense(84)
+        .dense(10)
+        .build()
+}
+
+/// VGG-13 on 32×32 (CIFAR) inputs with `classes` outputs.
+pub fn vgg13(classes: usize) -> Vec<LayerDescriptor> {
+    NetBuilder::image(3, 32)
+        .conv(64, 3, 1, 1)
+        .conv(64, 3, 1, 1)
+        .pool(2)
+        .conv(128, 3, 1, 1)
+        .conv(128, 3, 1, 1)
+        .pool(2)
+        .conv(256, 3, 1, 1)
+        .conv(256, 3, 1, 1)
+        .pool(2)
+        .conv(512, 3, 1, 1)
+        .conv(512, 3, 1, 1)
+        .pool(2)
+        .conv(512, 3, 1, 1)
+        .conv(512, 3, 1, 1)
+        .pool(2)
+        .flatten()
+        .dense(512)
+        .dense(classes)
+        .build()
+}
+
+/// MobileNet-v1 on 32×32 (CIFAR) inputs with `classes` outputs:
+/// a stem conv followed by 13 depthwise-separable blocks and a
+/// classifier — 28 weight layers.
+pub fn mobilenet_v1(classes: usize) -> Vec<LayerDescriptor> {
+    let mut b = NetBuilder::image(3, 32).conv(32, 3, 1, 1);
+    // (pointwise-out, stride) per separable block.
+    let blocks: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (out, stride) in blocks {
+        b = b.depthwise(3, stride, 1).conv(out, 1, 1, 0);
+    }
+    b.global_pool().flatten().dense(classes).build()
+}
+
+/// AlexNet on 224×224 (ImageNet) inputs.
+pub fn alexnet() -> Vec<LayerDescriptor> {
+    NetBuilder::image(3, 224)
+        .conv(96, 11, 4, 2)
+        .pool(2)
+        .conv(256, 5, 1, 2)
+        .pool(2)
+        .conv(384, 3, 1, 1)
+        .conv(384, 3, 1, 1)
+        .conv(256, 3, 1, 1)
+        .pool(2)
+        .flatten()
+        .dense(4096)
+        .dense(4096)
+        .dense(1000)
+        .build()
+}
+
+/// The 12-layer SVHN network on 32×32 inputs.
+pub fn svhn_net() -> Vec<LayerDescriptor> {
+    NetBuilder::image(3, 32)
+        .conv(48, 3, 1, 1)
+        .conv(64, 3, 1, 1)
+        .pool(2)
+        .conv(128, 3, 1, 1)
+        .conv(160, 3, 1, 1)
+        .pool(2)
+        .conv(192, 3, 1, 1)
+        .conv(192, 3, 1, 1)
+        .pool(2)
+        .conv(192, 3, 1, 1)
+        .conv(192, 3, 1, 1)
+        .conv(192, 3, 1, 1)
+        .pool(2)
+        .flatten()
+        .dense(256)
+        .dense(128)
+        .dense(10)
+        .build()
+}
+
+/// Every zoo model with its name, for sweep experiments.
+pub fn all_models() -> Vec<(&'static str, Vec<LayerDescriptor>)> {
+    vec![
+        ("MLP", mlp()),
+        ("LeNet-5", lenet5()),
+        ("VGG-13/C10", vgg13(10)),
+        ("VGG-13/C100", vgg13(100)),
+        ("MobileNet/C10", mobilenet_v1(10)),
+        ("MobileNet/C100", mobilenet_v1(100)),
+        ("SVHN-Net", svhn_net()),
+        ("AlexNet", alexnet()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_nn::stats::LayerOp;
+
+    #[test]
+    fn table1_has_eight_benchmarks() {
+        let t = paper_table1();
+        assert_eq!(t.len(), 8);
+        assert!(t.iter().all(|b| b.ann_accuracy >= b.snn_accuracy));
+    }
+
+    #[test]
+    fn activity_decays_with_depth() {
+        let d = 20;
+        for i in 1..d {
+            assert!(default_activity(i, d) <= default_activity(i - 1, d));
+        }
+        assert!(default_activity(0, d) > 0.2);
+        assert!(default_activity(d - 1, d) >= 0.02);
+    }
+
+    #[test]
+    fn mlp_shapes() {
+        let m = mlp();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].receptive_field, 784);
+        assert_eq!(m[2].kernels, 10);
+    }
+
+    #[test]
+    fn lenet_walks_spatial_dims() {
+        let l = lenet5();
+        assert_eq!(l.len(), 5);
+        // conv1 keeps 28×28 (pad 2), conv2 on 14×14 → 10×10, flatten 16·5·5.
+        assert_eq!(l[0].output_hw, (28, 28));
+        assert_eq!(l[1].output_hw, (10, 10));
+        assert_eq!(l[2].receptive_field, 400);
+    }
+
+    #[test]
+    fn vgg13_matches_the_paper_example() {
+        let v = vgg13(10);
+        assert_eq!(v.len(), 12); // 10 convs + 2 fc
+        // The paper's utilization example: layer 1 uses 27×64 cells.
+        assert_eq!(v[0].receptive_field, 27);
+        assert_eq!(v[0].kernels, 64);
+        // Deepest convs: Rf = 3·3·512 = 4608.
+        assert_eq!(v[9].receptive_field, 4608);
+        // Final classifier.
+        assert_eq!(v[11].kernels, 10);
+        assert_eq!(v[10].receptive_field, 512);
+    }
+
+    #[test]
+    fn mobilenet_alternates_depthwise_and_pointwise() {
+        let m = mobilenet_v1(10);
+        assert_eq!(m.len(), 28); // stem + 13×2 + classifier
+        assert!(matches!(m[1].op, LayerOp::DepthwiseConv { .. }));
+        assert!(matches!(m[2].op, LayerOp::Conv { kernel: 1, .. }));
+        // Depthwise layers have tiny receptive fields (the Fig. 12 story).
+        assert!(m.iter().filter(|l| l.is_depthwise()).all(|l| l.receptive_field == 9));
+        // Even indices 1,3,5... are depthwise (13 of them).
+        assert_eq!(m.iter().filter(|l| l.is_depthwise()).count(), 13);
+    }
+
+    #[test]
+    fn alexnet_has_the_big_fc_layers() {
+        let a = alexnet();
+        assert_eq!(a.len(), 8);
+        assert_eq!(a[5].receptive_field, 9216); // fc6: spills across NCs
+        assert_eq!(a[7].kernels, 1000);
+        // conv1 output 55×55 with 11×11 stride-4 kernels on 224+2·2.
+        assert_eq!(a[0].output_hw, (55, 55));
+    }
+
+    #[test]
+    fn svhn_net_is_twelve_layers() {
+        let s = svhn_net();
+        assert_eq!(s.len(), 12);
+        assert_eq!(s[11].kernels, 10);
+    }
+
+    #[test]
+    fn all_models_build_with_activities() {
+        for (name, layers) in all_models() {
+            assert!(!layers.is_empty(), "{name} empty");
+            for l in &layers {
+                assert!(l.input_activity > 0.0 && l.input_activity <= 1.0);
+                assert!(l.macs > 0, "{name}/{} zero MACs", l.name);
+            }
+        }
+    }
+}

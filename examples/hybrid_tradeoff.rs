@@ -1,0 +1,98 @@
+//! Hybrid SNN-ANN design-space exploration (the paper's §V-B / Fig. 17).
+//!
+//! Trains a scaled VGG, then sweeps the hybrid split point and the
+//! evidence-integration window, reporting accuracy together with the
+//! chip-level energy and power of each configuration — the
+//! latency/energy/power trade-off table a system designer would use to
+//! pick an operating point.
+//!
+//! Run with: `cargo run --release --example hybrid_tradeoff`
+
+use nebula::core::energy::EnergyModel;
+use nebula::core::engine::{evaluate_ann, evaluate_hybrid, evaluate_snn};
+use nebula::nn::convert::{ann_to_snn, ConversionConfig};
+use nebula::nn::optim::{train, TrainConfig};
+use nebula::nn::HybridNetwork;
+use nebula::workloads::scaled::scaled_vgg;
+use nebula::workloads::synthetic::{generate, split, SyntheticConfig};
+use nebula::workloads::zoo;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = generate(&SyntheticConfig::textures(16, 10, 600))?;
+    let (train_set, test_set) = split(&data, 480);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut net = scaled_vgg(16, 10, &mut rng);
+    let cfg = TrainConfig::builder()
+        .epochs(20)
+        .batch_size(32)
+        .learning_rate(0.02)
+        .build();
+    train(&mut net, &train_set, &cfg, &mut rng)?;
+    println!(
+        "ANN accuracy: {:.1}%",
+        net.accuracy(&test_set.inputs, &test_set.labels)? * 100.0
+    );
+
+    // Accuracy at a starved window: pure SNN vs hybrids.
+    let conv_cfg = ConversionConfig::default();
+    let calib = train_set.take(64);
+    let mut snn = ann_to_snn(&net, &calib, &conv_cfg)?;
+    println!("\naccuracy at starved evidence windows (mean of 4 Poisson draws):");
+    println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "T", "SNN", "Hyb-1", "Hyb-2", "Hyb-3");
+    for t in [60usize, 15, 8, 4] {
+        let mut row = vec![format!("{t:>8}")];
+        let avg = |acc: &mut dyn FnMut(&mut rand::rngs::StdRng) -> f64,
+                       rng: &mut rand::rngs::StdRng| {
+            let mut s = 0.0;
+            for _ in 0..4 {
+                s += acc(rng);
+            }
+            s / 4.0 * 100.0
+        };
+        let a = avg(
+            &mut |r| snn.accuracy(&test_set.inputs, &test_set.labels, t, r).unwrap(),
+            &mut rng,
+        );
+        row.push(format!("{a:>7.1}%"));
+        for k in 1..=3 {
+            let mut hyb = HybridNetwork::split(&net, &calib, k, &conv_cfg)?;
+            let a = avg(
+                &mut |r| hyb.accuracy(&test_set.inputs, &test_set.labels, t, r).unwrap(),
+                &mut rng,
+            );
+            row.push(format!("{a:>7.1}%"));
+        }
+        println!("{}", row.join(" "));
+    }
+
+    // Chip-level cost of the same design points, using the full-size
+    // VGG-13 descriptors (what the real deployment would run).
+    let model = EnergyModel::default();
+    let vgg = zoo::vgg13(10);
+    let ann_hw = evaluate_ann(&model, &vgg);
+    let snn_hw = evaluate_snn(&model, &vgg, 300);
+    println!("\nchip-level trade-off (full-size VGG-13):");
+    println!(
+        "  pure SNN @300: {:8.2} uJ  {:>12} avg",
+        snn_hw.total_energy().0 * 1e6,
+        format!("{}", snn_hw.avg_power)
+    );
+    for (k, t) in [(1usize, 225u32), (2, 150), (3, 100)] {
+        let h = evaluate_hybrid(&model, &vgg, k, t);
+        println!(
+            "  {:>9} : {:8.2} uJ  {:>12} avg",
+            h.mode,
+            h.total_energy().0 * 1e6,
+            format!("{}", h.avg_power())
+        );
+    }
+    println!(
+        "  pure ANN     : {:8.2} uJ  {:>12} avg",
+        ann_hw.total_energy().0 * 1e6,
+        format!("{}", ann_hw.avg_power)
+    );
+    println!("\nHybrids trade a little of the SNN's power advantage for a large");
+    println!("cut in energy and latency — the paper's recommended middle ground.");
+    Ok(())
+}

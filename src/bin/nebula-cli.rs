@@ -1,0 +1,233 @@
+//! `nebula-cli` — price, map and inspect workloads on the NEBULA chip
+//! from the command line.
+//!
+//! ```text
+//! nebula-cli list
+//! nebula-cli chip
+//! nebula-cli device
+//! nebula-cli map vgg13
+//! nebula-cli price vgg13 --mode snn --timesteps 300
+//! nebula-cli price alexnet --mode hybrid --timesteps 250 --ann-layers 2
+//! ```
+
+use nebula::core::components;
+use nebula::core::energy::EnergyModel;
+use nebula::core::engine::{evaluate_ann, evaluate_hybrid, evaluate_snn};
+use nebula::core::mapper::map_network;
+use nebula::core::pipeline;
+use nebula::device::params::DeviceParams;
+use nebula::device::synapse::transfer_characteristic;
+use nebula::nn::stats::LayerDescriptor;
+use nebula::workloads::zoo;
+use std::process::ExitCode;
+
+fn model_by_name(name: &str) -> Option<Vec<LayerDescriptor>> {
+    match name.to_ascii_lowercase().as_str() {
+        "mlp" => Some(zoo::mlp()),
+        "lenet" | "lenet5" => Some(zoo::lenet5()),
+        "vgg13" | "vgg" => Some(zoo::vgg13(10)),
+        "vgg13-100" => Some(zoo::vgg13(100)),
+        "mobilenet" => Some(zoo::mobilenet_v1(10)),
+        "mobilenet-100" => Some(zoo::mobilenet_v1(100)),
+        "svhn" => Some(zoo::svhn_net()),
+        "alexnet" => Some(zoo::alexnet()),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: nebula-cli <command>\n\
+         \n\
+         commands:\n\
+         \x20 list                         available workloads\n\
+         \x20 chip                         chip power/area budget (Table III)\n\
+         \x20 device                       DW-MTJ device parameters + transfer curve\n\
+         \x20 map <model>                  per-layer crossbar mapping\n\
+         \x20 price <model> [options]     energy/power/latency per inference\n\
+         \n\
+         price options:\n\
+         \x20 --mode ann|snn|hybrid        execution mode (default ann)\n\
+         \x20 --timesteps N                SNN/hybrid evidence window (default 300)\n\
+         \x20 --ann-layers K               hybrid: trailing ANN layers (default 1)"
+    );
+    ExitCode::from(2)
+}
+
+fn cmd_list() {
+    println!("available workloads:");
+    for (name, layers) in zoo::all_models() {
+        let macs: u64 = layers.iter().map(|l| l.macs).sum();
+        println!(
+            "  {:<16} {:>2} weight layers, {:>6.1} MMACs/inference",
+            name,
+            layers.len(),
+            macs as f64 / 1e6
+        );
+    }
+    println!("\nnames accepted by `map`/`price`: mlp lenet vgg13 vgg13-100 mobilenet mobilenet-100 svhn alexnet");
+}
+
+fn cmd_chip() {
+    println!("NEBULA chip budget (Table III):");
+    println!(
+        "  {} ANN cores  @ {} / {:.3} mm^2",
+        components::ANN_CORES,
+        components::ann_core_power(),
+        components::ann_core_area().0
+    );
+    println!(
+        "  {} SNN cores @ {} / {:.3} mm^2",
+        components::SNN_CORES,
+        components::snn_core_power(),
+        components::snn_core_area().0
+    );
+    println!(
+        "  {} accumulator units @ {}",
+        components::ACCUMULATORS,
+        components::ACCUMULATOR_UNIT.power
+    );
+    println!(
+        "  chip total: {:.2} W, {:.1} mm^2, {} ns pipeline cycle",
+        components::chip_power().0,
+        components::chip_area().0,
+        components::CYCLE.as_ns()
+    );
+}
+
+fn cmd_device() {
+    let p = DeviceParams::default();
+    println!("DW-MTJ device (paper-calibrated):");
+    println!("  free layer          {} nm", p.free_layer_length().as_nm());
+    println!("  pinning pitch       {} nm ({} states)", p.pinning_resolution().as_nm(), p.levels());
+    println!("  switching time      {} ns", p.switching_time().as_ns());
+    println!("  critical current    {:.1} uA", p.critical_current().0 * 1e6);
+    println!("  full-scale current  {:.1} uA", p.full_scale_current().0 * 1e6);
+    println!("  TMR ratio           {}x", p.tmr_ratio());
+    println!("\ntransfer curve (I -> DW displacement):");
+    for pt in transfer_characteristic(&p, p.full_scale_current(), 6) {
+        println!(
+            "  {:5.1} uA -> {:6.1} nm",
+            pt.current.0 * 1e6,
+            pt.displacement.as_nm()
+        );
+    }
+}
+
+fn cmd_map(model: &str) -> ExitCode {
+    let Some(layers) = model_by_name(model) else {
+        eprintln!("unknown model `{model}` (try `nebula-cli list`)");
+        return ExitCode::from(2);
+    };
+    println!(
+        "{:<10} {:>6} {:>8} {:>6} {:>6} {:>7} {:>5} {:>8}",
+        "layer", "R_f", "kernels", "cores", "ACs", "util%", "ADC", "cycles"
+    );
+    for (m, d) in map_network(&layers).iter().zip(&layers) {
+        println!(
+            "{:<10} {:>6} {:>8} {:>6} {:>6} {:>6.1}% {:>5} {:>8}",
+            m.name,
+            d.receptive_field,
+            d.kernels,
+            m.cores,
+            m.acs_used,
+            m.utilization * 100.0,
+            if m.needs_adc() { "yes" } else { "no" },
+            pipeline::layer_latency_cycles(m, 1),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_price(model: &str, args: &[String]) -> ExitCode {
+    let Some(layers) = model_by_name(model) else {
+        eprintln!("unknown model `{model}` (try `nebula-cli list`)");
+        return ExitCode::from(2);
+    };
+    let mut mode = "ann".to_string();
+    let mut timesteps: u32 = 300;
+    let mut ann_layers: usize = 1;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => mode = it.next().cloned().unwrap_or_default(),
+            "--timesteps" => {
+                timesteps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(timesteps)
+            }
+            "--ann-layers" => {
+                ann_layers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(ann_layers)
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let em = EnergyModel::default();
+    match mode.as_str() {
+        "ann" => print_report(&evaluate_ann(&em, &layers)),
+        "snn" => print_report(&evaluate_snn(&em, &layers, timesteps)),
+        "hybrid" => {
+            let h = evaluate_hybrid(&em, &layers, ann_layers, timesteps);
+            println!("mode          {}", h.mode);
+            println!("energy        {:.3} uJ/inference", h.total_energy().0 * 1e6);
+            println!("latency       {:.3} ms", h.latency().0 * 1e3);
+            println!("avg power     {}", h.avg_power());
+            println!("peak power    {}", h.peak_power());
+            println!("AU energy     {}", h.accumulator);
+        }
+        other => {
+            eprintln!("unknown mode `{other}` (ann|snn|hybrid)");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_report(r: &nebula::core::engine::InferenceReport) {
+    println!("mode          {}", r.mode);
+    println!("energy        {:.3} uJ/inference", r.total_energy().0 * 1e6);
+    println!("latency       {:.3} ms", r.latency.0 * 1e3);
+    println!("avg power     {}", r.avg_power);
+    println!("peak power    {}", r.peak_power);
+    println!("cores         {}", r.cores_used);
+    println!("\nenergy breakdown:");
+    for (name, frac) in r.total.fractions() {
+        if frac > 0.0005 {
+            println!("  {:<14} {:>5.1}%", name, frac * 100.0);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list();
+            ExitCode::SUCCESS
+        }
+        Some("chip") => {
+            cmd_chip();
+            ExitCode::SUCCESS
+        }
+        Some("device") => {
+            cmd_device();
+            ExitCode::SUCCESS
+        }
+        Some("map") => match args.get(1) {
+            Some(model) => cmd_map(model),
+            None => usage(),
+        },
+        Some("price") => match args.get(1) {
+            Some(model) => cmd_price(model, &args[2..]),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,70 @@
+//! # NEBULA
+//!
+//! A complete Rust reproduction of **"NEBULA: A Neuromorphic Spin-Based
+//! Ultra-Low Power Architecture for SNNs and ANNs"** (Singh et al.,
+//! ISCA 2020) — from the DW-MTJ device physics up to whole-chip
+//! energy/power evaluation, plus the ISAAC and INXS baselines the paper
+//! compares against.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | Layer | Module | What it models |
+//! |---|---|---|
+//! | Device | [`device`] | domain-wall MTJ synapses & spin neurons |
+//! | Circuit | [`crossbar`] | all-spin crossbars, morphable tiles, NU hierarchy |
+//! | Network-on-chip | [`noc`] | 14×14 mesh, augmented routing units |
+//! | Architecture | [`core`] | neural cores, mapper, pipeline, energy model |
+//! | Algorithms | [`nn`] | training, 4-bit quantization, ANN→SNN conversion, hybrids |
+//! | Workloads | [`workloads`] | model zoo + synthetic datasets |
+//! | Baselines | [`baselines`] | ISAAC and INXS analytical models |
+//! | Substrate | [`tensor`] | dense tensor ops (matmul, conv, pooling) |
+//!
+//! # Quick start
+//!
+//! Train a small ANN, convert it to a spiking network, and compare the
+//! architecture-level energy of both modes:
+//!
+//! ```
+//! use nebula::nn::convert::{ann_to_snn, ConversionConfig};
+//! use nebula::nn::optim::{train, Dataset, TrainConfig};
+//! use nebula::nn::{Layer, Network};
+//! use nebula::core::energy::EnergyModel;
+//! use nebula::core::engine::{evaluate_ann, evaluate_snn};
+//! use nebula::workloads::zoo;
+//! use nebula::tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! // --- algorithm level: a toy two-feature classifier -----------------
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = Network::new(vec![
+//!     Layer::dense(2, 8, &mut rng),
+//!     Layer::relu(),
+//!     Layer::dense(8, 2, &mut rng),
+//! ]);
+//! let data = Dataset::new(
+//!     Tensor::from_vec(vec![0.9, 0.1, 0.1, 0.9, 0.8, 0.2, 0.2, 0.8], &[4, 2])?,
+//!     vec![0, 1, 0, 1],
+//! )?;
+//! train(&mut net, &data, &TrainConfig::builder().epochs(40).batch_size(4).build(), &mut rng)?;
+//! let mut snn = ann_to_snn(&net, &data, &ConversionConfig::default())?;
+//! let _ = snn.accuracy(&data.inputs, &data.labels, 100, &mut rng)?;
+//!
+//! // --- architecture level: VGG-13 on the NEBULA chip ------------------
+//! let model = EnergyModel::default();
+//! let ann = evaluate_ann(&model, &zoo::vgg13(10));
+//! let snn_hw = evaluate_snn(&model, &zoo::vgg13(10), 300);
+//! assert!(ann.avg_power > snn_hw.avg_power); // SNN power advantage
+//! assert!(snn_hw.total_energy() > ann.total_energy()); // at an energy cost
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use nebula_baselines as baselines;
+pub use nebula_core as core;
+pub use nebula_crossbar as crossbar;
+pub use nebula_device as device;
+pub use nebula_nn as nn;
+pub use nebula_noc as noc;
+pub use nebula_tensor as tensor;
+pub use nebula_workloads as workloads;

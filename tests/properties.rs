@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) over core data structures and
+//! invariants of the stack.
+
+use nebula::core::energy::{EnergyModel, ExecMode};
+use nebula::core::mapper::map_layer;
+use nebula::device::dw::DomainWall;
+use nebula::device::params::DeviceParams;
+use nebula::device::synapse::DwMtjSynapse;
+use nebula::device::units::{Amps, Seconds};
+use nebula::nn::loss::softmax_cross_entropy;
+use nebula::nn::stats::LayerDescriptor;
+use nebula::noc::{MeshNetwork, MeshTopology, NodeId};
+use nebula::tensor::{avg_pool2d, avg_pool2d_backward, im2col, ConvGeometry, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c).prop_map(move |v| (r, c, v))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_an_involution((r, c, data) in small_matrix()) {
+        let t = Tensor::from_vec(data, &[r, c]).unwrap();
+        let back = t.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral((r, c, data) in small_matrix()) {
+        let t = Tensor::from_vec(data, &[r, c]).unwrap();
+        let left = Tensor::eye(r).matmul(&t).unwrap();
+        let right = t.matmul(&Tensor::eye(c)).unwrap();
+        for (a, b) in t.data().iter().zip(left.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        for (a, b) in t.data().iter().zip(right.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (r, k, a) in small_matrix(),
+        seed in 0u64..1000,
+    ) {
+        let c = 3usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let ta = Tensor::from_vec(a, &[r, k]).unwrap();
+        let b1 = Tensor::rand_uniform(&[k, c], -1.0, 1.0, &mut rng);
+        let b2 = Tensor::rand_uniform(&[k, c], -1.0, 1.0, &mut rng);
+        let lhs = ta.matmul(&b1.add(&b2).unwrap()).unwrap();
+        let rhs = ta.matmul(&b1).unwrap().add(&ta.matmul(&b2).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn avg_pool_preserves_mean(n in 1usize..3, ch in 1usize..3, data in proptest::collection::vec(-5.0f32..5.0, 16)) {
+        // 4x4 single tile replicated over batch/channels.
+        let mut full = Vec::new();
+        for _ in 0..n * ch {
+            full.extend_from_slice(&data);
+        }
+        let t = Tensor::from_vec(full, &[n, ch, 4, 4]).unwrap();
+        let pooled = avg_pool2d(&t, 2).unwrap();
+        prop_assert!((pooled.mean() - t.mean()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn avg_pool_backward_preserves_gradient_mass(data in proptest::collection::vec(-5.0f32..5.0, 4)) {
+        let g = Tensor::from_vec(data, &[1, 1, 2, 2]).unwrap();
+        let dx = avg_pool2d_backward(&g, [1, 1, 4, 4], 2).unwrap();
+        prop_assert!((dx.sum() - g.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn im2col_row_count_matches_output_geometry(h in 4usize..10, w in 4usize..10, k in 1usize..4) {
+        let x = Tensor::ones(&[1, 2, h, w]);
+        let geom = ConvGeometry::new(k, 1, 0);
+        if h >= k && w >= k {
+            let cols = im2col(&x, geom).unwrap();
+            let (oh, ow) = geom.out_hw(h, w).unwrap();
+            prop_assert_eq!(cols.shape()[0], oh * ow);
+            prop_assert_eq!(cols.shape()[1], 2 * k * k);
+        }
+    }
+
+    #[test]
+    fn softmax_ce_loss_is_nonnegative(
+        logits in proptest::collection::vec(-20.0f32..20.0, 6),
+        label in 0usize..3,
+    ) {
+        let t = Tensor::from_vec(logits, &[2, 3]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&t, &[label, (label + 1) % 3]).unwrap();
+        prop_assert!(loss >= -1e-6);
+        // Gradient rows sum to ~0.
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn domain_wall_position_stays_in_bounds(
+        pulses in proptest::collection::vec((-60.0f64..60.0, 1.0f64..200.0), 1..40),
+    ) {
+        let p = DeviceParams::default();
+        let mut wall = DomainWall::new(&p);
+        for (ua, ns) in pulses {
+            wall.apply_current(Amps(ua * 1e-6), Seconds(ns * 1e-9));
+            let x = wall.normalized_position();
+            prop_assert!((0.0..=1.0).contains(&x), "wall escaped: {}", x);
+        }
+        let state = wall.relax_to_pinning_site();
+        prop_assert!(state < p.levels());
+    }
+
+    #[test]
+    fn synapse_conductance_is_monotone_in_state(s1 in 0usize..16, s2 in 0usize..16) {
+        let p = DeviceParams::default();
+        let syn = DwMtjSynapse::new(&p);
+        let g1 = syn.conductance_for_state(s1).unwrap().0;
+        let g2 = syn.conductance_for_state(s2).unwrap().0;
+        if s1 < s2 {
+            prop_assert!(g1 < g2);
+        } else if s1 > s2 {
+            prop_assert!(g1 > g2);
+        } else {
+            prop_assert!((g1 - g2).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn mapper_invariants_hold_for_any_conv(
+        in_c in 1usize..64,
+        out_c in 1usize..256,
+        k in prop::sample::select(vec![1usize, 3, 5, 7]),
+        side in 8usize..64,
+    ) {
+        let d = LayerDescriptor::conv(0, "c", in_c, out_c, k, 1, k / 2, (side, side));
+        let m = map_layer(&d);
+        prop_assert!(m.cores >= 1);
+        prop_assert!(m.acs_used >= 1);
+        prop_assert!(m.utilization > 0.0 && m.utilization <= 1.0 + 1e-9);
+        prop_assert_eq!(m.needs_adc(), d.receptive_field > 2048);
+        prop_assert_eq!(m.cycles, (side * side) as u64);
+    }
+
+    #[test]
+    fn snn_energy_is_monotone_in_timesteps(t1 in 1u32..400, t2 in 1u32..400) {
+        let model = EnergyModel::default();
+        let d = LayerDescriptor::conv(0, "c", 16, 32, 3, 1, 1, (16, 16)).with_activity(0.2);
+        let m = map_layer(&d);
+        let e1 = model.layer_energy(&m, ExecMode::Snn { timesteps: t1 }, 0.2).energy.total();
+        let e2 = model.layer_energy(&m, ExecMode::Snn { timesteps: t2 }, 0.2).energy.total();
+        if t1 < t2 {
+            prop_assert!(e1 < e2);
+        } else if t1 > t2 {
+            prop_assert!(e1 > e2);
+        }
+    }
+
+    #[test]
+    fn mesh_hops_form_a_metric(w in 2usize..10, h in 2usize..10, a in 0usize..100, b in 0usize..100, c in 0usize..100) {
+        let mesh = MeshTopology::new(w, h).unwrap();
+        let n = mesh.nodes();
+        let (a, b, c) = (NodeId(a % n), NodeId(b % n), NodeId(c % n));
+        prop_assert_eq!(mesh.hops(a, a), 0);
+        prop_assert_eq!(mesh.hops(a, b), mesh.hops(b, a));
+        prop_assert!(mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c));
+        // The XY route length equals hops + 1.
+        prop_assert_eq!(mesh.xy_route(a, b).len(), mesh.hops(a, b) + 1);
+    }
+
+    #[test]
+    fn noc_flit_accounting_is_additive(bits1 in 1u64..1000, bits2 in 1u64..1000) {
+        let mut net = MeshNetwork::new(MeshTopology::new(4, 4).unwrap());
+        let r1 = net.send(NodeId(0), NodeId(5), bits1).unwrap();
+        let r2 = net.send(NodeId(0), NodeId(5), bits2).unwrap();
+        prop_assert_eq!(net.stats().flit_hops, r1.flit_hops + r2.flit_hops);
+        prop_assert_eq!(net.stats().transfers, 2);
+    }
+}
