@@ -152,8 +152,14 @@ pub fn layer_energy(config: &IsaacConfig, desc: &LayerDescriptor) -> IsaacLayerE
 }
 
 /// Computes ISAAC's energy for every layer of a workload.
-pub fn network_energy(config: &IsaacConfig, descriptors: &[LayerDescriptor]) -> Vec<IsaacLayerEnergy> {
-    descriptors.iter().map(|d| layer_energy(config, d)).collect()
+pub fn network_energy(
+    config: &IsaacConfig,
+    descriptors: &[LayerDescriptor],
+) -> Vec<IsaacLayerEnergy> {
+    descriptors
+        .iter()
+        .map(|d| layer_energy(config, d))
+        .collect()
 }
 
 /// Total network energy.

@@ -19,6 +19,6 @@ pub mod compare;
 pub mod inxs;
 pub mod isaac;
 
-pub use compare::{isaac_vs_nebula_ann, inxs_vs_nebula_snn, LayerRatio};
+pub use compare::{inxs_vs_nebula_snn, isaac_vs_nebula_ann, LayerRatio};
 pub use inxs::{InxsConfig, InxsLayerEnergy};
 pub use isaac::{IsaacConfig, IsaacLayerEnergy};

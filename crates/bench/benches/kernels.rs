@@ -30,7 +30,9 @@ fn bench_crossbar(c: &mut Criterion) {
     let mut st = SuperTile::new(CrossbarConfig::paper_default(Mode::Snn)).unwrap();
     let kernel: Vec<Vec<f64>> = (0..2000).map(|_| vec![rng.gen_range(-1.0..1.0)]).collect();
     st.program(&kernel, 1.0).unwrap();
-    let spikes: Vec<f64> = (0..2000).map(|_| f64::from(rng.gen_bool(0.2))).collect();
+    let spikes: Vec<f64> = (0..2000)
+        .map(|_| if rng.gen_bool(0.2) { 1.0 } else { 0.0 })
+        .collect();
     c.bench_function("supertile_dot_h2_rf2000", |b| {
         b.iter(|| st.dot(black_box(&spikes)).unwrap())
     });
@@ -64,7 +66,9 @@ fn bench_snn(c: &mut Criterion) {
     });
 
     let mut dense = Layer::dense(256, 128, &mut rng);
-    let spikes = Tensor::rand_uniform(&[16, 256], 0.0, 1.0, &mut rng).map(|v| f32::from(v < 0.2));
+    let spikes =
+        Tensor::rand_uniform(&[16, 256], 0.0, 1.0, &mut rng)
+            .map(|v| if v < 0.2 { 1.0 } else { 0.0 });
     c.bench_function("sparse_dense_forward_16x256", |b| {
         b.iter(|| dense.forward(black_box(&spikes), false).unwrap())
     });

@@ -38,7 +38,15 @@ fn main() {
     }
     print_table(
         "Analog crossbar execution vs digital (4-bit quantized, 60 test samples)",
-        &["model", "digital %", "analog %", "analog+10% mismatch %", "supertiles", "program E", "read E"],
+        &[
+            "model",
+            "digital %",
+            "analog %",
+            "analog+10% mismatch %",
+            "supertiles",
+            "program E",
+            "read E",
+        ],
         &rows,
     );
     println!("\nAnalog inference through the device models matches digital 4-bit");

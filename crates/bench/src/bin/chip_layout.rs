@@ -20,14 +20,34 @@ fn main() {
         rows.push(vec![
             name.to_string(),
             snn_place.cores_demanded.to_string(),
-            format!("{}", if snn_place.fits { "yes" } else { "no (multiplexed)" }),
-            format!("{}", if ann_place.fits { "yes" } else { "no (multiplexed)" }),
+            format!(
+                "{}",
+                if snn_place.fits {
+                    "yes"
+                } else {
+                    "no (multiplexed)"
+                }
+            ),
+            format!(
+                "{}",
+                if ann_place.fits {
+                    "yes"
+                } else {
+                    "no (multiplexed)"
+                }
+            ),
             flit_hops.to_string(),
         ]);
     }
     print_table(
         "Chip layout: core demand and per-inference NoC traffic (spike flits)",
-        &["model", "cores", "fits 182 SNN NCs", "fits 14 ANN NCs", "flit-hops/pass"],
+        &[
+            "model",
+            "cores",
+            "fits 182 SNN NCs",
+            "fits 14 ANN NCs",
+            "flit-hops/pass",
+        ],
         &rows,
     );
     println!("\nThe 182-core SNN fabric absorbs every benchmark; the 14-core ANN");

@@ -12,9 +12,7 @@ fn main() {
         let t = trained(w, 400, 15);
         let mut snn = ann_to_snn(&t.net, &t.train.take(64), &ConversionConfig::default()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let result = snn
-            .run(&t.test.take(60).inputs, 100, &mut rng)
-            .unwrap();
+        let result = snn.run(&t.test.take(60).inputs, 100, &mut rng).unwrap();
         let rows: Vec<Vec<String>> = result
             .stats
             .activity_per_layer
@@ -26,7 +24,10 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Fig. 4 ({}): average spikes/neuron/timestep by layer", w.name()),
+            &format!(
+                "Fig. 4 ({}): average spikes/neuron/timestep by layer",
+                w.name()
+            ),
             &["layer", "activity", ""],
             &rows,
         );

@@ -37,7 +37,10 @@ fn main() {
         for (i, stage) in stages.iter().enumerate() {
             if let SnnStage::IntegrateFire(_) = stage {
                 let after_pool = i > 0
-                    && matches!(stages.get(i - 1), Some(SnnStage::Synaptic(Layer::AvgPool(_))));
+                    && matches!(
+                        stages.get(i - 1),
+                        Some(SnnStage::Synaptic(Layer::AvgPool(_)))
+                    );
                 if !after_pool {
                     relu_ifs.push(if_index);
                 }

@@ -3,6 +3,7 @@
 
 use nebula_baselines::compare::isaac_vs_nebula_ann;
 use nebula_baselines::isaac::IsaacConfig;
+use nebula_bench::par::par_map;
 use nebula_bench::table::{print_table, ratio};
 use nebula_core::energy::EnergyModel;
 use nebula_workloads::zoo;
@@ -10,18 +11,23 @@ use nebula_workloads::zoo;
 fn main() {
     let model = EnergyModel::default();
     let cfg = IsaacConfig::adapted_4bit();
-    for (name, ds, paper) in [
+    let cases = [
         ("AlexNet", zoo::alexnet(), 2.8),
         ("MobileNet-v1", zoo::mobilenet_v1(10), 7.9),
-    ] {
-        let (layers, mean) = isaac_vs_nebula_ann(&cfg, &model, &ds);
+    ];
+    let comparisons = par_map(&cases, |(_, ds, _)| isaac_vs_nebula_ann(&cfg, &model, ds));
+    for ((name, ds, paper), (layers, mean)) in cases.iter().zip(&comparisons) {
         let rows: Vec<Vec<String>> = layers
             .iter()
-            .zip(&ds)
+            .zip(ds)
             .map(|(l, d)| {
                 vec![
                     l.name.clone(),
-                    if d.is_depthwise() { "depthwise".into() } else { "dense".into() },
+                    if d.is_depthwise() {
+                        "depthwise".into()
+                    } else {
+                        "dense".into()
+                    },
                     d.receptive_field.to_string(),
                     ratio(l.ratio),
                 ]
@@ -32,7 +38,7 @@ fn main() {
             &["layer", "kind", "R_f", "ISAAC/NEBULA"],
             &rows,
         );
-        println!("mean ratio: {} (paper reports ~{paper}x)", ratio(mean));
+        println!("mean ratio: {} (paper reports ~{paper}x)", ratio(*mean));
     }
     println!("\nShape check: depthwise (small-R_f) layers show the largest savings;");
     println!("MobileNet's mean exceeds AlexNet's.");

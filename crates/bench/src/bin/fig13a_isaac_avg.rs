@@ -3,6 +3,7 @@
 
 use nebula_baselines::compare::isaac_vs_nebula_ann;
 use nebula_baselines::isaac::IsaacConfig;
+use nebula_bench::par::par_map;
 use nebula_bench::table::{print_table, ratio};
 use nebula_core::energy::EnergyModel;
 use nebula_workloads::zoo;
@@ -10,13 +11,11 @@ use nebula_workloads::zoo;
 fn main() {
     let model = EnergyModel::default();
     let cfg = IsaacConfig::adapted_4bit();
-    let rows: Vec<Vec<String>> = zoo::all_models()
-        .into_iter()
-        .map(|(name, ds)| {
-            let (_, mean) = isaac_vs_nebula_ann(&cfg, &model, &ds);
-            vec![name.to_string(), ratio(mean)]
-        })
-        .collect();
+    let models = zoo::all_models();
+    let rows = par_map(&models, |(name, ds)| {
+        let (_, mean) = isaac_vs_nebula_ann(&cfg, &model, ds);
+        vec![name.to_string(), ratio(mean)]
+    });
     print_table(
         "Fig. 13(a): ISAAC / NEBULA-ANN average energy per benchmark",
         &["benchmark", "ISAAC/NEBULA"],

@@ -3,19 +3,34 @@
 
 use nebula_bench::table::{print_table, ratio};
 use nebula_core::energy::EnergyModel;
-use nebula_core::engine::{evaluate_ann, evaluate_snn};
+use nebula_core::engine::{par_evaluate_suite, SuiteJob, SuiteMode, SuiteOutcome};
 use nebula_workloads::zoo;
 
 fn main() {
     let model = EnergyModel::default();
-    for (name, ds) in [
+    let models = [
         ("VGG-13", zoo::vgg13(10)),
         ("MobileNet-v1", zoo::mobilenet_v1(10)),
         ("AlexNet", zoo::alexnet()),
         ("SVHN-Net", zoo::svhn_net()),
-    ] {
-        let ann = evaluate_ann(&model, &ds);
-        let snn = evaluate_snn(&model, &ds, 300);
+    ];
+    // One ANN + one SNN job per model, fanned out across the pool.
+    let jobs: Vec<SuiteJob> = models
+        .iter()
+        .flat_map(|(name, ds)| {
+            [
+                SuiteJob::new(*name, ds.clone(), SuiteMode::Ann),
+                SuiteJob::new(*name, ds.clone(), SuiteMode::Snn { timesteps: 300 }),
+            ]
+        })
+        .collect();
+    let reports = par_evaluate_suite(&model, &jobs);
+    for (pair, (name, _)) in reports.chunks(2).zip(&models) {
+        let (SuiteOutcome::Inference(ann), SuiteOutcome::Inference(snn)) =
+            (&pair[0].outcome, &pair[1].outcome)
+        else {
+            unreachable!("fig14 jobs are pure ANN/SNN evaluations");
+        };
         let rows: Vec<Vec<String>> = ann
             .layers
             .iter()

@@ -3,16 +3,20 @@
 
 use nebula_bench::table::print_table;
 use nebula_core::energy::EnergyModel;
-use nebula_core::engine::{evaluate_ann, evaluate_snn};
+use nebula_core::engine::{par_evaluate_suite, SuiteJob, SuiteMode, SuiteOutcome};
 use nebula_workloads::zoo;
 
 fn main() {
     let model = EnergyModel::default();
     let ds = zoo::vgg13(10);
-    for (mode, report) in [
-        ("SNN (T=300)", evaluate_snn(&model, &ds, 300)),
-        ("ANN", evaluate_ann(&model, &ds)),
-    ] {
+    let jobs = [
+        SuiteJob::new("SNN (T=300)", ds.clone(), SuiteMode::Snn { timesteps: 300 }),
+        SuiteJob::new("ANN", ds, SuiteMode::Ann),
+    ];
+    for suite_report in par_evaluate_suite(&model, &jobs) {
+        let SuiteOutcome::Inference(report) = &suite_report.outcome else {
+            unreachable!("fig15 jobs are pure evaluations");
+        };
         let rows: Vec<Vec<String>> = report
             .total
             .fractions()
@@ -20,7 +24,10 @@ fn main() {
             .map(|(name, f)| vec![name.to_string(), format!("{:.1}%", f * 100.0)])
             .collect();
         print_table(
-            &format!("Fig. 15 (VGG, {mode}): component energy shares"),
+            &format!(
+                "Fig. 15 (VGG, {}): component energy shares",
+                suite_report.label
+            ),
             &["component", "share"],
             &rows,
         );

@@ -3,18 +3,30 @@
 
 use nebula_bench::table::print_table;
 use nebula_core::energy::EnergyModel;
-use nebula_core::engine::{evaluate_ann, evaluate_snn};
+use nebula_core::engine::{par_evaluate_suite, SuiteJob, SuiteMode, SuiteOutcome};
 use nebula_workloads::zoo;
 
 fn main() {
     let model = EnergyModel::default();
-    for snn_mode in [true, false] {
+    let models = zoo::all_models();
+    // The whole grid — every model in both modes — is one parallel suite.
+    let jobs: Vec<SuiteJob> = [SuiteMode::Snn { timesteps: 300 }, SuiteMode::Ann]
+        .into_iter()
+        .flat_map(|mode| {
+            models
+                .iter()
+                .map(move |(name, ds)| SuiteJob::new(*name, ds.clone(), mode))
+        })
+        .collect();
+    let reports = par_evaluate_suite(&model, &jobs);
+    for (snn_mode, mode_reports) in [
+        (true, &reports[..models.len()]),
+        (false, &reports[models.len()..]),
+    ] {
         let mut rows = Vec::new();
-        for (name, ds) in zoo::all_models() {
-            let report = if snn_mode {
-                evaluate_snn(&model, &ds, 300)
-            } else {
-                evaluate_ann(&model, &ds)
+        for suite_report in mode_reports {
+            let SuiteOutcome::Inference(report) = &suite_report.outcome else {
+                unreachable!("fig16 jobs are pure evaluations");
             };
             let f = report.total.fractions();
             let get = |k: &str| {
@@ -23,7 +35,7 @@ fn main() {
                     .map_or(0.0, |(_, v)| *v * 100.0)
             };
             rows.push(vec![
-                name.to_string(),
+                suite_report.label.clone(),
                 format!("{:.1}", get("crossbar") + get("drivers")),
                 format!("{:.1}", get("sram")),
                 format!("{:.1}", get("edram")),

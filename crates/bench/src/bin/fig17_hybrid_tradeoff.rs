@@ -3,32 +3,55 @@
 
 use nebula_bench::table::{print_table, ratio};
 use nebula_core::energy::EnergyModel;
-use nebula_core::engine::{evaluate_ann, evaluate_hybrid, evaluate_snn};
+use nebula_core::engine::{par_evaluate_suite, SuiteJob, SuiteMode, SuiteReport};
 use nebula_workloads::zoo;
 
 fn main() {
     let model = EnergyModel::default();
-    for (name, ds, t_full) in [
+    let cases = [
         ("AlexNet", zoo::alexnet(), 500u32),
         ("VGG-13", zoo::vgg13(10), 300),
         ("SVHN-Net", zoo::svhn_net(), 100),
-    ] {
-        let snn = evaluate_snn(&model, &ds, t_full);
-        let ann = evaluate_ann(&model, &ds);
+    ];
+    // Per model: SNN@t_full, Hyb-1..3 at shrinking windows, ANN — all 15
+    // configurations evaluate concurrently.
+    let jobs: Vec<SuiteJob> = cases
+        .iter()
+        .flat_map(|(name, ds, t_full)| {
+            let mut model_jobs = vec![SuiteJob::new(
+                *name,
+                ds.clone(),
+                SuiteMode::Snn { timesteps: *t_full },
+            )];
+            // Progressively more ANN layers at progressively fewer timesteps.
+            for (k, t) in [(1usize, t_full * 3 / 4), (2, t_full / 2), (3, t_full / 3)] {
+                model_jobs.push(SuiteJob::new(
+                    *name,
+                    ds.clone(),
+                    SuiteMode::Hybrid {
+                        ann_layers: k,
+                        timesteps: t.max(1),
+                    },
+                ));
+            }
+            model_jobs.push(SuiteJob::new(*name, ds.clone(), SuiteMode::Ann));
+            model_jobs
+        })
+        .collect();
+    let reports = par_evaluate_suite(&model, &jobs);
+    for (group, (name, _, t_full)) in reports.chunks(5).zip(&cases) {
+        let [snn, h1, h2, h3, ann]: &[SuiteReport; 5] = group.try_into().unwrap();
         let snn_e = snn.total_energy().0;
-        let ann_p = ann.avg_power.0;
+        let ann_p = ann.avg_power().0;
         let mut rows = vec![vec![
             format!("SNN@{t_full}"),
             ratio(1.0),
-            ratio(snn.avg_power.0 / ann_p),
+            ratio(snn.avg_power().0 / ann_p),
             format!("{:.2} uJ", snn_e * 1e6),
         ]];
-        // Progressively more ANN layers at progressively fewer timesteps.
-        let configs = [(1usize, t_full * 3 / 4), (2, t_full / 2), (3, t_full / 3)];
-        for (k, t) in configs {
-            let h = evaluate_hybrid(&model, &ds, k, t.max(1));
+        for h in [h1, h2, h3] {
             rows.push(vec![
-                h.mode.clone(),
+                h.mode_label().to_string(),
                 ratio(h.total_energy().0 / snn_e),
                 ratio(h.avg_power().0 / ann_p),
                 format!("{:.2} uJ", h.total_energy().0 * 1e6),
@@ -47,7 +70,7 @@ fn main() {
         );
         println!(
             "ANN/SNN power ratio: {}  (paper: >= 6.25x)",
-            ratio(ann_p / snn.avg_power.0)
+            ratio(ann_p / snn.avg_power().0)
         );
         println!(
             "SNN/ANN energy ratio: {} (paper: ~5-10x)",

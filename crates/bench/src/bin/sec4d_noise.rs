@@ -36,8 +36,7 @@ fn main() {
                 }
             }
         }
-        ann_noisy_sum +=
-            noisy.accuracy(&t.test.inputs, &t.test.labels).unwrap() * 100.0;
+        ann_noisy_sum += noisy.accuracy(&t.test.inputs, &t.test.labels).unwrap() * 100.0;
         let mut snn_noisy = ann_to_snn(&noisy, &t.train.take(64), &cfg).unwrap();
         snn_noisy_sum += snn_noisy
             .accuracy(&t.test.inputs, &t.test.labels, 150, &mut rng)
@@ -50,8 +49,18 @@ fn main() {
         "Sec. IV-D: Monte-Carlo 10% weight variation (16-level quantized VGG)",
         &["model", "clean %", "noisy % (mean)", "drop"],
         &[
-            vec!["ANN".into(), pct(ann_clean), pct(ann_noisy), pct(ann_clean - ann_noisy)],
-            vec!["SNN@150".into(), pct(snn_clean), pct(snn_noisy), pct(snn_clean - snn_noisy)],
+            vec![
+                "ANN".into(),
+                pct(ann_clean),
+                pct(ann_noisy),
+                pct(ann_clean - ann_noisy),
+            ],
+            vec![
+                "SNN@150".into(),
+                pct(snn_clean),
+                pct(snn_noisy),
+                pct(snn_clean - snn_noisy),
+            ],
         ],
     );
     println!("\nPaper: 0.74% (ANN) and 0.81% (SNN) accuracy drop - neuromorphic");

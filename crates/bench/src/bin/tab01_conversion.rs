@@ -4,7 +4,12 @@
 //! substitution), convert via data-based threshold balancing, and are
 //! evaluated at the per-benchmark timestep budget. The printed table
 //! pairs our measured accuracies with the paper's reported values.
+//!
+//! Each workload owns its RNG (`ChaCha8Rng::seed_from_u64(7)`), so the
+//! per-workload pipelines are independent and fan out across threads
+//! with numbers identical to the sequential run.
 
+use nebula_bench::par::par_map;
 use nebula_bench::setup::{trained, Workload};
 use nebula_bench::table::{pct, print_table};
 use nebula_nn::convert::{ann_to_snn, ConversionConfig};
@@ -20,8 +25,7 @@ fn main() {
         (Workload::Vgg20, 200, 71.50, 68.32),
         (Workload::Svhn, 100, 94.96, 94.48),
     ];
-    let mut rows = Vec::new();
-    for (w, timesteps, paper_ann, paper_snn) in cases {
+    let results = par_map(&cases, |&(w, timesteps, _, _)| {
         let t = trained(w, 500, 20);
         let mut ann = t.net.clone();
         let ann_acc = ann.accuracy(&t.test.inputs, &t.test.labels).unwrap() * 100.0;
@@ -38,6 +42,12 @@ fn main() {
             .accuracy(&t.test.inputs, &t.test.labels, timesteps as usize, &mut rng)
             .unwrap()
             * 100.0;
+        (ann_acc, snn_short, snn_acc)
+    });
+    let mut rows = Vec::new();
+    for ((w, timesteps, paper_ann, paper_snn), (ann_acc, snn_short, snn_acc)) in
+        cases.iter().zip(results)
+    {
         rows.push(vec![
             w.name().to_string(),
             timesteps.to_string(),
@@ -57,7 +67,15 @@ fn main() {
     }
     print_table(
         "Table I: ANN-to-SNN conversion accuracy (scaled models, synthetic data)",
-        &["network", "t-steps", "ANN %", "SNN@T/20 %", "SNN@T %", "gap", "paper ANN/SNN"],
+        &[
+            "network",
+            "t-steps",
+            "ANN %",
+            "SNN@T/20 %",
+            "SNN@T %",
+            "gap",
+            "paper ANN/SNN",
+        ],
         &rows,
     );
     println!("\nShape check: converted SNNs approach their ANN accuracy, with the");

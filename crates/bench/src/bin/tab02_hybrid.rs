@@ -1,6 +1,11 @@
 //! Table II: hybrid SNN-ANN model accuracy versus timesteps for the VGG
 //! and SVHN workloads (Hyb-k keeps the last k weight layers non-spiking).
+//!
+//! Each workload owns its RNG (`ChaCha8Rng::seed_from_u64(11)`), so the
+//! two workload pipelines run on separate threads with numbers identical
+//! to the sequential run.
 
+use nebula_bench::par::par_map;
 use nebula_bench::setup::{trained, Workload};
 use nebula_bench::table::{pct, print_table};
 use nebula_nn::convert::{ann_to_snn, ConversionConfig};
@@ -9,7 +14,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    for (w, t_full) in [(Workload::Vgg10, 150usize), (Workload::Svhn, 100)] {
+    let cases = [(Workload::Vgg10, 150usize), (Workload::Svhn, 100)];
+    let tables = par_map(&cases, |&(w, t_full)| {
         let t = trained(w, 500, 20);
         let cfg = ConversionConfig::default();
         let mut rng = ChaCha8Rng::seed_from_u64(11);
@@ -17,7 +23,10 @@ fn main() {
         let mut hybrids: Vec<(usize, HybridNetwork)> = [1usize, 2, 3]
             .iter()
             .map(|&k| {
-                (k, HybridNetwork::split(&t.net, &t.train.take(64), k, &cfg).unwrap())
+                (
+                    k,
+                    HybridNetwork::split(&t.net, &t.train.take(64), k, &cfg).unwrap(),
+                )
             })
             .collect();
         // Average a few Poisson draws so short windows are comparable.
@@ -43,8 +52,14 @@ fn main() {
             }
             rows.push(row);
         }
+        rows
+    });
+    for ((w, _), rows) in cases.iter().zip(tables) {
         print_table(
-            &format!("Table II ({}): accuracy vs timesteps, SNN and Hyb-k", w.name()),
+            &format!(
+                "Table II ({}): accuracy vs timesteps, SNN and Hyb-k",
+                w.name()
+            ),
             &["t-steps", "SNN %", "Hyb-1 %", "Hyb-2 %", "Hyb-3 %"],
             &rows,
         );

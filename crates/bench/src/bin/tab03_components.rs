@@ -41,10 +41,28 @@ fn main() {
     );
 
     let totals = vec![
-        vec!["ANN core (x14)".into(), String::new(), mw(parts::ann_core_power().0), format!("{:.3} mm^2", parts::ann_core_area().0)],
-        vec!["SNN core (x182)".into(), String::new(), mw(parts::snn_core_power().0), format!("{:.3} mm^2", parts::snn_core_area().0)],
-        vec!["Chip total".into(), "14 ANN + 182 SNN + 14 AU".into(), format!("{:.3} W", parts::chip_power().0), format!("{:.3} mm^2", parts::chip_area().0)],
+        vec![
+            "ANN core (x14)".into(),
+            String::new(),
+            mw(parts::ann_core_power().0),
+            format!("{:.3} mm^2", parts::ann_core_area().0),
+        ],
+        vec![
+            "SNN core (x182)".into(),
+            String::new(),
+            mw(parts::snn_core_power().0),
+            format!("{:.3} mm^2", parts::snn_core_area().0),
+        ],
+        vec![
+            "Chip total".into(),
+            "14 ANN + 182 SNN + 14 AU".into(),
+            format!("{:.3} W", parts::chip_power().0),
+            format!("{:.3} mm^2", parts::chip_area().0),
+        ],
     ];
-    print_table("Derived totals (paper: 113.8 mW / 19.66 mW cores, 5.2 W / 86.729 mm^2 chip)",
-        &["Aggregate", "Composition", "Power", "Area"], &totals);
+    print_table(
+        "Derived totals (paper: 113.8 mW / 19.66 mW cores, 5.2 W / 86.729 mm^2 chip)",
+        &["Aggregate", "Composition", "Power", "Area"],
+        &totals,
+    );
 }

@@ -6,12 +6,15 @@
 //! for the experiment index and `EXPERIMENTS.md` for recorded results.
 //!
 //! The [`table`] module renders aligned text tables; [`setup`] trains the
-//! scaled workload models the accuracy experiments share.
+//! scaled workload models the accuracy experiments share; [`par`] fans
+//! independent per-workload computations out across scoped threads.
 
 #![warn(missing_docs)]
 
+pub mod par;
 pub mod setup;
 pub mod table;
 
+pub use par::{par_map, par_map_with_workers};
 pub use setup::{trained, Trained, Workload};
 pub use table::{print_table, Row};

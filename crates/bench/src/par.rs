@@ -1,0 +1,96 @@
+//! Order-preserving parallel map for the bench harness.
+//!
+//! The figure/table binaries fan independent per-workload computations
+//! (baseline comparisons, scaled-model training) out across a scoped
+//! thread pool. Each item is mapped by exactly one worker and results
+//! come back **in item order**, so output is identical to a sequential
+//! `iter().map()` — only wall-clock time changes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on a scoped thread pool sized by
+/// [`nebula_tensor::par::worker_count`], returning results in item
+/// order.
+///
+/// # Panics
+///
+/// Panics of `f` are propagated.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with_workers(items, nebula_tensor::par::worker_count(), f)
+}
+
+/// [`par_map`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics of `f` are propagated.
+pub fn par_map_with_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Items vary in cost, so workers pull indices from a shared counter
+    // rather than taking fixed chunks.
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, f) = (&next, &f);
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("par_map worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every item index was claimed by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [1, 2, 7, 32] {
+            let out = par_map_with_workers(&items, workers, |&x| x * x);
+            let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+}

@@ -103,7 +103,10 @@ impl SnnMatrix {
 #[derive(Debug, Clone)]
 enum SpikingAnalogStage {
     /// Crossbar-backed dense synapses + digital bias injection.
-    Dense { matrix: SnnMatrix, bias: Vec<f32> },
+    Dense {
+        matrix: SnnMatrix,
+        bias: Vec<f32>,
+    },
     /// Crossbar-backed convolution (im2col streaming) + bias.
     Conv {
         matrix: SnnMatrix,
@@ -114,7 +117,9 @@ enum SpikingAnalogStage {
     /// IF population on the column outputs.
     IntegrateFire(IfPopulation),
     /// Software average pooling (fixed-weight circuit on hardware).
-    AvgPool { k: usize },
+    AvgPool {
+        k: usize,
+    },
     Flatten,
 }
 
@@ -237,8 +242,7 @@ impl AnalogSpikingNetwork {
                                 let row = &h.data()[i * matrix.rf..(i + 1) * matrix.rf];
                                 let y = matrix.dot_spikes(row)?;
                                 self.timestep_waves += 1;
-                                let dst =
-                                    &mut out.data_mut()[i * bias.len()..(i + 1) * bias.len()];
+                                let dst = &mut out.data_mut()[i * bias.len()..(i + 1) * bias.len()];
                                 for (d, (v, b)) in dst.iter_mut().zip(y.iter().zip(bias.iter())) {
                                     *d = v + b;
                                 }
@@ -365,11 +369,7 @@ mod tests {
             .map(|i| usize::from(inputs.data()[2 * i] < inputs.data()[2 * i + 1]))
             .collect();
         let data = Dataset::new(inputs, labels).unwrap();
-        let mut net = Network::new(vec![
-            L::dense(2, 12, r),
-            L::relu(),
-            L::dense(12, 2, r),
-        ]);
+        let mut net = Network::new(vec![L::dense(2, 12, r), L::relu(), L::dense(12, 2, r)]);
         let cfg = TrainConfig::builder().epochs(30).batch_size(20).build();
         train(&mut net, &data, &cfg, r).unwrap();
         (net, data)
@@ -426,9 +426,7 @@ mod tests {
         let functional = ann_to_snn(&net, &data, &ConversionConfig::default()).unwrap();
         let mut quiet = compile_snn_default(&functional).unwrap();
         let mut busy = compile_snn_default(&functional).unwrap();
-        quiet
-            .run(&Tensor::full(&[4, 2], 0.05), 30, &mut r)
-            .unwrap();
+        quiet.run(&Tensor::full(&[4, 2], 0.05), 30, &mut r).unwrap();
         busy.run(&Tensor::full(&[4, 2], 0.9), 30, &mut r).unwrap();
         assert!(
             busy.read_energy() > quiet.read_energy() * 2.0,

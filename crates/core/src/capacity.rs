@@ -148,10 +148,7 @@ mod tests {
         let snn = CoreMemories::snn();
         assert_eq!(snn.input_buffer, 4096);
         assert_eq!(snn.output_buffer, 512);
-        assert_eq!(
-            CoreMemories::for_mode(ExecMode::Snn { timesteps: 1 }),
-            snn
-        );
+        assert_eq!(CoreMemories::for_mode(ExecMode::Snn { timesteps: 1 }), snn);
     }
 
     #[test]

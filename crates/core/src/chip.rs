@@ -189,12 +189,8 @@ impl Chip {
         let mut flit_hops = 0u64;
         #[allow(clippy::needless_range_loop)]
         for i in 0..mappings.len().saturating_sub(1) {
-            let src = *placement.layer_nodes[i]
-                .first()
-                .unwrap_or(&NodeId(0));
-            let dst = *placement.layer_nodes[i + 1]
-                .first()
-                .unwrap_or(&NodeId(0));
+            let src = *placement.layer_nodes[i].first().unwrap_or(&NodeId(0));
+            let dst = *placement.layer_nodes[i + 1].first().unwrap_or(&NodeId(0));
             let bits = mappings[i].output_elements * bits_per_activation;
             let report = self.network.send(src, dst, bits)?;
             flit_hops += report.flit_hops;

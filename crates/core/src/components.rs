@@ -52,12 +52,7 @@ pub struct ComponentSpec {
 }
 
 impl ComponentSpec {
-    const fn new(
-        name: &'static str,
-        spec: &'static str,
-        power_mw: f64,
-        area_mm2: f64,
-    ) -> Self {
+    const fn new(name: &'static str, spec: &'static str, power_mw: f64, area_mm2: f64) -> Self {
         Self {
             name,
             spec,
@@ -95,7 +90,8 @@ pub const SNN_OUTPUT_BUFFER: ComponentSpec =
 // ---- Super-tile internals (per super-tile) ----------------------------
 
 /// ANN multi-voltage DACs: 16×128 at 0.75 V, 4 bits.
-pub const ANN_DAC: ComponentSpec = ComponentSpec::new("ANN DAC", "16×128, 0.75 V, 4 b", 26.56, 0.04848);
+pub const ANN_DAC: ComponentSpec =
+    ComponentSpec::new("ANN DAC", "16×128, 0.75 V, 4 b", 26.56, 0.04848);
 /// ANN crossbars: 16 arrays of 128×128 cells at 4 bits/cell.
 pub const ANN_CROSSBAR: ComponentSpec =
     ComponentSpec::new("ANN Crossbar", "16×128×128, 4 b/cell", 72.16, 0.376);
@@ -122,20 +118,12 @@ pub const ACCUMULATOR_UNIT: ComponentSpec =
 /// Power of one ANN neural core (eDRAM + ADC + super-tile + IB + OB) —
 /// Table III prints 113.8 mW.
 pub fn ann_core_power() -> Watts {
-    EDRAM.power
-        + ADC.power
-        + ANN_SUPERTILE.power
-        + ANN_INPUT_BUFFER.power
-        + ANN_OUTPUT_BUFFER.power
+    EDRAM.power + ADC.power + ANN_SUPERTILE.power + ANN_INPUT_BUFFER.power + ANN_OUTPUT_BUFFER.power
 }
 
 /// Power of one SNN neural core — Table III prints 19.66 mW.
 pub fn snn_core_power() -> Watts {
-    EDRAM.power
-        + ADC.power
-        + SNN_SUPERTILE.power
-        + SNN_INPUT_BUFFER.power
-        + SNN_OUTPUT_BUFFER.power
+    EDRAM.power + ADC.power + SNN_SUPERTILE.power + SNN_INPUT_BUFFER.power + SNN_OUTPUT_BUFFER.power
 }
 
 /// Area of one ANN neural core — Table III prints 0.528 mm².

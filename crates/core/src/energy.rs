@@ -206,8 +206,8 @@ impl EnergyModel {
         let r_eff = mapping.cycles as f64 / waves as f64;
 
         // Fraction of one full super-tile's cells active per replica.
-        let cells_frac = mapping.acs_used as f64 * mapping.utilization
-            / parts::ACS_PER_SUPERTILE as f64;
+        let cells_frac =
+            mapping.acs_used as f64 * mapping.utilization / parts::ACS_PER_SUPERTILE as f64;
 
         let (xbar_p, driver_p, ib_p, ob_p) = match mode {
             ExecMode::Ann => (
@@ -238,8 +238,7 @@ impl EnergyModel {
         let mut e = ComponentEnergy::default();
         e.crossbar = xbar_p * (cells_frac * activity * hw) * t_active;
         e.drivers = driver_p * (cells_frac * activity * hw) * t_active;
-        e.neuron_units =
-            parts::NEURON_UNIT.power * (cells_frac * activity * hw) * t_active;
+        e.neuron_units = parts::NEURON_UNIT.power * (cells_frac * activity * hw) * t_active;
         e.sram = (ib_p + ob_p) * (mapping.cores as f64 * hw * mem_gate) * t_active;
         e.edram = parts::EDRAM.power
             * (mapping.cores as f64 * hw * mem_gate * self.edram_duty)
@@ -338,10 +337,16 @@ mod tests {
         let sparse = model.layer_energy(&m, ExecMode::Snn { timesteps: 10 }, 0.1);
         let dense = model.layer_energy(&m, ExecMode::Snn { timesteps: 10 }, 0.4);
         let ratio = dense.energy.crossbar / sparse.energy.crossbar;
-        assert!((ratio - 4.0).abs() < 1e-6, "activity scaling broken: {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 1e-6,
+            "activity scaling broken: {ratio}"
+        );
         // SNN buffers are event-driven, so they gate with activity too.
         let sram_ratio = dense.energy.sram / sparse.energy.sram;
-        assert!((sram_ratio - 4.0).abs() < 1e-6, "sram gating broken: {sram_ratio}");
+        assert!(
+            (sram_ratio - 4.0).abs() < 1e-6,
+            "sram gating broken: {sram_ratio}"
+        );
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! Inference engines: evaluate a workload's energy, power and latency on
 //! NEBULA in ANN, SNN or hybrid mode (the machinery behind Figs. 12–17).
+//!
+//! Whole benchmark sweeps — many workloads × many modes — run through
+//! the suite layer: [`evaluate_suite`] evaluates [`SuiteJob`]s in order,
+//! and [`par_evaluate_suite`] fans them out across scoped threads with
+//! reports identical to the sequential ones.
 
 use crate::energy::{ComponentEnergy, EnergyModel, ExecMode, LayerEnergy};
 use crate::mapper::{map_network, LayerMapping};
@@ -81,8 +86,7 @@ fn evaluate(
     let mut cores = 0usize;
     let mut latency_cycles = 0u64;
     for (mapping, desc) in mappings.iter().zip(descriptors) {
-        let le =
-            model.layer_energy_replicated(mapping, mode, desc.input_activity, replication);
+        let le = model.layer_energy_replicated(mapping, mode, desc.input_activity, replication);
         total.accumulate(&le.energy);
         peak = peak.max(le.peak_power);
         cores += mapping.cores;
@@ -181,6 +185,210 @@ pub fn evaluate_hybrid(
     }
 }
 
+// ----- suite evaluation ----------------------------------------------------
+
+/// Which engine a [`SuiteJob`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteMode {
+    /// One multi-bit ANN pass ([`evaluate_ann`]).
+    Ann,
+    /// Spiking execution over a timestep window ([`evaluate_snn`]).
+    Snn {
+        /// Timestep window length.
+        timesteps: u32,
+    },
+    /// Hybrid SNN prefix + ANN suffix ([`evaluate_hybrid`]).
+    Hybrid {
+        /// ANN suffix length in weight layers.
+        ann_layers: usize,
+        /// SNN prefix timestep window.
+        timesteps: u32,
+    },
+}
+
+/// One unit of suite work: a workload (its layer descriptors) evaluated
+/// under one execution mode.
+#[derive(Debug, Clone)]
+pub struct SuiteJob {
+    /// Workload label, e.g. `"VGG-13"` — carried through to the report.
+    pub label: String,
+    /// The workload's layer descriptors.
+    pub descriptors: Vec<LayerDescriptor>,
+    /// Execution mode to evaluate under.
+    pub mode: SuiteMode,
+}
+
+impl SuiteJob {
+    /// Convenience constructor.
+    pub fn new(
+        label: impl Into<String>,
+        descriptors: Vec<LayerDescriptor>,
+        mode: SuiteMode,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            descriptors,
+            mode,
+        }
+    }
+}
+
+/// The engine output for one [`SuiteJob`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuiteOutcome {
+    /// A pure ANN or SNN evaluation.
+    Inference(InferenceReport),
+    /// A hybrid evaluation.
+    Hybrid(HybridReport),
+}
+
+/// Result of one [`SuiteJob`]: the job's label plus the engine report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteReport {
+    /// The originating job's label.
+    pub label: String,
+    /// The engine report.
+    pub outcome: SuiteOutcome,
+}
+
+impl SuiteReport {
+    /// Total energy per inference.
+    pub fn total_energy(&self) -> nebula_device::units::Joules {
+        match &self.outcome {
+            SuiteOutcome::Inference(r) => r.total_energy(),
+            SuiteOutcome::Hybrid(h) => h.total_energy(),
+        }
+    }
+
+    /// End-to-end latency per inference.
+    pub fn latency(&self) -> Seconds {
+        match &self.outcome {
+            SuiteOutcome::Inference(r) => r.latency,
+            SuiteOutcome::Hybrid(h) => h.latency(),
+        }
+    }
+
+    /// Mean power over the inference.
+    pub fn avg_power(&self) -> Watts {
+        match &self.outcome {
+            SuiteOutcome::Inference(r) => r.avg_power,
+            SuiteOutcome::Hybrid(h) => h.avg_power(),
+        }
+    }
+
+    /// Worst instantaneous compute power.
+    pub fn peak_power(&self) -> Watts {
+        match &self.outcome {
+            SuiteOutcome::Inference(r) => r.peak_power,
+            SuiteOutcome::Hybrid(h) => h.peak_power(),
+        }
+    }
+
+    /// The engine's mode label (`"ANN"`, `"SNN@300"`, `"Hyb-2@100"`).
+    pub fn mode_label(&self) -> &str {
+        match &self.outcome {
+            SuiteOutcome::Inference(r) => &r.mode,
+            SuiteOutcome::Hybrid(h) => &h.mode,
+        }
+    }
+}
+
+fn evaluate_suite_job(model: &EnergyModel, job: &SuiteJob) -> SuiteReport {
+    let outcome = match job.mode {
+        SuiteMode::Ann => SuiteOutcome::Inference(evaluate_ann(model, &job.descriptors)),
+        SuiteMode::Snn { timesteps } => {
+            SuiteOutcome::Inference(evaluate_snn(model, &job.descriptors, timesteps))
+        }
+        SuiteMode::Hybrid {
+            ann_layers,
+            timesteps,
+        } => SuiteOutcome::Hybrid(evaluate_hybrid(
+            model,
+            &job.descriptors,
+            ann_layers,
+            timesteps,
+        )),
+    };
+    SuiteReport {
+        label: job.label.clone(),
+        outcome,
+    }
+}
+
+/// Evaluates every job in order on the calling thread. Reports come back
+/// in job order.
+///
+/// # Panics
+///
+/// Panics when a hybrid job has a degenerate split (see
+/// [`evaluate_hybrid`]).
+pub fn evaluate_suite(model: &EnergyModel, jobs: &[SuiteJob]) -> Vec<SuiteReport> {
+    jobs.iter().map(|j| evaluate_suite_job(model, j)).collect()
+}
+
+/// Evaluates every job across a scoped thread pool sized by
+/// [`nebula_tensor::par::worker_count`]. Each job is evaluated by
+/// exactly one worker with the same engine [`evaluate_suite`] uses, so
+/// the reports are **identical** to the sequential ones, in job order —
+/// only wall-clock time changes.
+///
+/// # Panics
+///
+/// Panics when a hybrid job has a degenerate split (worker panics are
+/// propagated).
+pub fn par_evaluate_suite(model: &EnergyModel, jobs: &[SuiteJob]) -> Vec<SuiteReport> {
+    par_evaluate_suite_with_workers(model, jobs, nebula_tensor::par::worker_count())
+}
+
+/// [`par_evaluate_suite`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics when a hybrid job has a degenerate split (worker panics are
+/// propagated).
+pub fn par_evaluate_suite_with_workers(
+    model: &EnergyModel,
+    jobs: &[SuiteJob],
+    workers: usize,
+) -> Vec<SuiteReport> {
+    let workers = workers.max(1).min(jobs.len().max(1));
+    if workers <= 1 {
+        return evaluate_suite(model, jobs);
+    }
+    // Jobs vary widely in cost (VGG-13 SNN@300 vs LeNet ANN), so workers
+    // pull indices from a shared counter instead of taking fixed chunks.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<SuiteReport>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        local.push((i, evaluate_suite_job(model, &jobs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, report) in h.join().expect("suite worker panicked") {
+                slots[i] = Some(report);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every job index was claimed by exactly one worker"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +476,60 @@ mod tests {
     fn degenerate_hybrid_panics() {
         let model = EnergyModel::default();
         evaluate_hybrid(&model, &stack(), 0, 100);
+    }
+
+    fn mixed_suite() -> Vec<SuiteJob> {
+        let ds = stack();
+        vec![
+            SuiteJob::new("w0", ds.clone(), SuiteMode::Ann),
+            SuiteJob::new("w1", ds.clone(), SuiteMode::Snn { timesteps: 300 }),
+            SuiteJob::new(
+                "w2",
+                ds.clone(),
+                SuiteMode::Hybrid {
+                    ann_layers: 2,
+                    timesteps: 100,
+                },
+            ),
+            SuiteJob::new("w3", ds.clone(), SuiteMode::Snn { timesteps: 50 }),
+            SuiteJob::new("w4", ds, SuiteMode::Ann),
+        ]
+    }
+
+    #[test]
+    fn suite_reports_match_direct_engine_calls() {
+        let model = EnergyModel::default();
+        let jobs = mixed_suite();
+        let reports = evaluate_suite(&model, &jobs);
+        assert_eq!(reports.len(), jobs.len());
+        assert_eq!(reports[0].label, "w0");
+        assert_eq!(reports[0].mode_label(), "ANN");
+        assert_eq!(
+            reports[1].outcome,
+            SuiteOutcome::Inference(evaluate_snn(&model, &jobs[1].descriptors, 300))
+        );
+        assert_eq!(
+            reports[2].outcome,
+            SuiteOutcome::Hybrid(evaluate_hybrid(&model, &jobs[2].descriptors, 2, 100))
+        );
+    }
+
+    #[test]
+    fn par_suite_is_identical_to_sequential_for_any_worker_count() {
+        let model = EnergyModel::default();
+        let jobs = mixed_suite();
+        let seq = evaluate_suite(&model, &jobs);
+        for workers in [1, 2, 3, 8] {
+            let par = par_evaluate_suite_with_workers(&model, &jobs, workers);
+            assert_eq!(par, seq, "workers={workers}");
+        }
+        assert_eq!(par_evaluate_suite(&model, &jobs), seq);
+    }
+
+    #[test]
+    fn par_suite_handles_empty_job_list() {
+        let model = EnergyModel::default();
+        assert!(par_evaluate_suite_with_workers(&model, &[], 8).is_empty());
     }
 
     #[test]

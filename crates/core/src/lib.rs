@@ -54,5 +54,9 @@ pub use analog::{compile as compile_analog, AnalogNetwork};
 pub use analog_snn::{compile_snn, AnalogSpikingNetwork};
 pub use chip::{Chip, ChipConfig, Placement};
 pub use energy::{ComponentEnergy, EnergyModel, ExecMode, LayerEnergy};
-pub use engine::{evaluate_ann, evaluate_hybrid, evaluate_snn, HybridReport, InferenceReport};
+pub use engine::{
+    evaluate_ann, evaluate_hybrid, evaluate_snn, evaluate_suite, par_evaluate_suite,
+    par_evaluate_suite_with_workers, HybridReport, InferenceReport, SuiteJob, SuiteMode,
+    SuiteOutcome, SuiteReport,
+};
 pub use mapper::{map_layer, map_network, Aggregation, LayerMapping};

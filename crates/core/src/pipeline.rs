@@ -112,10 +112,7 @@ mod tests {
         assert!(stages.contains(&Stage::AdcDigitize));
         assert!(stages.contains(&Stage::Activate));
         // 5 segments → ⌈log2 5⌉ = 3 reduce hops.
-        assert_eq!(
-            stages.iter().filter(|s| **s == Stage::Reduce).count(),
-            3
-        );
+        assert_eq!(stages.iter().filter(|s| **s == Stage::Reduce).count(), 3);
         assert_eq!(depth_for(&m), 3 + 3 + 2);
     }
 

@@ -40,12 +40,7 @@ pub struct PipelineTrace {
 impl PipelineTrace {
     /// Fraction of total cycles the bottleneck stage was busy.
     pub fn bottleneck_occupancy(&self) -> f64 {
-        let busiest = self
-            .stage_busy
-            .iter()
-            .map(|(_, b)| *b)
-            .max()
-            .unwrap_or(0);
+        let busiest = self.stage_busy.iter().map(|(_, b)| *b).max().unwrap_or(0);
         busiest as f64 / self.total_cycles.max(1) as f64
     }
 }

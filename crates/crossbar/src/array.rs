@@ -228,11 +228,58 @@ impl AtomicCrossbar {
                 expected: self.rows_used,
             });
         }
+        let mut diff = vec![0.0f64; self.cols_used];
+        let total_current = self.eval_currents(inputs, noise, &mut diff);
+        self.accrue_read(total_current, 1);
+        Ok(diff.into_iter().map(Amps).collect())
+    }
+
+    /// Evaluates a whole batch of input vectors in one call, amortizing
+    /// the per-call bookkeeping: the differential currents of each item
+    /// are **identical** to what [`dot`](Self::dot) would return for it,
+    /// but read energy is aggregated into a single accrual for the whole
+    /// batch (and `evaluations` advances by the batch length).
+    ///
+    /// Validation is all-or-nothing: if any item has the wrong length the
+    /// call fails before any evaluation, and no energy is accrued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] when any item's
+    /// length differs from `rows_used`.
+    pub fn dot_batch<S: AsRef<[f64]>>(
+        &mut self,
+        batch: &[S],
+    ) -> Result<Vec<Vec<Amps>>, CrossbarError> {
+        for item in batch {
+            if item.as_ref().len() != self.rows_used {
+                return Err(CrossbarError::InputLengthMismatch {
+                    len: item.as_ref().len(),
+                    expected: self.rows_used,
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(batch.len());
+        let mut total_current = 0.0f64;
+        for item in batch {
+            let mut diff = vec![0.0f64; self.cols_used];
+            total_current += self.eval_currents(item.as_ref(), &mut NoNoise, &mut diff);
+            out.push(diff.into_iter().map(Amps).collect());
+        }
+        self.accrue_read(total_current, batch.len() as u64);
+        Ok(out)
+    }
+
+    /// Shared single-evaluation core of [`dot`](Self::dot) and
+    /// [`dot_batch`](Self::dot_batch): accumulates differential column
+    /// currents into `diff` (len `cols_used`) and returns the total
+    /// (non-differential) current drawn. Does not touch the energy
+    /// counters — callers accrue via [`accrue_read`](Self::accrue_read).
+    fn eval_currents(&self, inputs: &[f64], noise: &mut dyn NoiseSource, diff: &mut [f64]) -> f64 {
         let m = self.m();
         let v_read = self.config.mode.read_voltage().0;
         let g_mid = self.g_mid();
         let cols = self.cols_used;
-        let mut diff = vec![0.0f64; cols];
         let mut total_current = 0.0f64;
         for (r, &x) in inputs.iter().enumerate() {
             if x == 0.0 {
@@ -246,11 +293,16 @@ impl AtomicCrossbar {
                 total_current += v * g_eff;
             }
         }
-        // Energy: all active current flows for one pipeline cycle.
+        total_current
+    }
+
+    /// Accrues read energy for `evals` evaluations that together drew
+    /// `total_current`: all active current flows for one pipeline cycle.
+    fn accrue_read(&mut self, total_current: f64, evals: u64) {
+        let v_read = self.config.mode.read_voltage().0;
         let cycle = self.config.device.switching_time();
         self.read_energy += (Volts(v_read) * Amps(total_current)) * cycle;
-        self.evaluations += 1;
-        Ok(diff.into_iter().map(Amps).collect())
+        self.evaluations += evals;
     }
 
     /// The differential current a full-scale single-row, full-weight
@@ -403,7 +455,10 @@ mod tests {
         assert!((e64 / e16 - 4.0).abs() < 1e-6);
         // Per-cell energy in the ~100 fJ regime.
         let per_cell_fj = e16 / 16.0 * 1e15;
-        assert!((10.0..500.0).contains(&per_cell_fj), "{per_cell_fj} fJ/cell");
+        assert!(
+            (10.0..500.0).contains(&per_cell_fj),
+            "{per_cell_fj} fJ/cell"
+        );
     }
 
     #[test]
@@ -425,7 +480,10 @@ mod tests {
         x.program(&[vec![1.0], vec![1.0]], 1.0).unwrap();
         assert!(matches!(
             x.dot(&[1.0]),
-            Err(CrossbarError::InputLengthMismatch { len: 1, expected: 2 })
+            Err(CrossbarError::InputLengthMismatch {
+                len: 1,
+                expected: 2
+            })
         ));
     }
 
@@ -456,6 +514,51 @@ mod tests {
             // Not all values should survive exactly (sigma=10%).
         }
         assert!(ideal.iter().zip(&noisy).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn dot_batch_matches_individual_dots_exactly() {
+        let mut x = xbar(Mode::Ann);
+        let w = vec![
+            vec![0.5, -0.25, 1.0],
+            vec![-1.0, 0.75, 0.0],
+            vec![0.25, 0.5, -0.5],
+        ];
+        x.program(&w, 1.0).unwrap();
+        let batch = vec![
+            vec![1.0, 0.5, 0.25],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0], // all-silent item still counts as an evaluation
+            vec![0.7, 0.0, 0.9],
+        ];
+        let mut seq = x.clone();
+        let expected: Vec<Vec<Amps>> = batch.iter().map(|b| seq.dot(b).unwrap()).collect();
+        let got = x.dot_batch(&batch).unwrap();
+        assert_eq!(got, expected, "batch outputs must be bit-identical");
+        assert_eq!(x.evaluations(), seq.evaluations());
+        // Energy is aggregated once per batch; only the accumulation
+        // order differs from the sequential path.
+        let (eb, es) = (
+            x.accumulated_read_energy().0,
+            seq.accumulated_read_energy().0,
+        );
+        assert!((eb - es).abs() <= es.abs() * 1e-12, "{eb} vs {es}");
+    }
+
+    #[test]
+    fn dot_batch_validates_every_item_before_evaluating() {
+        let mut x = xbar(Mode::Ann);
+        x.program(&[vec![1.0], vec![1.0]], 1.0).unwrap();
+        let bad = vec![vec![1.0, 1.0], vec![1.0]]; // second item too short
+        assert!(matches!(
+            x.dot_batch(&bad),
+            Err(CrossbarError::InputLengthMismatch {
+                len: 1,
+                expected: 2
+            })
+        ));
+        assert_eq!(x.evaluations(), 0, "failed batch must evaluate nothing");
+        assert_eq!(x.accumulated_read_energy(), Joules::ZERO);
     }
 
     #[test]

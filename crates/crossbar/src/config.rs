@@ -76,7 +76,10 @@ impl CrossbarConfig {
         }
         if !(self.read_noise_sigma >= 0.0 && self.read_noise_sigma.is_finite()) {
             return Err(CrossbarError::InvalidConfig {
-                reason: format!("read-noise sigma must be ≥ 0, got {}", self.read_noise_sigma),
+                reason: format!(
+                    "read-noise sigma must be ≥ 0, got {}",
+                    self.read_noise_sigma
+                ),
             });
         }
         Ok(())

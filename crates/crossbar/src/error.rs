@@ -55,7 +55,10 @@ impl fmt::Display for CrossbarError {
                 write!(f, "input of length {len} driven into {expected} rows")
             }
             CrossbarError::ReceptiveFieldTooLarge { rf, max } => {
-                write!(f, "receptive field {rf} exceeds the {max}-row current-summing limit")
+                write!(
+                    f,
+                    "receptive field {rf} exceeds the {max}-row current-summing limit"
+                )
             }
             CrossbarError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
         }
@@ -70,7 +73,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CrossbarError::ReceptiveFieldTooLarge { rf: 4096, max: 2048 };
+        let e = CrossbarError::ReceptiveFieldTooLarge {
+            rf: 4096,
+            max: 2048,
+        };
         assert!(e.to_string().contains("4096"));
         assert!(e.to_string().contains("2048"));
     }

@@ -134,6 +134,12 @@ impl SuperTile {
     ///   (the kernel must spill across neural cores).
     /// * [`CrossbarError::DimensionMismatch`] when `k` exceeds the column
     ///   capacity for this `rf`.
+    /// * [`CrossbarError::InvalidConfig`] for a non-positive clip or
+    ///   ragged weight rows.
+    ///
+    /// On error the super-tile is left exactly as it was: all validation
+    /// happens before any atomic crossbar is touched, so a failed call
+    /// never leaves some ACs reprogrammed against stale metadata.
     pub fn program(&mut self, weights: &[Vec<f64>], clip: f64) -> Result<NuLevel, CrossbarError> {
         let rf = weights.len();
         let k = weights.first().map_or(0, Vec::len);
@@ -149,6 +155,19 @@ impl SuperTile {
                 cols: k,
                 max_rows: 16 * self.m,
                 max_cols: self.m,
+            });
+        }
+        // Validate everything the per-AC programming could reject *before*
+        // mutating any AC, so an error cannot leave the super-tile with a
+        // mix of freshly programmed and stale crossbars.
+        if clip <= 0.0 || !clip.is_finite() {
+            return Err(CrossbarError::InvalidConfig {
+                reason: format!("weight clip must be positive, got {clip}"),
+            });
+        }
+        if weights.iter().any(|r| r.len() != k) {
+            return Err(CrossbarError::InvalidConfig {
+                reason: "weight rows have unequal lengths".to_string(),
             });
         }
         let stacks_needed = acs_per_kernel(rf, self.m);
@@ -187,6 +206,48 @@ impl SuperTile {
             let partial = self.acs[chunk_idx].dot(chunk)?;
             for (t, p) in totals.iter_mut().zip(partial) {
                 *t += p; // Kirchhoff current summation
+            }
+        }
+        Ok(totals)
+    }
+
+    /// Evaluates a batch of dot-product cycles in one call, amortizing
+    /// per-call overhead: each AC sees the whole batch of its input
+    /// chunk at once ([`AtomicCrossbar::dot_batch`]) and aggregates its
+    /// read energy once per batch.
+    ///
+    /// Per-item outputs are **identical** to calling [`dot`](Self::dot)
+    /// on each item in turn: every item's partial currents are summed in
+    /// the same ascending chunk order. Validation is all-or-nothing —
+    /// a bad item length fails the call before any evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] when any item's
+    /// length differs from the programmed receptive field.
+    pub fn dot_batch<S: AsRef<[f64]>>(
+        &mut self,
+        batch: &[S],
+    ) -> Result<Vec<Vec<Amps>>, CrossbarError> {
+        for item in batch {
+            if item.as_ref().len() != self.rf {
+                return Err(CrossbarError::InputLengthMismatch {
+                    len: item.as_ref().len(),
+                    expected: self.rf,
+                });
+            }
+        }
+        let mut totals = vec![vec![Amps::ZERO; self.kernels]; batch.len()];
+        let chunks = self.rf.div_ceil(self.m.max(1));
+        for chunk_idx in 0..chunks {
+            let start = chunk_idx * self.m;
+            let end = (start + self.m).min(self.rf);
+            let sub: Vec<&[f64]> = batch.iter().map(|b| &b.as_ref()[start..end]).collect();
+            let partials = self.acs[chunk_idx].dot_batch(&sub)?;
+            for (item_totals, partial) in totals.iter_mut().zip(partials) {
+                for (t, p) in item_totals.iter_mut().zip(partial) {
+                    *t += p; // Kirchhoff current summation, chunk-ascending
+                }
             }
         }
         Ok(totals)
@@ -265,7 +326,7 @@ mod tests {
     fn h1_kernel_spans_multiple_acs_and_sums_currents() {
         let mut st = SuperTile::new(small_config()).unwrap();
         let rf = 20; // 8 < 20 ≤ 32 → H1, 3 ACs
-        // ±1.0 sit exactly on the 16-level conductance grid.
+                     // ±1.0 sit exactly on the 16-level conductance grid.
         let w = vec![vec![1.0]; rf];
         assert_eq!(st.program(&w, 1.0).unwrap(), NuLevel::H1);
         let out = st.dot(&vec![1.0; rf]).unwrap();
@@ -314,6 +375,81 @@ mod tests {
         let out = st.dot(&[1.0; 4]).unwrap();
         let val = out[0].0 / st.unit_current().0;
         assert!((val - 4.0).abs() < 0.05, "stale rows leaked: {val}");
+    }
+
+    #[test]
+    fn supertile_dot_batch_matches_individual_dots_exactly() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        let rf = 20; // spans 3 ACs → exercises the chunk-ascending summation
+        st.program(&vec![vec![1.0, -0.5]; rf], 1.0).unwrap();
+        let batch: Vec<Vec<f64>> = (0..5)
+            .map(|i| {
+                (0..rf)
+                    .map(|j| {
+                        if (i + j) % 3 == 0 {
+                            0.0 // sparse entries exercise the event-driven skip
+                        } else {
+                            ((i * 7 + j) % 5) as f64 / 4.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut seq = st.clone();
+        let expected: Vec<Vec<Amps>> = batch.iter().map(|b| seq.dot(b).unwrap()).collect();
+        let got = st.dot_batch(&batch).unwrap();
+        assert_eq!(got, expected, "batch outputs must be bit-identical");
+        let (eb, es) = (
+            st.accumulated_read_energy().0,
+            seq.accumulated_read_energy().0,
+        );
+        assert!((eb - es).abs() <= es.abs() * 1e-12, "{eb} vs {es}");
+    }
+
+    #[test]
+    fn supertile_dot_batch_validates_items_up_front() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        st.program(&vec![vec![1.0]; 10], 1.0).unwrap();
+        let before = st.accumulated_read_energy();
+        let bad = vec![vec![1.0; 10], vec![1.0; 9]];
+        assert!(matches!(
+            st.dot_batch(&bad),
+            Err(CrossbarError::InputLengthMismatch {
+                len: 9,
+                expected: 10
+            })
+        ));
+        assert_eq!(st.accumulated_read_energy(), before);
+    }
+
+    #[test]
+    fn failed_program_leaves_supertile_unchanged() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        st.program(&vec![vec![1.0]; 20], 1.0).unwrap(); // spans 3 ACs
+        let snapshot = st.clone();
+
+        // A ragged row in a *later* chunk used to reprogram the earlier
+        // ACs before failing, leaving the super-tile half-updated against
+        // stale rf/kernel metadata.
+        let mut ragged = vec![vec![0.25]; 20];
+        ragged[15] = vec![0.25, 0.75]; // second AC's chunk
+        assert!(matches!(
+            st.program(&ragged, 1.0),
+            Err(CrossbarError::InvalidConfig { .. })
+        ));
+        // Invalid clips must also fail before touching any AC.
+        assert!(st.program(&vec![vec![1.0]; 4], 0.0).is_err());
+        assert!(st.program(&vec![vec![1.0]; 4], f64::NAN).is_err());
+
+        assert_eq!(st.active_level(), snapshot.active_level());
+        let a = st.dot(&[1.0; 20]).unwrap();
+        let b = snapshot.clone().dot(&[1.0; 20]).unwrap();
+        assert_eq!(a, b, "failed program must not alter crossbar state");
+        assert_eq!(
+            st.accumulated_program_energy(),
+            snapshot.accumulated_program_energy(),
+            "failed program must not accrue programming energy"
+        );
     }
 
     #[test]

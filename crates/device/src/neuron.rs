@@ -99,10 +99,9 @@ impl SpikingNeuron {
     /// duration.
     pub fn integrate_for(&mut self, column_current: Amps, dt: Seconds) -> SpikeEvent {
         self.wall.apply_current(column_current, dt);
-        self.write_energy += (column_current.abs()
-            * self.params.heavy_metal_resistance()
-            * column_current.abs())
-            * dt;
+        self.write_energy +=
+            (column_current.abs() * self.params.heavy_metal_resistance() * column_current.abs())
+                * dt;
         if self.wall.at_far_edge() {
             self.spikes += 1;
             // Reset pulse: a reverse full-scale sweep. Cost accounted once.
@@ -177,10 +176,9 @@ impl SaturatingReluNeuron {
         self.wall.reset();
         self.wall
             .apply_current(column_current, self.params.switching_time());
-        self.write_energy += (column_current.abs()
-            * self.params.heavy_metal_resistance()
-            * column_current.abs())
-            * self.params.switching_time();
+        self.write_energy +=
+            (column_current.abs() * self.params.heavy_metal_resistance() * column_current.abs())
+                * self.params.switching_time();
         // Map [0, L] onto 0..levels-1: full sweep = max level.
         let frac = self.wall.normalized_position();
         ((frac * (self.levels() - 1) as f64).round() as usize).min(self.levels() - 1)

@@ -62,19 +62,11 @@ pub fn fold_batch_norm(net: &Network) -> Result<Network, NnError> {
                 })?;
                 let folded = match prev {
                     Layer::Conv2d(mut conv) => {
-                        fold_into(
-                            conv.weight.value.data_mut(),
-                            conv.bias.value.data_mut(),
-                            bn,
-                        )?;
+                        fold_into(conv.weight.value.data_mut(), conv.bias.value.data_mut(), bn)?;
                         Layer::Conv2d(conv)
                     }
                     Layer::DepthwiseConv2d(mut conv) => {
-                        fold_into(
-                            conv.weight.value.data_mut(),
-                            conv.bias.value.data_mut(),
-                            bn,
-                        )?;
+                        fold_into(conv.weight.value.data_mut(), conv.bias.value.data_mut(), bn)?;
                         Layer::DepthwiseConv2d(conv)
                     }
                     other => {
@@ -221,8 +213,7 @@ pub fn convert_prefix(
                 // Find the ceiling of the next ReLU before the next weight
                 // layer (and within the converted prefix).
                 let mut lambda_next: Option<f32> = None;
-                for (j, later) in layers.iter().enumerate().skip(i + 1).take(split_at - i - 1)
-                {
+                for (j, later) in layers.iter().enumerate().skip(i + 1).take(split_at - i - 1) {
                     if later.is_weight_layer() {
                         break;
                     }

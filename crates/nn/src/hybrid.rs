@@ -236,9 +236,7 @@ mod tests {
             .snn_part()
             .stages()
             .iter()
-            .filter(|s| {
-                matches!(s, crate::snn::SnnStage::Synaptic(l) if l.is_weight_layer())
-            })
+            .filter(|s| matches!(s, crate::snn::SnnStage::Synaptic(l) if l.is_weight_layer()))
             .count();
         assert_eq!(prefix_weights, 2);
         assert!(h.boundary_scale() > 0.0);
@@ -261,9 +259,7 @@ mod tests {
         let ann_acc = net.accuracy(&data.inputs, &data.labels).unwrap();
         assert!(ann_acc > 0.9);
         let mut h = HybridNetwork::split(&net, &data, 1, &ConversionConfig::default()).unwrap();
-        let hyb_acc = h
-            .accuracy(&data.inputs, &data.labels, 150, &mut r)
-            .unwrap();
+        let hyb_acc = h.accuracy(&data.inputs, &data.labels, 150, &mut r).unwrap();
         assert!(
             hyb_acc >= ann_acc - 0.08,
             "hybrid lost too much accuracy: {ann_acc} → {hyb_acc}"

@@ -10,9 +10,7 @@
 
 use crate::error::NnError;
 use crate::param::Param;
-use nebula_tensor::{
-    avg_pool2d, avg_pool2d_backward, col2im, im2col, ConvGeometry, Tensor,
-};
+use nebula_tensor::{avg_pool2d, avg_pool2d_backward, col2im, im2col, ConvGeometry, Tensor};
 use rand::Rng;
 
 /// A network layer.
@@ -58,7 +56,11 @@ impl Layer {
     pub fn dense<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
         let sigma = (2.0 / in_features as f32).sqrt();
         Layer::Dense(DenseLayer {
-            weight: Param::new(Tensor::rand_normal(&[in_features, out_features], sigma, rng)),
+            weight: Param::new(Tensor::rand_normal(
+                &[in_features, out_features],
+                sigma,
+                rng,
+            )),
             bias: Param::new(Tensor::zeros(&[out_features])),
             cache_input: None,
         })
@@ -97,7 +99,11 @@ impl Layer {
     ) -> Self {
         let sigma = (2.0 / (kernel * kernel) as f32).sqrt();
         Layer::DepthwiseConv2d(DepthwiseConv2dLayer {
-            weight: Param::new(Tensor::rand_normal(&[channels, 1, kernel, kernel], sigma, rng)),
+            weight: Param::new(Tensor::rand_normal(
+                &[channels, 1, kernel, kernel],
+                sigma,
+                rng,
+            )),
             bias: Param::new(Tensor::zeros(&[channels])),
             geom: ConvGeometry::new(kernel, stride, pad),
             cache_input: None,
@@ -435,7 +441,12 @@ pub struct DepthwiseConv2dLayer {
 
 impl DepthwiseConv2dLayer {
     fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
-        let y = nebula_tensor::depthwise_conv2d(x, &self.weight.value, Some(&self.bias.value), self.geom)?;
+        let y = nebula_tensor::depthwise_conv2d(
+            x,
+            &self.weight.value,
+            Some(&self.bias.value),
+            self.geom,
+        )?;
         if train {
             self.cache_input = Some(x.clone());
         }
@@ -869,8 +880,7 @@ mod tests {
                 vals.extend_from_slice(&y.data()[base..base + spatial]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-3, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }
@@ -888,7 +898,11 @@ mod tests {
         // Eval on the same distribution: output should be ~N(0,1).
         let x = Tensor::full(&[1, 1, 2, 2], 10.0);
         let y = l.forward(&x, false).unwrap();
-        assert!(y.data()[0].abs() < 0.5, "running stats not learned: {}", y.data()[0]);
+        assert!(
+            y.data()[0].abs() < 0.5,
+            "running stats not learned: {}",
+            y.data()[0]
+        );
     }
 
     #[test]
@@ -955,7 +969,7 @@ mod tests {
         assert_eq!(y.data()[0], 0.0); // rectified
         assert!((y.data()[1] - step * (0.04f32 / step).round()).abs() < 1e-6);
         assert_eq!(y.data()[3], 1.5); // clipped at amax
-        // All outputs land exactly on the grid.
+                                      // All outputs land exactly on the grid.
         for &v in y.data() {
             let k = v / step;
             assert!((k - k.round()).abs() < 1e-5);
@@ -979,7 +993,10 @@ mod tests {
         let shapes: Vec<(Layer, Vec<usize>)> = vec![
             (Layer::dense(6, 4, &mut r), vec![2, 6]),
             (Layer::conv2d(2, 5, 3, 1, 1, &mut r), vec![2, 2, 6, 6]),
-            (Layer::depthwise_conv2d(3, 3, 2, 1, &mut r), vec![1, 3, 6, 6]),
+            (
+                Layer::depthwise_conv2d(3, 3, 2, 1, &mut r),
+                vec![1, 3, 6, 6],
+            ),
             (Layer::batch_norm2d(3), vec![2, 3, 4, 4]),
             (Layer::relu(), vec![2, 3, 4, 4]),
             (Layer::avg_pool(2), vec![2, 3, 4, 4]),

@@ -29,13 +29,13 @@ use nebula_tensor::Tensor;
 /// assert_eq!(grad.shape(), &[2, 2]);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn softmax_cross_entropy(
-    logits: &Tensor,
-    labels: &[usize],
-) -> Result<(f32, Tensor), NnError> {
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), NnError> {
     if logits.rank() != 2 {
         return Err(NnError::InvalidConfig {
-            reason: format!("cross-entropy expects rank-2 logits, got {:?}", logits.shape()),
+            reason: format!(
+                "cross-entropy expects rank-2 logits, got {:?}",
+                logits.shape()
+            ),
         });
     }
     let (n, c) = (logits.shape()[0], logits.shape()[1]);

@@ -158,7 +158,10 @@ pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> Result<f64
     let (n, c) = (logits.shape()[0], logits.shape()[1]);
     if labels.len() != n || k == 0 || k > c {
         return Err(NnError::InvalidConfig {
-            reason: format!("bad top-k arguments: n={n}, labels={}, k={k}, classes={c}", labels.len()),
+            reason: format!(
+                "bad top-k arguments: n={n}, labels={}, k={k}, classes={c}",
+                labels.len()
+            ),
         });
     }
     let mut correct = 0usize;
@@ -180,12 +183,8 @@ mod tests {
 
     fn sample_cm() -> ConfusionMatrix {
         // truth 0: 3 correct, 1 as class 1; truth 1: 2 correct, 2 as 0.
-        ConfusionMatrix::from_predictions(
-            2,
-            &[0, 0, 0, 0, 1, 1, 1, 1],
-            &[0, 0, 0, 1, 1, 1, 0, 0],
-        )
-        .unwrap()
+        ConfusionMatrix::from_predictions(2, &[0, 0, 0, 0, 1, 1, 1, 1], &[0, 0, 0, 1, 1, 1, 0, 0])
+            .unwrap()
     }
 
     #[test]

@@ -158,11 +158,7 @@ impl Network {
     pub fn accuracy(&mut self, x: &Tensor, labels: &[usize]) -> Result<f64, NnError> {
         let preds = self.predict(x)?;
         assert_eq!(preds.len(), labels.len(), "label count != batch size");
-        let correct = preds
-            .iter()
-            .zip(labels)
-            .filter(|(p, l)| p == l)
-            .count();
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
         Ok(correct as f64 / labels.len().max(1) as f64)
     }
 }

@@ -133,11 +133,7 @@ impl Dataset {
     pub fn new(inputs: Tensor, labels: Vec<usize>) -> Result<Self, NnError> {
         if inputs.shape()[0] != labels.len() {
             return Err(NnError::InvalidConfig {
-                reason: format!(
-                    "{} labels for {} samples",
-                    labels.len(),
-                    inputs.shape()[0]
-                ),
+                reason: format!("{} labels for {} samples", labels.len(), inputs.shape()[0]),
             });
         }
         Ok(Self { inputs, labels })
@@ -285,15 +281,11 @@ mod tests {
         for i in 0..2 * n_per {
             let class = i % 2;
             let center = if class == 0 { -1.0 } else { 1.0 };
-            data.push(center + r.gen_range(-0.3..0.3));
-            data.push(center + r.gen_range(-0.3..0.3));
+            data.push(center + r.gen_range(-0.3f32..0.3));
+            data.push(center + r.gen_range(-0.3f32..0.3));
             labels.push(class);
         }
-        Dataset::new(
-            Tensor::from_vec(data, &[2 * n_per, 2]).unwrap(),
-            labels,
-        )
-        .unwrap()
+        Dataset::new(Tensor::from_vec(data, &[2 * n_per, 2]).unwrap(), labels).unwrap()
     }
 
     #[test]

@@ -178,8 +178,7 @@ pub fn quantize_network(
         });
     }
     let mut work = net.clone();
-    let calibration =
-        calibrate_activations(&mut work, calib, config.activation_percentile)?;
+    let calibration = calibrate_activations(&mut work, calib, config.activation_percentile)?;
 
     let mut layers = Vec::with_capacity(net.len() * 2);
     for (i, layer) in net.layers().iter().enumerate() {
@@ -188,7 +187,11 @@ pub fn quantize_network(
             for p in layer.params_mut() {
                 // Quantize the weight tensor; biases ride along at the same
                 // level count (they map to crossbar bias columns).
-                quantize_weights_inplace(&mut p.value, config.weight_levels, config.weight_percentile);
+                quantize_weights_inplace(
+                    &mut p.value,
+                    config.weight_levels,
+                    config.weight_percentile,
+                );
             }
         }
         let is_relu = matches!(layer, Layer::Relu(_));
@@ -219,8 +222,8 @@ mod tests {
         for i in 0..2 * n_per {
             let class = i % 2;
             let center = if class == 0 { -1.0 } else { 1.0 };
-            data.push(center + r.gen_range(-0.4..0.4));
-            data.push(center + r.gen_range(-0.4..0.4));
+            data.push(center + r.gen_range(-0.4f32..0.4));
+            data.push(center + r.gen_range(-0.4f32..0.4));
             labels.push(class);
         }
         Dataset::new(Tensor::from_vec(data, &[2 * n_per, 2]).unwrap(), labels).unwrap()
@@ -307,8 +310,7 @@ mod tests {
         let data = blob_dataset(40, &mut r);
         let net = trained_net(&data, &mut r);
         let calib = data.take(20);
-        let mut q16 =
-            quantize_network(&net, &calib, &QuantConfig::with_weight_levels(16)).unwrap();
+        let mut q16 = quantize_network(&net, &calib, &QuantConfig::with_weight_levels(16)).unwrap();
         let mut q2 = quantize_network(&net, &calib, &QuantConfig::with_weight_levels(2)).unwrap();
         let a16 = q16.accuracy(&data.inputs, &data.labels).unwrap();
         let a2 = q2.accuracy(&data.inputs, &data.labels).unwrap();

@@ -361,9 +361,7 @@ impl SpikingNetwork {
                     }
                     SnnStage::IntegrateFire(pop) => {
                         h = pop.step(&h)?;
-                        if let Some(slot) =
-                            record_if_layers.iter().position(|&r| r == if_index)
-                        {
+                        if let Some(slot) = record_if_layers.iter().position(|&r| r == if_index) {
                             match &mut recorded[slot] {
                                 Some(acc) => acc.add_assign(&h)?,
                                 none => *none = Some(h.clone()),
@@ -642,12 +640,11 @@ mod tests {
     fn homeostasis_regulates_the_firing_rate() {
         // A strong constant drive would fire every step; homeostasis
         // raises the threshold until the rate settles near the target.
-        let mut pop = IfPopulation::new(1.0, ResetMode::Subtract)
-            .with_homeostasis(Homeostasis {
-                target_rate: 0.2,
-                adaptation_rate: 0.05,
-                min_threshold: 0.05,
-            });
+        let mut pop = IfPopulation::new(1.0, ResetMode::Subtract).with_homeostasis(Homeostasis {
+            target_rate: 0.2,
+            adaptation_rate: 0.05,
+            min_threshold: 0.05,
+        });
         let x = Tensor::full(&[1, 8], 1.0);
         // Warm-up to adapt.
         for _ in 0..400 {
@@ -667,8 +664,8 @@ mod tests {
 
     #[test]
     fn homeostasis_also_lowers_thresholds_for_weak_input() {
-        let mut pop = IfPopulation::new(5.0, ResetMode::Zero)
-            .with_homeostasis(Homeostasis::new(0.5));
+        let mut pop =
+            IfPopulation::new(5.0, ResetMode::Zero).with_homeostasis(Homeostasis::new(0.5));
         let x = Tensor::full(&[1], 0.3);
         for _ in 0..2000 {
             pop.step(&x).unwrap();
@@ -706,8 +703,7 @@ mod tests {
         let r1 = snn.run(&x, 10, &mut rng).unwrap();
         let r2 = snn.run(&x, 10, &mut rng).unwrap();
         assert_eq!(
-            r1.stats.total_spikes_per_layer,
-            r2.stats.total_spikes_per_layer,
+            r1.stats.total_spikes_per_layer, r2.stats.total_spikes_per_layer,
             "state leaked between runs"
         );
     }

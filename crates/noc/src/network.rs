@@ -285,7 +285,9 @@ mod tests {
         let mut n = net();
         // XY routes go X-first: node 3 (3,0) lies on the prefix of the
         // route to node 15 (3,3), so the whole top row is shared.
-        let m = n.multicast(NodeId(0), &[NodeId(3), NodeId(15)], 32).unwrap();
+        let m = n
+            .multicast(NodeId(0), &[NodeId(3), NodeId(15)], 32)
+            .unwrap();
         // Unicast would cost 3 + 6 = 9 link traversals; the tree needs 6.
         assert_eq!(m.hops, 6);
         assert_eq!(m.flit_hops, 6);
@@ -305,15 +307,11 @@ mod tests {
     }
 
     #[test]
-    fn multicast_never_exceeds_unicast_total(
-    ) {
+    fn multicast_never_exceeds_unicast_total() {
         let mut n = net();
         let dsts = [NodeId(5), NodeId(6), NodeId(7), NodeId(10)];
         let m = n.multicast(NodeId(0), &dsts, 64).unwrap();
-        let unicast_total: usize = dsts
-            .iter()
-            .map(|&d| n.topology().hops(NodeId(0), d))
-            .sum();
+        let unicast_total: usize = dsts.iter().map(|&d| n.topology().hops(NodeId(0), d)).sum();
         assert!(m.hops <= unicast_total);
     }
 

@@ -99,32 +99,52 @@ pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Result<Tensor, TensorError>
     let (oh, ow) = geom.out_hw(h, w)?;
     let cols_per_row = c * geom.kh * geom.kw;
     let mut out = vec![0.0f32; n * oh * ow * cols_per_row];
-    let data = input.data();
+    im2col_rows(input.data(), [n, c, h, w], [oh, ow], geom, 0, &mut out);
+    Tensor::from_vec(out, &[n * oh * ow, cols_per_row])
+}
+
+/// Shared im2col inner kernel: fills patch rows `row0..row0 + r` (where
+/// `r = out_rows.len() / (c·kh·kw)`) of the `[N·OH·OW, C·KH·KW]` patch
+/// matrix into `out_rows`. `out_rows` must be zero-initialised (padded
+/// taps are left untouched).
+///
+/// Each row depends only on its own flat index, so both the sequential
+/// [`im2col`] and the parallel [`crate::par::im2col`] call this with
+/// different row windows and produce bit-identical patch matrices.
+pub(crate) fn im2col_rows(
+    data: &[f32],
+    [n, c, h, w]: [usize; 4],
+    [oh, ow]: [usize; 2],
+    geom: ConvGeometry,
+    row0: usize,
+    out_rows: &mut [f32],
+) {
+    let cols_per_row = c * geom.kh * geom.kw;
+    debug_assert_eq!(out_rows.len() % cols_per_row.max(1), 0);
     let (ih_stride, ic_stride, in_stride) = (w, h * w, c * h * w);
-    for img in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((img * oh + oy) * ow + ox) * cols_per_row;
-                let mut col = 0;
-                for ch in 0..c {
-                    for ky in 0..geom.kh {
-                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
-                        for kx in 0..geom.kw {
-                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                out[row + col] = data[img * in_stride
-                                    + ch * ic_stride
-                                    + iy as usize * ih_stride
-                                    + ix as usize];
-                            }
-                            col += 1;
-                        }
+    for (local, out_row) in out_rows.chunks_mut(cols_per_row).enumerate() {
+        // Decompose the flat patch-row index back into (img, oy, ox).
+        let row = row0 + local;
+        let (img, rem) = (row / (oh * ow), row % (oh * ow));
+        let (oy, ox) = (rem / ow, rem % ow);
+        debug_assert!(img < n);
+        let mut col = 0;
+        for ch in 0..c {
+            for ky in 0..geom.kh {
+                let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                for kx in 0..geom.kw {
+                    let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                        out_row[col] = data[img * in_stride
+                            + ch * ic_stride
+                            + iy as usize * ih_stride
+                            + ix as usize];
                     }
+                    col += 1;
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[n * oh * ow, cols_per_row])
 }
 
 /// Inverse of [`im2col`] for gradients: scatters (accumulating) patch rows
@@ -134,11 +154,7 @@ pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Result<Tensor, TensorError>
 ///
 /// Returns an error when `cols` does not have the shape `im2col` would
 /// have produced for this geometry.
-pub fn col2im(
-    cols: &Tensor,
-    shape: [usize; 4],
-    geom: ConvGeometry,
-) -> Result<Tensor, TensorError> {
+pub fn col2im(cols: &Tensor, shape: [usize; 4], geom: ConvGeometry) -> Result<Tensor, TensorError> {
     expect_rank(cols, 2, "col2im")?;
     let [n, c, h, w] = shape;
     let (oh, ow) = geom.out_hw(h, w)?;
@@ -192,6 +208,31 @@ pub fn conv2d(
     bias: Option<&Tensor>,
     geom: ConvGeometry,
 ) -> Result<Tensor, TensorError> {
+    let dims = conv2d_check(input, weight, bias, geom)?;
+    let cols = im2col(input, geom)?; // [N*OH*OW, C*KH*KW]
+    let wmat = conv2d_weight_matrix(weight, dims)?; // [CKK, OC]
+    let prod = cols.matmul(&wmat)?; // [N*OH*OW, OC]
+    Ok(conv2d_assemble(&prod, bias, dims))
+}
+
+/// Validated dimensions of a dense conv2d, shared by the sequential and
+/// parallel front ends.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Conv2dDims {
+    pub n: usize,
+    pub oc: usize,
+    pub oh: usize,
+    pub ow: usize,
+}
+
+/// Rank/shape/geometry validation for [`conv2d`]; returns the resolved
+/// dimensions without touching any data.
+pub(crate) fn conv2d_check(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    geom: ConvGeometry,
+) -> Result<Conv2dDims, TensorError> {
     expect_rank(input, 4, "conv2d")?;
     expect_rank(weight, 4, "conv2d weight")?;
     let (n, c, h, w) = (
@@ -223,11 +264,24 @@ pub fn conv2d(
         }
     }
     let (oh, ow) = geom.out_hw(h, w)?;
-    let cols = im2col(input, geom)?; // [N*OH*OW, C*KH*KW]
-    let wmat = weight.reshape(&[oc, c * kh * kw])?.transpose()?; // [CKK, OC]
-    let prod = cols.matmul(&wmat)?; // [N*OH*OW, OC]
+    Ok(Conv2dDims { n, oc, oh, ow })
+}
 
-    // Permute [N*OH*OW, OC] → [N, OC, OH, OW], adding bias on the way.
+/// Flattens `[OC, C, KH, KW]` weights to the `[C·KH·KW, OC]` matrix the
+/// im2col product multiplies against.
+pub(crate) fn conv2d_weight_matrix(
+    weight: &Tensor,
+    dims: Conv2dDims,
+) -> Result<Tensor, TensorError> {
+    let ckk = weight.shape()[1] * weight.shape()[2] * weight.shape()[3];
+    weight.reshape(&[dims.oc, ckk])?.transpose()
+}
+
+/// Permutes the `[N·OH·OW, OC]` im2col product to `[N, OC, OH, OW]`,
+/// adding bias on the way — the common tail of the sequential and
+/// parallel conv2d paths.
+pub(crate) fn conv2d_assemble(prod: &Tensor, bias: Option<&Tensor>, dims: Conv2dDims) -> Tensor {
+    let Conv2dDims { n, oc, oh, ow, .. } = dims;
     let mut out = Tensor::zeros(&[n, oc, oh, ow]);
     let src = prod.data();
     let dst = out.data_mut();
@@ -241,7 +295,7 @@ pub fn conv2d(
             }
         }
     }
-    Ok(out)
+    out
 }
 
 /// Depthwise 2-D convolution (MobileNet's separable-conv building block):
@@ -592,7 +646,10 @@ mod tests {
     #[test]
     fn avg_pool_averages_blocks() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -604,7 +661,10 @@ mod tests {
     #[test]
     fn max_pool_takes_block_maxima() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -636,12 +696,7 @@ mod tests {
         let g = ConvGeometry::same(3);
         let cols = im2col(&x, g).unwrap();
         let y = seq_tensor(&[cols.shape()[0], cols.shape()[1]]).map(|v| (v * 0.37).sin());
-        let lhs: f32 = cols
-            .data()
-            .iter()
-            .zip(y.data())
-            .map(|(a, b)| a * b)
-            .sum();
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
         let back = col2im(&y, [1, 2, 4, 4], g).unwrap();
         let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
         assert!(
@@ -654,5 +709,141 @@ mod tests {
     fn col2im_validates_shape() {
         let bad = Tensor::zeros(&[3, 3]);
         assert!(col2im(&bad, [1, 1, 4, 4], ConvGeometry::same(3)).is_err());
+    }
+
+    // ----- edge geometry: non-tiling strides, even kernels, error paths --
+
+    /// Direct 7-loop convolution — the obviously-correct reference the
+    /// im2col-lowered path is checked against.
+    fn naive_conv2d(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        geom: ConvGeometry,
+    ) -> Tensor {
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let oc = weight.shape()[0];
+        let (oh, ow) = geom.out_hw(h, w).unwrap();
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        let (src, wdat) = (input.data(), weight.data());
+        let dst = out.data_mut();
+        for img in 0..n {
+            for o in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.map_or(0.0, |b| b.data()[o]);
+                        for ch in 0..c {
+                            for ky in 0..geom.kh {
+                                let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                                if iy < 0 || iy as usize >= h {
+                                    continue;
+                                }
+                                for kx in 0..geom.kw {
+                                    let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                                    if ix < 0 || ix as usize >= w {
+                                        continue;
+                                    }
+                                    acc += src
+                                        [((img * c + ch) * h + iy as usize) * w + ix as usize]
+                                        * wdat[((o * c + ch) * geom.kh + ky) * geom.kw + kx];
+                                }
+                            }
+                        }
+                        dst[((img * oc + o) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, ctx: &str) {
+        assert_eq!(a.shape(), b.shape(), "{ctx}: shapes differ");
+        for (i, (u, v)) in a.data().iter().zip(b.data()).enumerate() {
+            assert!((u - v).abs() < 1e-4, "{ctx}: element {i}: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn stride_that_does_not_tile_drops_the_remainder() {
+        // 7-wide input, k=3, stride=3: windows at 0 and 3; column 6 can't
+        // host a full window and is dropped, per the floor in out_dim.
+        let g = ConvGeometry::new(3, 3, 0);
+        assert_eq!(g.out_hw(7, 7).unwrap(), (2, 2));
+        let x = seq_tensor(&[1, 1, 7, 7]);
+        let cols = im2col(&x, g).unwrap();
+        assert_eq!(cols.shape(), &[4, 9]);
+        // Second patch starts at column 3 of row 0: values 3,4,5 / 10,11,12 / 17,18,19.
+        assert_eq!(
+            &cols.data()[9..18],
+            &[3.0, 4.0, 5.0, 10.0, 11.0, 12.0, 17.0, 18.0, 19.0]
+        );
+    }
+
+    #[test]
+    fn conv2d_matches_naive_for_non_tiling_strides() {
+        let x = seq_tensor(&[2, 3, 7, 5]).map(|v| (v * 0.11).sin());
+        let w = seq_tensor(&[4, 3, 3, 3]).map(|v| (v * 0.07).cos());
+        let b = Tensor::from_vec(vec![0.1, -0.2, 0.3, -0.4], &[4]).unwrap();
+        for geom in [
+            ConvGeometry::new(3, 2, 0), // 7→3, 5→2: remainder dropped on both axes
+            ConvGeometry::new(3, 3, 1),
+            ConvGeometry::new(3, 2, 2),
+        ] {
+            let fast = conv2d(&x, &w, Some(&b), geom).unwrap();
+            let slow = naive_conv2d(&x, &w, Some(&b), geom);
+            assert_close(&fast, &slow, &format!("{geom:?}"));
+        }
+    }
+
+    #[test]
+    fn even_kernel_with_pad_is_asymmetric_and_matches_naive() {
+        // k=2 with pad=1 pads both sides but the window anchors top-left,
+        // so the "extra" padded row/column lands asymmetrically: out_dim
+        // = (h + 2 - 2) / s + 1 covers one more position than "same".
+        let g = ConvGeometry::new(2, 1, 1);
+        assert_eq!(g.out_hw(4, 4).unwrap(), (5, 5));
+        let x = seq_tensor(&[1, 2, 4, 4]).map(|v| (v * 0.13).sin());
+        let w = seq_tensor(&[3, 2, 2, 2]).map(|v| (v * 0.05).cos());
+        for geom in [ConvGeometry::new(2, 1, 1), ConvGeometry::new(2, 2, 1)] {
+            let fast = conv2d(&x, &w, None, geom).unwrap();
+            let slow = naive_conv2d(&x, &w, None, geom);
+            assert_close(&fast, &slow, &format!("{geom:?}"));
+        }
+        // The first patch of the padded even kernel is entirely in the
+        // top-left padding except for the input's corner element.
+        let ones = Tensor::ones(&[1, 1, 4, 4]);
+        let cols = im2col(&ones, g).unwrap();
+        let first: f32 = cols.data()[0..4].iter().sum();
+        assert_eq!(first, 1.0, "only the (0,0) tap lands inside the image");
+    }
+
+    #[test]
+    fn out_dim_error_paths_cover_stride_and_fit() {
+        let g = ConvGeometry {
+            kh: 3,
+            kw: 3,
+            stride: 0,
+            pad: 1,
+        };
+        assert!(matches!(
+            g.out_dim(8, 3),
+            Err(TensorError::InvalidGeometry { .. })
+        ));
+        // Kernel larger than padded input, including the pad > 0 case.
+        assert!(ConvGeometry::new(5, 1, 0).out_dim(4, 5).is_err());
+        assert!(ConvGeometry::new(7, 1, 1).out_dim(4, 7).is_err());
+        // Exactly-fitting window is the boundary: padded == k → one output.
+        assert_eq!(ConvGeometry::new(6, 4, 1).out_dim(4, 6).unwrap(), 1);
+        // im2col and conv2d both surface the geometry error.
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        assert!(im2col(&x, ConvGeometry::new(5, 1, 0)).is_err());
+        let w = Tensor::ones(&[1, 1, 5, 5]);
+        assert!(conv2d(&x, &w, None, ConvGeometry::new(5, 1, 0)).is_err());
     }
 }

@@ -7,6 +7,8 @@
 //! * [`Tensor`] — row-major dense tensor: arithmetic, matmul, reductions.
 //! * [`conv`] — `im2col`/`col2im` lowering (the software twin of NEBULA's
 //!   kernel-to-crossbar mapping), dense & depthwise convolution, pooling.
+//! * [`par`] — scoped-thread parallel matmul / im2col / conv2d that are
+//!   bit-identical to their sequential counterparts.
 //!
 //! # Examples
 //!
@@ -26,6 +28,7 @@
 
 pub mod conv;
 pub mod error;
+pub mod par;
 mod tensor;
 
 pub use conv::{

@@ -1,0 +1,321 @@
+//! Scoped-thread parallel kernels, bit-identical to their sequential
+//! counterparts.
+//!
+//! The hot path of every NEBULA benchmark sweep is `im2col` + `matmul`
+//! (the software twin of the crossbar evaluation). This module splits
+//! the *output row space* — `[M, N]` matmul rows, `[N·OH·OW, C·KH·KW]`
+//! patch rows — across a `std::thread::scope` pool and hands each worker
+//! a disjoint `&mut` window of the output buffer.
+//!
+//! # Determinism
+//!
+//! Every function here produces results **bit-identical** to the
+//! sequential version, for any worker count:
+//!
+//! * each output row is computed by exactly one worker, using the *same*
+//!   shared inner kernel the sequential path calls
+//!   ([`matmul`] and [`conv::im2col`] share `matmul_kernel` /
+//!   `im2col_rows`), with accumulation in the same fixed index order;
+//! * no reduction ever crosses a chunk boundary, so chunking cannot
+//!   reassociate floating-point sums.
+//!
+//! The pool size defaults to [`worker_count`]
+//! (`std::thread::available_parallelism`, overridable with the
+//! `NEBULA_THREADS` environment variable); `*_with_workers` variants
+//! take it explicitly.
+
+use std::ops::Range;
+
+use crate::conv::{self, ConvGeometry};
+use crate::error::TensorError;
+use crate::tensor::{matmul_kernel, Tensor};
+
+/// Number of worker threads parallel kernels use by default: the
+/// `NEBULA_THREADS` environment variable when set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`], and at least 1.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("NEBULA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..total` into at most `workers` contiguous, non-empty,
+/// ascending ranges whose lengths differ by at most one.
+pub(crate) fn chunk_ranges(total: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.max(1).min(total.max(1));
+    let base = total / workers;
+    let rem = total % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for i in 0..workers {
+        let len = base + usize::from(i < rem);
+        if len == 0 {
+            break;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Runs `kernel` over each row range on its own scoped thread, handing
+/// every range the matching disjoint window of `out` (`width` values per
+/// row). A single range short-circuits to a plain call.
+fn run_row_chunks<F>(out: &mut [f32], width: usize, ranges: &[Range<usize>], kernel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if ranges.len() <= 1 {
+        if let Some(r) = ranges.first() {
+            kernel(r.start, &mut out[r.start * width..r.end * width]);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let kernel = &kernel;
+        let mut rest = out;
+        for r in ranges {
+            let (window, tail) = rest.split_at_mut((r.end - r.start) * width);
+            rest = tail;
+            let row0 = r.start;
+            s.spawn(move || kernel(row0, window));
+        }
+    });
+}
+
+/// Parallel rank-2 matrix product `a · b` over [`worker_count`] threads;
+/// bit-identical to [`Tensor::matmul`].
+///
+/// # Errors
+///
+/// Same conditions as [`Tensor::matmul`].
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_with_workers(a, b, worker_count())
+}
+
+/// [`matmul`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Same conditions as [`Tensor::matmul`].
+pub fn matmul_with_workers(a: &Tensor, b: &Tensor, workers: usize) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: if a.rank() != 2 { a.rank() } else { b.rank() },
+            op: "matmul",
+        });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "matmul",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    run_row_chunks(&mut out, n, &chunk_ranges(m, workers), |row0, window| {
+        matmul_kernel(ad, bd, k, n, row0, window)
+    });
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Parallel patch lowering over [`worker_count`] threads; bit-identical
+/// to [`conv::im2col`].
+///
+/// # Errors
+///
+/// Same conditions as [`conv::im2col`].
+pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Result<Tensor, TensorError> {
+    im2col_with_workers(input, geom, worker_count())
+}
+
+/// [`im2col`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Same conditions as [`conv::im2col`].
+pub fn im2col_with_workers(
+    input: &Tensor,
+    geom: ConvGeometry,
+    workers: usize,
+) -> Result<Tensor, TensorError> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.rank(),
+            op: "im2col",
+        });
+    }
+    let [n, c, h, w] = [
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    ];
+    let (oh, ow) = geom.out_hw(h, w)?;
+    let cols_per_row = c * geom.kh * geom.kw;
+    let rows = n * oh * ow;
+    let mut out = vec![0.0f32; rows * cols_per_row];
+    let data = input.data();
+    run_row_chunks(
+        &mut out,
+        cols_per_row,
+        &chunk_ranges(rows, workers),
+        |row0, window| conv::im2col_rows(data, [n, c, h, w], [oh, ow], geom, row0, window),
+    );
+    Tensor::from_vec(out, &[rows, cols_per_row])
+}
+
+/// Parallel dense 2-D convolution over [`worker_count`] threads;
+/// bit-identical to [`conv::conv2d`]. Both the patch lowering and the
+/// patch-by-weight product are parallelised.
+///
+/// # Errors
+///
+/// Same conditions as [`conv::conv2d`].
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    geom: ConvGeometry,
+) -> Result<Tensor, TensorError> {
+    conv2d_with_workers(input, weight, bias, geom, worker_count())
+}
+
+/// [`conv2d`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Same conditions as [`conv::conv2d`].
+pub fn conv2d_with_workers(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    geom: ConvGeometry,
+    workers: usize,
+) -> Result<Tensor, TensorError> {
+    let dims = conv::conv2d_check(input, weight, bias, geom)?;
+    let cols = im2col_with_workers(input, geom, workers)?;
+    let wmat = conv::conv2d_weight_matrix(weight, dims)?;
+    let prod = matmul_with_workers(&cols, &wmat, workers)?;
+    Ok(conv::conv2d_assemble(&prod, bias, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random tensor with a sprinkling of exact
+    /// zeros, so the matmul sparsity skip is exercised on both paths.
+    fn noise_tensor(shape: &[usize], seed: u64) -> Tensor {
+        let len: usize = shape.iter().product();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let data: Vec<f32> = (0..len)
+            .map(|_| {
+                // xorshift64*
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                let bits = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                if bits.is_multiple_of(5) {
+                    0.0
+                } else {
+                    ((bits >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, shape).unwrap()
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for total in [0usize, 1, 2, 7, 64, 101] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(total, workers);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "ranges must be contiguous and ascending");
+                    assert!(r.end > r.start, "ranges must be non-empty");
+                    next = r.end;
+                }
+                assert_eq!(next, total, "ranges must cover 0..{total}");
+                assert!(ranges.len() <= workers.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_matmul_is_bit_identical_for_any_worker_count() {
+        let a = noise_tensor(&[37, 29], 1);
+        let b = noise_tensor(&[29, 23], 2);
+        let seq = a.matmul(&b).unwrap();
+        for workers in [1, 2, 3, 7, 64] {
+            let par = matmul_with_workers(&a, &b, workers).unwrap();
+            assert_eq!(par.shape(), seq.shape());
+            assert_eq!(par.data(), seq.data(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_matmul_rejects_bad_shapes_like_sequential() {
+        let a = noise_tensor(&[4, 5], 3);
+        let b = noise_tensor(&[6, 4], 4);
+        assert!(matmul_with_workers(&a, &b, 4).is_err());
+        let v = noise_tensor(&[5], 5);
+        assert!(matmul_with_workers(&a, &v, 4).is_err());
+    }
+
+    #[test]
+    fn par_im2col_is_bit_identical_for_any_worker_count() {
+        let x = noise_tensor(&[3, 4, 9, 7], 6);
+        for geom in [
+            ConvGeometry::same(3),
+            ConvGeometry::new(2, 2, 0),
+            ConvGeometry::new(4, 3, 2),
+        ] {
+            let seq = conv::im2col(&x, geom).unwrap();
+            for workers in [1, 2, 5, 33] {
+                let par = im2col_with_workers(&x, geom, workers).unwrap();
+                assert_eq!(par.shape(), seq.shape());
+                assert_eq!(par.data(), seq.data(), "workers={workers} geom={geom:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_conv2d_is_bit_identical_for_any_worker_count() {
+        let x = noise_tensor(&[2, 3, 12, 12], 7);
+        let w = noise_tensor(&[5, 3, 3, 3], 8);
+        let b = noise_tensor(&[5], 9);
+        let geom = ConvGeometry::same(3);
+        let seq = conv::conv2d(&x, &w, Some(&b), geom).unwrap();
+        for workers in [1, 2, 6, 17] {
+            let par = conv2d_with_workers(&x, &w, Some(&b), geom, workers).unwrap();
+            assert_eq!(par.shape(), seq.shape());
+            assert_eq!(par.data(), seq.data(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_conv2d_propagates_geometry_errors() {
+        let x = noise_tensor(&[1, 1, 3, 3], 10);
+        let w = noise_tensor(&[1, 1, 5, 5], 11);
+        assert!(conv2d_with_workers(&x, &w, None, ConvGeometry::new(5, 1, 0), 4).is_err());
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

@@ -97,8 +97,7 @@ impl Tensor {
             .map(|_| {
                 let u1: f64 = 1.0 - rng.gen::<f64>();
                 let u2: f64 = rng.gen();
-                ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
-                    * sigma
+                ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32 * sigma
             })
             .collect();
         Self {
@@ -185,7 +184,10 @@ impl Tensor {
             .zip(&self.shape)
             .zip(&strides)
             .map(|((&i, &dim), &s)| {
-                assert!(i < dim, "index {i} out of bounds for dimension of size {dim}");
+                assert!(
+                    i < dim,
+                    "index {i} out of bounds for dimension of size {dim}"
+                );
                 i * s
             })
             .sum()
@@ -370,20 +372,7 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order keeps the inner loop streaming over contiguous rows.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue; // spike trains are sparse: skip zero inputs
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        matmul_kernel(&self.data, &other.data, k, n, 0, &mut out);
         Ok(Self {
             data: out,
             shape: vec![m, n],
@@ -461,7 +450,10 @@ impl Tensor {
     /// Panics when the tensor is empty or `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f32 {
         assert!(!self.data.is_empty(), "quantile of an empty tensor");
-        assert!((0.0..=1.0).contains(&q), "quantile fraction {q} not in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile fraction {q} not in [0, 1]"
+        );
         let mut sorted = self.data.clone();
         // total_cmp keeps the sort well-defined even if NaNs sneak in
         // (they sort to the top and are excluded by finite quantiles).
@@ -471,6 +463,42 @@ impl Tensor {
         let hi = pos.ceil() as usize;
         let frac = (pos - lo as f64) as f32;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Shared matmul inner kernel: computes output rows `row0..row0 + r`
+/// (where `r = out_rows.len() / n`) of `A·B` into `out_rows`.
+///
+/// Both the sequential [`Tensor::matmul`] and the parallel
+/// [`crate::par::matmul`] call this with different row windows, so any
+/// row partition produces bit-identical results: each output row is
+/// accumulated in the same fixed `k`-index order regardless of which
+/// worker computes it.
+///
+/// The ikj loop order keeps the inner loop streaming over contiguous
+/// rows of `B`, and zero entries of `A` are skipped (spike trains are
+/// sparse).
+pub(crate) fn matmul_kernel(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out_rows: &mut [f32],
+) {
+    debug_assert_eq!(out_rows.len() % n.max(1), 0);
+    for (local, out_row) in out_rows.chunks_mut(n).enumerate() {
+        let i = row0 + local;
+        let a_row = &a[i * k..(i + 1) * k];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
     }
 }
 
@@ -550,7 +578,10 @@ mod tests {
             Err(TensorError::ShapeMismatch { .. })
         ));
         let v = Tensor::zeros(&[3]);
-        assert!(matches!(a.matmul(&v), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&v),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

@@ -122,10 +122,7 @@ pub fn generate(config: &SyntheticConfig) -> Result<Dataset, NnError> {
             SyntheticKind::Textures => draw_texture(img, s, class, config.classes, &mut rng),
         }
     }
-    Dataset::new(
-        Tensor::from_vec(data, &[config.samples, c, s, s])?,
-        labels,
-    )
+    Dataset::new(Tensor::from_vec(data, &[config.samples, c, s, s])?, labels)
 }
 
 /// Draws a class-specific stroke pattern with positional jitter and
@@ -261,9 +258,9 @@ fn draw_glyph<R: Rng>(img: &mut [f32], s: usize, class: usize, clutter: f64, rng
 fn draw_texture<R: Rng>(img: &mut [f32], s: usize, class: usize, classes: usize, rng: &mut R) {
     // Intra-class variability: orientation and frequency jitter create
     // realistic class overlap so accuracies land below 100%.
-    let angle = class as f32 / classes as f32 * std::f32::consts::PI
-        + rng.gen_range(-0.16..0.16);
-    let freq = 2.0 + (class % 5) as f32 + rng.gen_range(-0.6..0.6);
+    let angle: f32 =
+        class as f32 / classes as f32 * std::f32::consts::PI + rng.gen_range(-0.16f32..0.16);
+    let freq: f32 = 2.0 + (class % 5) as f32 + rng.gen_range(-0.6f32..0.6);
     let (ca, sa) = (angle.cos(), angle.sin());
     let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
     let color_shift = (class % 3) as f32 / 3.0;
@@ -271,12 +268,12 @@ fn draw_texture<R: Rng>(img: &mut [f32], s: usize, class: usize, classes: usize,
     for y in 0..s {
         for x in 0..s {
             let u = (x as f32 * ca + y as f32 * sa) / s as f32;
-            let v = (0.5 + 0.45 * (u * freq * std::f32::consts::TAU + phase).sin())
-                .clamp(0.0, 1.0);
+            let v = (0.5 + 0.45 * (u * freq * std::f32::consts::TAU + phase).sin()).clamp(0.0, 1.0);
             let noise: f32 = rng.gen_range(-0.10..0.10);
             let base = (v + noise).clamp(0.0, 1.0);
             img[y * s + x] = base;
-            img[plane + y * s + x] = (base * (1.0 - color_shift) + color_shift * 0.3).clamp(0.0, 1.0);
+            img[plane + y * s + x] =
+                (base * (1.0 - color_shift) + color_shift * 0.3).clamp(0.0, 1.0);
             img[2 * plane + y * s + x] = (base * color_shift + 0.1).clamp(0.0, 1.0);
         }
     }

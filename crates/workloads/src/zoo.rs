@@ -25,14 +25,70 @@ pub struct PaperBenchmark {
 /// The paper's Table I, verbatim.
 pub fn paper_table1() -> Vec<PaperBenchmark> {
     vec![
-        PaperBenchmark { name: "3-layer MLP", dataset: "MNIST", ann_accuracy: 96.81, snn_accuracy: 95.75, timesteps: 50, depth: 3 },
-        PaperBenchmark { name: "LeNet-5", dataset: "MNIST", ann_accuracy: 99.12, snn_accuracy: 98.56, timesteps: 40, depth: 5 },
-        PaperBenchmark { name: "MobileNet-v1", dataset: "CIFAR-10", ann_accuracy: 91.00, snn_accuracy: 81.08, timesteps: 500, depth: 29 },
-        PaperBenchmark { name: "VGG-13", dataset: "CIFAR-10", ann_accuracy: 91.60, snn_accuracy: 90.05, timesteps: 300, depth: 20 },
-        PaperBenchmark { name: "MobileNet-v1", dataset: "CIFAR-100", ann_accuracy: 66.06, snn_accuracy: 56.88, timesteps: 1000, depth: 29 },
-        PaperBenchmark { name: "VGG-13", dataset: "CIFAR-100", ann_accuracy: 71.50, snn_accuracy: 68.32, timesteps: 1000, depth: 18 },
-        PaperBenchmark { name: "SVHN Network", dataset: "SVHN", ann_accuracy: 94.96, snn_accuracy: 94.48, timesteps: 100, depth: 12 },
-        PaperBenchmark { name: "AlexNet", dataset: "ImageNet", ann_accuracy: 51.0, snn_accuracy: 50.0, timesteps: 500, depth: 11 },
+        PaperBenchmark {
+            name: "3-layer MLP",
+            dataset: "MNIST",
+            ann_accuracy: 96.81,
+            snn_accuracy: 95.75,
+            timesteps: 50,
+            depth: 3,
+        },
+        PaperBenchmark {
+            name: "LeNet-5",
+            dataset: "MNIST",
+            ann_accuracy: 99.12,
+            snn_accuracy: 98.56,
+            timesteps: 40,
+            depth: 5,
+        },
+        PaperBenchmark {
+            name: "MobileNet-v1",
+            dataset: "CIFAR-10",
+            ann_accuracy: 91.00,
+            snn_accuracy: 81.08,
+            timesteps: 500,
+            depth: 29,
+        },
+        PaperBenchmark {
+            name: "VGG-13",
+            dataset: "CIFAR-10",
+            ann_accuracy: 91.60,
+            snn_accuracy: 90.05,
+            timesteps: 300,
+            depth: 20,
+        },
+        PaperBenchmark {
+            name: "MobileNet-v1",
+            dataset: "CIFAR-100",
+            ann_accuracy: 66.06,
+            snn_accuracy: 56.88,
+            timesteps: 1000,
+            depth: 29,
+        },
+        PaperBenchmark {
+            name: "VGG-13",
+            dataset: "CIFAR-100",
+            ann_accuracy: 71.50,
+            snn_accuracy: 68.32,
+            timesteps: 1000,
+            depth: 18,
+        },
+        PaperBenchmark {
+            name: "SVHN Network",
+            dataset: "SVHN",
+            ann_accuracy: 94.96,
+            snn_accuracy: 94.48,
+            timesteps: 100,
+            depth: 12,
+        },
+        PaperBenchmark {
+            name: "AlexNet",
+            dataset: "ImageNet",
+            ann_accuracy: 51.0,
+            snn_accuracy: 50.0,
+            timesteps: 500,
+            depth: 11,
+        },
     ]
 }
 
@@ -306,7 +362,7 @@ mod tests {
     fn vgg13_matches_the_paper_example() {
         let v = vgg13(10);
         assert_eq!(v.len(), 12); // 10 convs + 2 fc
-        // The paper's utilization example: layer 1 uses 27×64 cells.
+                                 // The paper's utilization example: layer 1 uses 27×64 cells.
         assert_eq!(v[0].receptive_field, 27);
         assert_eq!(v[0].kernels, 64);
         // Deepest convs: Rf = 3·3·512 = 4608.
@@ -323,7 +379,10 @@ mod tests {
         assert!(matches!(m[1].op, LayerOp::DepthwiseConv { .. }));
         assert!(matches!(m[2].op, LayerOp::Conv { kernel: 1, .. }));
         // Depthwise layers have tiny receptive fields (the Fig. 12 story).
-        assert!(m.iter().filter(|l| l.is_depthwise()).all(|l| l.receptive_field == 9));
+        assert!(m
+            .iter()
+            .filter(|l| l.is_depthwise())
+            .all(|l| l.receptive_field == 9));
         // Even indices 1,3,5... are depthwise (13 of them).
         assert_eq!(m.iter().filter(|l| l.is_depthwise()).count(), 13);
     }

@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 4-bit quantization + SNN conversion ------------------------------
     let quantized = quantize_network(&net, &train_set.take(64), &QuantConfig::default())?;
-    let mut snn = ann_to_snn(&quantized, &train_set.take(64), &ConversionConfig::default())?;
+    let mut snn = ann_to_snn(
+        &quantized,
+        &train_set.take(64),
+        &ConversionConfig::default(),
+    )?;
     println!("\naccuracy vs evidence-integration window:");
     for timesteps in [5usize, 10, 20, 40, 80] {
         let acc = snn.accuracy(&test_set.inputs, &test_set.labels, timesteps, &mut rng)?;

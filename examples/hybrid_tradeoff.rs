@@ -39,11 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let calib = train_set.take(64);
     let mut snn = ann_to_snn(&net, &calib, &conv_cfg)?;
     println!("\naccuracy at starved evidence windows (mean of 4 Poisson draws):");
-    println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "T", "SNN", "Hyb-1", "Hyb-2", "Hyb-3");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8}",
+        "T", "SNN", "Hyb-1", "Hyb-2", "Hyb-3"
+    );
     for t in [60usize, 15, 8, 4] {
         let mut row = vec![format!("{t:>8}")];
         let avg = |acc: &mut dyn FnMut(&mut rand::rngs::StdRng) -> f64,
-                       rng: &mut rand::rngs::StdRng| {
+                   rng: &mut rand::rngs::StdRng| {
             let mut s = 0.0;
             for _ in 0..4 {
                 s += acc(rng);
@@ -51,14 +54,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s / 4.0 * 100.0
         };
         let a = avg(
-            &mut |r| snn.accuracy(&test_set.inputs, &test_set.labels, t, r).unwrap(),
+            &mut |r| {
+                snn.accuracy(&test_set.inputs, &test_set.labels, t, r)
+                    .unwrap()
+            },
             &mut rng,
         );
         row.push(format!("{a:>7.1}%"));
         for k in 1..=3 {
             let mut hyb = HybridNetwork::split(&net, &calib, k, &conv_cfg)?;
             let a = avg(
-                &mut |r| hyb.accuracy(&test_set.inputs, &test_set.labels, t, r).unwrap(),
+                &mut |r| {
+                    hyb.accuracy(&test_set.inputs, &test_set.labels, t, r)
+                        .unwrap()
+                },
                 &mut rng,
             );
             row.push(format!("{a:>7.1}%"));

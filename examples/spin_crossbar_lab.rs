@@ -17,10 +17,12 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = DeviceParams::default();
-    println!("DW-MTJ device: {} states over a {} nm free layer, R_AP/R_P = {}x",
+    println!(
+        "DW-MTJ device: {} states over a {} nm free layer, R_AP/R_P = {}x",
         params.levels(),
         params.free_layer_length().as_nm(),
-        params.tmr_ratio());
+        params.tmr_ratio()
+    );
 
     // 1. Device transfer characteristic (Fig. 1b).
     let curve = transfer_characteristic(&params, params.full_scale_current(), 6);

@@ -99,10 +99,20 @@ fn cmd_device() {
     let p = DeviceParams::default();
     println!("DW-MTJ device (paper-calibrated):");
     println!("  free layer          {} nm", p.free_layer_length().as_nm());
-    println!("  pinning pitch       {} nm ({} states)", p.pinning_resolution().as_nm(), p.levels());
+    println!(
+        "  pinning pitch       {} nm ({} states)",
+        p.pinning_resolution().as_nm(),
+        p.levels()
+    );
     println!("  switching time      {} ns", p.switching_time().as_ns());
-    println!("  critical current    {:.1} uA", p.critical_current().0 * 1e6);
-    println!("  full-scale current  {:.1} uA", p.full_scale_current().0 * 1e6);
+    println!(
+        "  critical current    {:.1} uA",
+        p.critical_current().0 * 1e6
+    );
+    println!(
+        "  full-scale current  {:.1} uA",
+        p.full_scale_current().0 * 1e6
+    );
     println!("  TMR ratio           {}x", p.tmr_ratio());
     println!("\ntransfer curve (I -> DW displacement):");
     for pt in transfer_characteristic(&p, p.full_scale_current(), 6) {
@@ -152,16 +162,10 @@ fn cmd_price(model: &str, args: &[String]) -> ExitCode {
         match a.as_str() {
             "--mode" => mode = it.next().cloned().unwrap_or_default(),
             "--timesteps" => {
-                timesteps = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(timesteps)
+                timesteps = it.next().and_then(|v| v.parse().ok()).unwrap_or(timesteps)
             }
             "--ann-layers" => {
-                ann_layers = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(ann_layers)
+                ann_layers = it.next().and_then(|v| v.parse().ok()).unwrap_or(ann_layers)
             }
             other => {
                 eprintln!("unknown option `{other}`");

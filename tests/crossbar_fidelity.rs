@@ -3,8 +3,8 @@
 //! through the device models.
 
 use nebula::crossbar::{
-    kernels_per_supertile, nu_level_for, AtomicCrossbar, CrossbarConfig, Mode, NeuronUnit,
-    NuLevel, SuperTile,
+    kernels_per_supertile, nu_level_for, AtomicCrossbar, CrossbarConfig, Mode, NeuronUnit, NuLevel,
+    SuperTile,
 };
 use nebula::device::params::DeviceParams;
 use rand::Rng;

@@ -124,9 +124,9 @@ fn trained_network_maps_onto_the_chip() {
     let net = scaled_lenet(16, 10, &mut r);
     let descriptors = describe_network(&net, &[1, 16, 16]).unwrap();
     assert_eq!(descriptors.len(), 4); // 2 conv + 2 fc
-    // Attach a realistic decaying spike-activity profile: with the
-    // default (fully dense, activity 1.0) inputs an SNN has no
-    // event-driven advantage to exploit.
+                                      // Attach a realistic decaying spike-activity profile: with the
+                                      // default (fully dense, activity 1.0) inputs an SNN has no
+                                      // event-driven advantage to exploit.
     let descriptors = nebula::workloads::zoo::with_default_activities(descriptors);
 
     let model = EnergyModel::default();

@@ -1,0 +1,84 @@
+//! Offline shim for the subset of `criterion` 0.5 used by the bench
+//! harness: `Criterion::bench_function`, `Bencher::iter`, `black_box`,
+//! `criterion_group!` and `criterion_main!`. Runs each benchmark for a
+//! fixed warm-up plus measurement round and prints mean iteration time;
+//! no statistics, plots, or CLI are provided.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim calibrates iteration
+    /// counts by wall-clock instead of sampling.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Calibrate the iteration count so a round takes ~100 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(100) || iters >= 1 << 20 {
+                let per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+                println!("{id}: {per_iter:.1} ns/iter ({iters} iterations)");
+                return self;
+            }
+            iters *= 4;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

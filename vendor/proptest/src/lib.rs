@@ -1,0 +1,71 @@
+//! Offline shim for the subset of `proptest` used by this workspace:
+//! the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`, range and
+//! collection strategies, `prop_map`/`prop_flat_map`, and
+//! `prop::sample::select`.
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! per-test RNG (seeded from the test name) so CI runs are
+//! reproducible, there is no shrinking — a failing case panics with the
+//! generated inputs left to the assertion message — and the case count
+//! defaults to 64 (override with the `PROPTEST_CASES` env var).
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Mirror of `proptest::prelude::prop`, exposing the strategy
+    /// modules under the conventional `prop::` path.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Number of cases each property runs; honors `PROPTEST_CASES`.
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::case_count() {
+                    $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}

@@ -1,0 +1,27 @@
+//! Deterministic RNG for property tests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test deterministic RNG. Seeded from the test's name (FNV-1a) so
+/// every test draws an independent but reproducible input stream.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
