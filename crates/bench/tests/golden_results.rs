@@ -1,0 +1,59 @@
+//! Golden-file regression tests: re-run every deterministic recorded
+//! experiment and diff its stdout against the recorded `results/*.txt`,
+//! so model drift is caught by `cargo test` instead of manual diffing.
+//!
+//! Only the 14 RNG-free experiments are pinned byte-for-byte here. The
+//! RNG-dependent experiments (training-based accuracy studies) are
+//! deterministic too, but cost minutes of training each; their clean
+//! corners are covered by `fault_campaign`'s zero-fault assertion and
+//! the seeded-determinism suite.
+
+use std::process::Command;
+
+/// Runs a recorded experiment binary and asserts byte-identical stdout
+/// against its golden file.
+fn assert_matches_golden(bin: &str, exe: &str) {
+    let golden_path = format!("{}/../../results/{bin}.txt", env!("CARGO_MANIFEST_DIR"));
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden file {golden_path}: {e}"));
+    let out = Command::new(exe)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} exited with {:?}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("experiment output is UTF-8");
+    assert_eq!(
+        stdout, golden,
+        "{bin} drifted from its recorded output ({golden_path})"
+    );
+}
+
+macro_rules! golden {
+    ($($name:ident),* $(,)?) => {$(
+        #[test]
+        fn $name() {
+            assert_matches_golden(stringify!($name), env!(concat!("CARGO_BIN_EXE_", stringify!($name))));
+        }
+    )*};
+}
+
+golden!(
+    ablate_hierarchy,
+    ablate_morphable,
+    ablate_replication,
+    ablate_tmr,
+    chip_layout,
+    fig01_device,
+    fig12_isaac_layers,
+    fig13a_isaac_avg,
+    fig13b_inxs_layers,
+    fig14_peak_power,
+    fig15_vgg_breakdown,
+    fig16_all_breakdown,
+    fig17_hybrid_tradeoff,
+    tab03_components,
+);

@@ -7,6 +7,7 @@
 //! reports identical to the sequential ones.
 
 use crate::energy::{ComponentEnergy, EnergyModel, ExecMode, LayerEnergy};
+use crate::fault::{remap_network, ChipFaultState, RemapError, RemapPolicy, RemapReport};
 use crate::mapper::{map_network, LayerMapping};
 use crate::pipeline;
 use nebula_device::units::{Seconds, Watts};
@@ -109,6 +110,90 @@ fn evaluate(
         peak_power: peak,
         cores_used: cores,
     }
+}
+
+/// An inference evaluated on a degraded chip: the usual report plus the
+/// remap decision that made it possible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedReport {
+    /// The energy/power/latency report, with the remap's fold factor
+    /// already applied to latency and average power.
+    pub report: InferenceReport,
+    /// What the remap decided (cores used, fold, accuracy estimate).
+    pub remap: RemapReport,
+}
+
+/// Evaluates a workload in ANN mode on a chip with faults: layers are
+/// remapped onto the healthy cores (cleanest first), the latency is
+/// stretched by the remap's time-multiplexing fold factor, and the remap
+/// report rides along. With a fully healthy [`ChipFaultState`] the
+/// result is identical to [`evaluate_ann`].
+///
+/// # Errors
+///
+/// [`RemapError::NoHealthyCores`] when every core in the pool is dead.
+pub fn evaluate_ann_degraded(
+    model: &EnergyModel,
+    descriptors: &[LayerDescriptor],
+    state: &ChipFaultState,
+    policy: &RemapPolicy,
+) -> Result<DegradedReport, RemapError> {
+    evaluate_degraded(model, descriptors, ExecMode::Ann, "ANN", state, policy)
+}
+
+/// SNN-mode counterpart of [`evaluate_ann_degraded`].
+///
+/// # Errors
+///
+/// [`RemapError::NoHealthyCores`] when every core in the pool is dead.
+pub fn evaluate_snn_degraded(
+    model: &EnergyModel,
+    descriptors: &[LayerDescriptor],
+    timesteps: u32,
+    state: &ChipFaultState,
+    policy: &RemapPolicy,
+) -> Result<DegradedReport, RemapError> {
+    evaluate_degraded(
+        model,
+        descriptors,
+        ExecMode::Snn { timesteps },
+        &format!("SNN@{timesteps}"),
+        state,
+        policy,
+    )
+}
+
+fn evaluate_degraded(
+    model: &EnergyModel,
+    descriptors: &[LayerDescriptor],
+    mode: ExecMode,
+    label: &str,
+    state: &ChipFaultState,
+    policy: &RemapPolicy,
+) -> Result<DegradedReport, RemapError> {
+    let mappings = map_network(descriptors);
+    let remap = remap_network(&mappings, state, policy)?;
+    // Replication draws on the whole healthy pool (spares host weight
+    // copies), so the degraded engine is the clean engine run with the
+    // pool shrunk to the survivors.
+    let mut degraded_model = model.clone();
+    match mode {
+        ExecMode::Ann => degraded_model.ann_core_pool = remap.healthy,
+        ExecMode::Snn { .. } => degraded_model.snn_core_pool = remap.healthy,
+    }
+    let mut report = evaluate(&degraded_model, descriptors, mode, label.to_string());
+    if remap.fold_factor > 1 {
+        // Time-multiplexing: each surviving core serves fold_factor
+        // logical cores in sequence. Work (energy) is unchanged; time
+        // stretches and mean power drops accordingly.
+        report.latency = report.latency * remap.fold_factor as f64;
+        report.avg_power = if report.latency.0 > 0.0 {
+            report.total.total() / report.latency
+        } else {
+            Watts::ZERO
+        };
+    }
+    Ok(DegradedReport { report, remap })
 }
 
 /// Report for a hybrid SNN-ANN execution.
@@ -530,6 +615,56 @@ mod tests {
     fn par_suite_handles_empty_job_list() {
         let model = EnergyModel::default();
         assert!(par_evaluate_suite_with_workers(&model, &[], 8).is_empty());
+    }
+
+    #[test]
+    fn degraded_engine_on_a_healthy_chip_matches_the_clean_engine() {
+        let model = EnergyModel::default();
+        let ds = stack();
+        let clean_ann = evaluate_ann(&model, &ds);
+        let state = ChipFaultState::healthy(model.ann_core_pool);
+        let deg = evaluate_ann_degraded(&model, &ds, &state, &RemapPolicy::default()).unwrap();
+        assert_eq!(deg.report, clean_ann);
+        assert_eq!(deg.remap.fold_factor, 1);
+        assert!(deg.remap.within_policy);
+
+        let clean_snn = evaluate_snn(&model, &ds, 150);
+        let state = ChipFaultState::healthy(model.snn_core_pool);
+        let deg = evaluate_snn_degraded(&model, &ds, 150, &state, &RemapPolicy::default()).unwrap();
+        assert_eq!(deg.report, clean_snn);
+    }
+
+    #[test]
+    fn killed_tiles_remap_with_a_latency_penalty_not_an_error() {
+        let model = EnergyModel::default();
+        let ds = stack();
+        let clean = evaluate_ann(&model, &ds);
+        let demand = clean.cores_used;
+        // Leave fewer healthy cores than the demand: the engine must
+        // still produce a report, folded in time.
+        let mut state = ChipFaultState::healthy(model.ann_core_pool);
+        for c in 0..(model.ann_core_pool - demand + 1) {
+            state.kill_core(c);
+        }
+        let deg = evaluate_ann_degraded(&model, &ds, &state, &RemapPolicy::default()).unwrap();
+        assert!(deg.remap.fold_factor >= 2);
+        assert!(deg.report.latency > clean.latency);
+        assert!(deg.report.avg_power < clean.avg_power);
+        // Energy is work, not time: folding does not change it.
+        assert_eq!(deg.report.total_energy(), clean.total_energy());
+        assert!(deg.remap.within_policy, "clean survivors cost no accuracy");
+    }
+
+    #[test]
+    fn fully_dead_pool_is_the_only_degraded_error() {
+        let model = EnergyModel::default();
+        let mut state = ChipFaultState::healthy(2);
+        state.kill_core(0);
+        state.kill_core(1);
+        assert!(matches!(
+            evaluate_ann_degraded(&model, &stack(), &state, &RemapPolicy::default()),
+            Err(RemapError::NoHealthyCores { pool: 2 })
+        ));
     }
 
     #[test]

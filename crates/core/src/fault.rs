@@ -1,0 +1,400 @@
+//! Chip-level fault state and the remap-around-faults policy.
+//!
+//! The device layer says *how* a cell fails ([`nebula_device::fault`]);
+//! the crossbar layer says *where* ([`nebula_crossbar::AtomicCrossbar`]
+//! fault maps, dead ACs, dead tiles). This module closes the loop at the
+//! chip level: given which neural cores are dead and how dirty the
+//! survivors are, [`remap_network`] reassigns a workload's layers onto
+//! the cleanest spare capacity and reports the price — estimated
+//! accuracy loss from residual cell faults and a time-multiplexing
+//! (fold) factor when the healthy pool is smaller than the demand —
+//! instead of refusing to run.
+
+use crate::mapper::LayerMapping;
+use nebula_crossbar::tile::SuperTile;
+use std::error::Error;
+use std::fmt;
+
+/// Health of one mode's neural-core pool.
+///
+/// Core indices are positions in the pool (`0..pool`), matching the
+/// order super-tiles are handed to [`ChipFaultState::from_supertiles`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipFaultState {
+    /// Pool size (e.g. 14 ANN cores or 182 SNN cores).
+    pool: usize,
+    dead: Vec<bool>,
+    faulty_fraction: Vec<f64>,
+}
+
+impl ChipFaultState {
+    /// A fully healthy pool of `pool` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pool` is zero.
+    pub fn healthy(pool: usize) -> Self {
+        assert!(pool > 0, "a chip needs at least one core");
+        Self {
+            pool,
+            dead: vec![false; pool],
+            faulty_fraction: vec![0.0; pool],
+        }
+    }
+
+    /// Reads the fault state off a slice of super-tiles (one per core):
+    /// a tile that [`SuperTile::is_dead`] is a dead core, and each
+    /// survivor's [`SuperTile::faulty_fraction`] becomes its dirtiness.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tiles` is empty.
+    pub fn from_supertiles(tiles: &[SuperTile]) -> Self {
+        assert!(!tiles.is_empty(), "a chip needs at least one core");
+        Self {
+            pool: tiles.len(),
+            dead: tiles.iter().map(|t| t.is_dead()).collect(),
+            faulty_fraction: tiles.iter().map(|t| t.faulty_fraction()).collect(),
+        }
+    }
+
+    /// Pool size.
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+
+    /// Marks a core dead (power-gated, unusable).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `core` is out of range.
+    pub fn kill_core(&mut self, core: usize) {
+        self.dead[core] = true;
+    }
+
+    /// Restores a previously killed core.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `core` is out of range.
+    pub fn revive_core(&mut self, core: usize) {
+        self.dead[core] = false;
+    }
+
+    /// Records the fraction of a core's cells carrying faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `core` is out of range or `fraction` ∉ [0, 1].
+    pub fn set_faulty_fraction(&mut self, core: usize, fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "faulty fraction must lie in [0, 1], got {fraction}"
+        );
+        self.faulty_fraction[core] = fraction;
+    }
+
+    /// Whether a core is usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `core` is out of range.
+    pub fn core_ok(&self, core: usize) -> bool {
+        !self.dead[core]
+    }
+
+    /// Indices of usable cores.
+    pub fn healthy_cores(&self) -> Vec<usize> {
+        (0..self.pool).filter(|&c| !self.dead[c]).collect()
+    }
+
+    /// Indices of dead cores.
+    pub fn dead_cores(&self) -> Vec<usize> {
+        (0..self.pool).filter(|&c| self.dead[c]).collect()
+    }
+
+    /// A core's recorded faulty-cell fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `core` is out of range.
+    pub fn faulty_fraction(&self, core: usize) -> f64 {
+        self.faulty_fraction[core]
+    }
+}
+
+/// Tunable knobs of the remap policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemapPolicy {
+    /// Largest acceptable estimated accuracy loss (fractional, e.g.
+    /// `0.02` for 2 points). The mapper prefers more cores (lower fold)
+    /// but never knowingly exceeds this budget.
+    pub max_accuracy_loss: f64,
+    /// Sensitivity constant κ converting the mean faulty-cell fraction
+    /// of the cores in use into an estimated accuracy loss
+    /// (`loss ≈ κ · mean_faulty_fraction`). The §IV-D Monte-Carlo shows
+    /// the networks absorb small perturbations, so κ < 1; the default is
+    /// deliberately conservative.
+    pub accuracy_loss_per_faulty_fraction: f64,
+}
+
+impl Default for RemapPolicy {
+    /// 2-point accuracy budget, κ = 0.5.
+    fn default() -> Self {
+        Self {
+            max_accuracy_loss: 0.02,
+            accuracy_loss_per_faulty_fraction: 0.5,
+        }
+    }
+}
+
+/// What the remap decided and what it costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemapReport {
+    /// Cores the workload's weights demand (sum over layers).
+    pub demand: usize,
+    /// Usable cores in the pool.
+    pub healthy: usize,
+    /// Cores actually assigned (cleanest-first prefix of the healthy
+    /// pool).
+    pub used_cores: Vec<usize>,
+    /// Time-multiplexing factor: each assigned core hosts up to this
+    /// many logical cores' weights, serializing the inference by the
+    /// same factor. `1` when capacity suffices.
+    pub fold_factor: usize,
+    /// Mean faulty-cell fraction over the assigned cores.
+    pub mean_faulty_fraction: f64,
+    /// κ-scaled accuracy-loss estimate for running on these cores.
+    pub estimated_accuracy_loss: f64,
+    /// Whether the estimate fits the policy budget. When `false` the
+    /// mapper already retreated to the single cleanest core and the
+    /// budget is simply unreachable — the caller decides whether to run
+    /// anyway.
+    pub within_policy: bool,
+    /// Which physical core hosts each logical core, in layer order
+    /// (logical core `i` of the flattened network lives on
+    /// `assignments[i]`).
+    pub assignments: Vec<usize>,
+}
+
+/// Errors from the remap path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RemapError {
+    /// Every core in the pool is dead; no remap can help.
+    NoHealthyCores {
+        /// Pool size.
+        pool: usize,
+    },
+}
+
+impl fmt::Display for RemapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemapError::NoHealthyCores { pool } => {
+                write!(f, "all {pool} cores in the pool are dead")
+            }
+        }
+    }
+}
+
+impl Error for RemapError {}
+
+/// Remaps a mapped network onto the healthy part of a pool.
+///
+/// Healthy cores are ranked cleanest-first (faulty fraction ascending,
+/// index ascending for determinism). The mapper uses the largest
+/// cleanest-first prefix whose κ-scaled mean dirtiness still fits the
+/// policy budget — more cores means a smaller fold factor, dirtier cores
+/// mean more estimated accuracy loss. If even the single cleanest core
+/// busts the budget, it is used anyway and the report says
+/// `within_policy: false`; the only hard error is a pool with zero
+/// healthy cores.
+///
+/// # Errors
+///
+/// [`RemapError::NoHealthyCores`] when every core is dead.
+pub fn remap_network(
+    mappings: &[LayerMapping],
+    state: &ChipFaultState,
+    policy: &RemapPolicy,
+) -> Result<RemapReport, RemapError> {
+    let demand: usize = mappings.iter().map(|m| m.cores).sum::<usize>().max(1);
+    let mut candidates = state.healthy_cores();
+    if candidates.is_empty() {
+        return Err(RemapError::NoHealthyCores { pool: state.pool() });
+    }
+    candidates.sort_by(|&a, &b| {
+        state
+            .faulty_fraction(a)
+            .partial_cmp(&state.faulty_fraction(b))
+            .expect("faulty fractions are finite")
+            .then(a.cmp(&b))
+    });
+    let healthy = candidates.len();
+    let k_max = demand.min(healthy);
+
+    // Prefix means are nondecreasing (sorted ascending), so the largest
+    // in-budget prefix is the last one that fits.
+    let kappa = policy.accuracy_loss_per_faulty_fraction;
+    let mut best_k = 1;
+    let mut prefix_sum = 0.0;
+    let mut best_loss = kappa * state.faulty_fraction(candidates[0]);
+    let mut running = 0.0;
+    for (i, &core) in candidates[..k_max].iter().enumerate() {
+        running += state.faulty_fraction(core);
+        let loss = kappa * running / (i + 1) as f64;
+        if loss <= policy.max_accuracy_loss || i == 0 {
+            best_k = i + 1;
+            prefix_sum = running;
+            best_loss = loss;
+        } else {
+            break;
+        }
+    }
+    let used_cores: Vec<usize> = candidates[..best_k].to_vec();
+    let fold_factor = demand.div_ceil(best_k);
+    let mean_faulty_fraction = prefix_sum / best_k as f64;
+    let assignments: Vec<usize> = (0..demand).map(|i| used_cores[i % best_k]).collect();
+    Ok(RemapReport {
+        demand,
+        healthy,
+        used_cores,
+        fold_factor,
+        mean_faulty_fraction,
+        estimated_accuracy_loss: best_loss,
+        within_policy: best_loss <= policy.max_accuracy_loss,
+        assignments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::map_network;
+    use nebula_nn::stats::LayerDescriptor;
+
+    fn small_net() -> Vec<LayerMapping> {
+        map_network(&[
+            LayerDescriptor::conv(0, "conv1", 3, 64, 3, 1, 1, (32, 32)),
+            LayerDescriptor::conv(1, "conv2", 64, 128, 3, 1, 1, (16, 16)),
+            LayerDescriptor::dense(2, "fc", 128 * 8 * 8, 10),
+        ])
+    }
+
+    #[test]
+    fn healthy_pool_remaps_with_no_penalty() {
+        let maps = small_net();
+        let state = ChipFaultState::healthy(14);
+        let r = remap_network(&maps, &state, &RemapPolicy::default()).unwrap();
+        assert_eq!(r.fold_factor, 1);
+        assert_eq!(r.estimated_accuracy_loss, 0.0);
+        assert!(r.within_policy);
+        assert_eq!(r.healthy, 14);
+        assert_eq!(r.assignments.len(), r.demand);
+    }
+
+    #[test]
+    fn killed_cores_are_skipped_and_capacity_shrinks() {
+        let maps = small_net();
+        let demand: usize = maps.iter().map(|m| m.cores).sum();
+        let mut state = ChipFaultState::healthy(demand + 1);
+        // Kill all spare capacity plus one demanded core: demand now
+        // exceeds the healthy pool by one, forcing a fold of 2 somewhere.
+        state.kill_core(0);
+        state.kill_core(1);
+        let r = remap_network(&maps, &state, &RemapPolicy::default()).unwrap();
+        assert_eq!(r.healthy, demand - 1);
+        assert_eq!(r.fold_factor, 2);
+        assert!(r.within_policy, "clean survivors cost no accuracy");
+        assert!(r.used_cores.iter().all(|&c| c >= 2));
+    }
+
+    #[test]
+    fn dirtier_cores_are_dropped_to_fit_the_accuracy_budget() {
+        let maps = small_net();
+        let demand: usize = maps.iter().map(|m| m.cores).sum();
+        let mut state = ChipFaultState::healthy(demand);
+        // One core is badly damaged: using it would cost κ·mean > budget.
+        state.set_faulty_fraction(0, 0.5);
+        let policy = RemapPolicy {
+            max_accuracy_loss: 0.01,
+            accuracy_loss_per_faulty_fraction: 0.5,
+        };
+        let r = remap_network(&maps, &state, &policy).unwrap();
+        assert!(
+            !r.used_cores.contains(&0),
+            "the dirty core must be excluded: {:?}",
+            r.used_cores
+        );
+        assert_eq!(r.used_cores.len(), demand - 1);
+        assert_eq!(r.fold_factor, 2);
+        assert!(r.within_policy);
+    }
+
+    #[test]
+    fn unreachable_budget_still_returns_a_plan() {
+        let maps = small_net();
+        let mut state = ChipFaultState::healthy(4);
+        for c in 0..4 {
+            state.set_faulty_fraction(c, 0.4);
+        }
+        let policy = RemapPolicy {
+            max_accuracy_loss: 0.001,
+            accuracy_loss_per_faulty_fraction: 0.5,
+        };
+        let r = remap_network(&maps, &state, &policy).unwrap();
+        assert!(!r.within_policy);
+        assert_eq!(r.used_cores.len(), 1, "retreats to the cleanest core");
+        assert!((r.estimated_accuracy_loss - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_cores_dead_is_the_only_hard_error() {
+        let maps = small_net();
+        let mut state = ChipFaultState::healthy(3);
+        for c in 0..3 {
+            state.kill_core(c);
+        }
+        assert_eq!(
+            remap_network(&maps, &state, &RemapPolicy::default()),
+            Err(RemapError::NoHealthyCores { pool: 3 })
+        );
+        state.revive_core(1);
+        assert!(remap_network(&maps, &state, &RemapPolicy::default()).is_ok());
+    }
+
+    #[test]
+    fn cleanest_cores_are_preferred_deterministically() {
+        let maps = small_net();
+        let mut state = ChipFaultState::healthy(6);
+        state.set_faulty_fraction(0, 0.03);
+        state.set_faulty_fraction(3, 0.01);
+        let a = remap_network(&maps, &state, &RemapPolicy::default()).unwrap();
+        let b = remap_network(&maps, &state, &RemapPolicy::default()).unwrap();
+        assert_eq!(a, b);
+        // Clean cores (1, 2, 4, 5) outrank 3 (0.01) which outranks 0.
+        assert_eq!(a.used_cores[..4], [1, 2, 4, 5]);
+        assert_eq!(a.used_cores[4], 3);
+    }
+
+    #[test]
+    fn fault_state_reads_off_supertiles() {
+        use nebula_crossbar::config::{CrossbarConfig, Mode};
+        use nebula_crossbar::tile::SuperTile;
+        let mut cfg = CrossbarConfig::paper_default(Mode::Ann);
+        cfg.m = 8;
+        let mut tiles = vec![
+            SuperTile::new(cfg.clone()).unwrap(),
+            SuperTile::new(cfg.clone()).unwrap(),
+            SuperTile::new(cfg).unwrap(),
+        ];
+        tiles[1].kill();
+        let state = ChipFaultState::from_supertiles(&tiles);
+        assert!(state.core_ok(0));
+        assert!(!state.core_ok(1));
+        assert_eq!(state.healthy_cores(), vec![0, 2]);
+        assert_eq!(state.dead_cores(), vec![1]);
+        assert_eq!(state.faulty_fraction(1), 1.0);
+    }
+}

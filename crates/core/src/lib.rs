@@ -15,7 +15,9 @@
 //! * [`energy`] — per-layer energy/power accounting with event-driven
 //!   (activity-scaled) dynamic energy.
 //! * [`engine`] — whole-workload evaluation in ANN, SNN and hybrid
-//!   modes.
+//!   modes, plus degraded-chip variants that remap around faults.
+//! * [`fault`] — chip-level fault state and the remap-around-faults
+//!   policy (graceful degradation instead of hard failure).
 //! * [`chip`] — chip configuration, mesh placement and NoC traffic.
 //!
 //! # Examples
@@ -46,6 +48,7 @@ pub mod chip;
 pub mod components;
 pub mod energy;
 pub mod engine;
+pub mod fault;
 pub mod mapper;
 pub mod pipeline;
 pub mod trace;
@@ -55,8 +58,9 @@ pub use analog_snn::{compile_snn, AnalogSpikingNetwork};
 pub use chip::{Chip, ChipConfig, Placement};
 pub use energy::{ComponentEnergy, EnergyModel, ExecMode, LayerEnergy};
 pub use engine::{
-    evaluate_ann, evaluate_hybrid, evaluate_snn, evaluate_suite, par_evaluate_suite,
-    par_evaluate_suite_with_workers, HybridReport, InferenceReport, SuiteJob, SuiteMode,
-    SuiteOutcome, SuiteReport,
+    evaluate_ann, evaluate_ann_degraded, evaluate_hybrid, evaluate_snn, evaluate_snn_degraded,
+    evaluate_suite, par_evaluate_suite, par_evaluate_suite_with_workers, DegradedReport,
+    HybridReport, InferenceReport, SuiteJob, SuiteMode, SuiteOutcome, SuiteReport,
 };
+pub use fault::{remap_network, ChipFaultState, RemapError, RemapPolicy, RemapReport};
 pub use mapper::{map_layer, map_network, Aggregation, LayerMapping};

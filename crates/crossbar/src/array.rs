@@ -11,6 +11,7 @@
 
 use crate::config::CrossbarConfig;
 use crate::error::CrossbarError;
+use nebula_device::fault::{CellFault, ConductanceEnvelope, FaultModel};
 use nebula_device::synapse::DwMtjSynapse;
 use nebula_device::units::{Amps, Joules, Seconds, Volts};
 use nebula_device::variation::VariationModel;
@@ -47,6 +48,15 @@ pub struct AtomicCrossbar {
     program_energy: Joules,
     read_energy: Joules,
     evaluations: u64,
+    /// Per-cell hard faults (row-major, `m × m`); empty when the array
+    /// is fault-free, so the clean hot path pays nothing.
+    faults: Vec<Option<CellFault>>,
+    /// Seconds since the last programming event (drives retention
+    /// drift).
+    age: Seconds,
+    /// Power-gated whole-array kill switch: a dead array contributes
+    /// zero differential current and draws no read energy.
+    dead: bool,
 }
 
 impl AtomicCrossbar {
@@ -74,6 +84,9 @@ impl AtomicCrossbar {
             program_energy: Joules::ZERO,
             read_energy: Joules::ZERO,
             evaluations: 0,
+            faults: Vec::new(),
+            age: Seconds(0.0),
+            dead: false,
             config,
         })
     }
@@ -106,6 +119,129 @@ impl AtomicCrossbar {
 
     fn g_mid(&self) -> f64 {
         (self.g_min + self.g_max) / 2.0
+    }
+
+    /// The device envelope faults act within.
+    fn envelope(&self) -> ConductanceEnvelope {
+        ConductanceEnvelope {
+            g_min: self.g_min,
+            g_max: self.g_max,
+            levels: self.levels,
+        }
+    }
+
+    fn ensure_fault_map(&mut self) {
+        if self.faults.is_empty() {
+            self.faults = vec![None; self.m() * self.m()];
+        }
+    }
+
+    /// Samples a hard-fault state for every cell of the array (row-major
+    /// order, so the draw sequence is reproducible for a fixed seed).
+    /// Cells that draw a fault overwrite any existing one; cells that
+    /// draw none keep theirs. Returns the number of faulty cells after
+    /// injection.
+    pub fn inject_faults<R: Rng + ?Sized>(&mut self, model: &FaultModel, rng: &mut R) -> usize {
+        if model.is_none() {
+            return self.faulty_cells();
+        }
+        self.ensure_fault_map();
+        for slot in self.faults.iter_mut() {
+            if let Some(fault) = model.sample_cell(rng) {
+                *slot = Some(fault);
+            }
+        }
+        self.faulty_cells()
+    }
+
+    /// Pins one cell to a specific fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(row, col)` lies outside the `M×M` array.
+    pub fn set_cell_fault(&mut self, row: usize, col: usize, fault: CellFault) {
+        let m = self.m();
+        assert!(
+            row < m && col < m,
+            "cell ({row},{col}) outside {m}x{m} array"
+        );
+        self.ensure_fault_map();
+        self.faults[row * m + col] = Some(fault);
+    }
+
+    /// Fails an entire word line: every cell of `row` gets `fault`
+    /// (e.g. a broken row driver leaving all its cells stuck).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is outside the array.
+    pub fn fail_row(&mut self, row: usize, fault: CellFault) {
+        let m = self.m();
+        assert!(row < m, "row {row} outside {m}x{m} array");
+        self.ensure_fault_map();
+        for slot in &mut self.faults[row * m..(row + 1) * m] {
+            *slot = Some(fault);
+        }
+    }
+
+    /// The fault at `(row, col)`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(row, col)` lies outside the array.
+    pub fn cell_fault(&self, row: usize, col: usize) -> Option<CellFault> {
+        let m = self.m();
+        assert!(
+            row < m && col < m,
+            "cell ({row},{col}) outside {m}x{m} array"
+        );
+        if self.faults.is_empty() {
+            None
+        } else {
+            self.faults[row * m + col]
+        }
+    }
+
+    /// Clears every cell fault (but not the kill switch).
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Number of cells carrying a hard fault.
+    pub fn faulty_cells(&self) -> usize {
+        self.faults.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Fraction of the full `M×M` array carrying hard faults.
+    pub fn faulty_fraction(&self) -> f64 {
+        self.faulty_cells() as f64 / (self.m() * self.m()) as f64
+    }
+
+    /// Power-gates the whole array: evaluations return zero differential
+    /// current and draw no read energy until [`revive`](Self::revive).
+    pub fn kill(&mut self) {
+        self.dead = true;
+    }
+
+    /// Lifts the kill switch (cell faults, if any, remain).
+    pub fn revive(&mut self) {
+        self.dead = false;
+    }
+
+    /// True when the array is power-gated dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Advances the array's age by `dt` (drives retention-drift faults;
+    /// reprogramming resets the age to zero).
+    pub fn advance_age(&mut self, dt: Seconds) {
+        self.age += dt;
+    }
+
+    /// Seconds since the last programming event.
+    pub fn age(&self) -> Seconds {
+        self.age
     }
 
     /// Quantizes a signed weight to the nearest device conductance.
@@ -175,13 +311,40 @@ impl AtomicCrossbar {
         }
         self.rows_used = rows;
         self.cols_used = cols;
+        // A fresh programming event re-seats every domain wall, so
+        // retention drift restarts from zero elapsed time. Stuck and
+        // pinned cells stay faulty: the fault map survives programming.
+        self.age = Seconds(0.0);
         Ok(())
     }
 
+    /// Returns the array to its unprogrammed state (all cells at mid
+    /// conductance, nothing in use) while preserving the accrued energy
+    /// counters and the *physical* fault state — cell faults and the
+    /// kill switch describe broken hardware, which a reprogram cannot
+    /// repair.
+    pub fn reset(&mut self) {
+        let g_mid = self.g_mid();
+        self.conductance.fill(g_mid);
+        self.rows_used = 0;
+        self.cols_used = 0;
+        self.weight_clip = 1.0;
+        self.age = Seconds(0.0);
+    }
+
     /// The effective (quantized) weight stored at `(row, col)` — what the
-    /// analog array will actually multiply by.
+    /// analog array will actually multiply by, including any hard fault
+    /// at the cell (a dead array reads as all-zero weights).
     pub fn effective_weight(&self, row: usize, col: usize) -> f64 {
-        self.conductance_to_weight(self.conductance[row * self.m() + col])
+        if self.dead {
+            return 0.0;
+        }
+        let g = self.conductance[row * self.m() + col];
+        let g = match self.cell_fault(row, col) {
+            Some(fault) => fault.apply(g, &self.envelope(), self.age),
+            None => g,
+        };
+        self.conductance_to_weight(g)
     }
 
     /// Evaluates one analog dot-product cycle: drives `inputs` (per-row
@@ -234,6 +397,15 @@ impl AtomicCrossbar {
         Ok(diff.into_iter().map(Amps).collect())
     }
 
+    /// Per-cell effective conductance under faults: the programmed (and
+    /// possibly noise-perturbed) value transformed by the cell's fault.
+    fn fault_adjust(&self, idx: usize, g: f64) -> f64 {
+        match self.faults[idx] {
+            Some(fault) => fault.apply(g, &self.envelope(), self.age),
+            None => g,
+        }
+    }
+
     /// Evaluates a whole batch of input vectors in one call, amortizing
     /// the per-call bookkeeping: the differential currents of each item
     /// are **identical** to what [`dot`](Self::dot) would return for it,
@@ -281,6 +453,13 @@ impl AtomicCrossbar {
         let g_mid = self.g_mid();
         let cols = self.cols_used;
         let mut total_current = 0.0f64;
+        // A power-gated (dead) array drives nothing and draws nothing;
+        // still consume the noise stream? No — the array is off, so no
+        // read events occur at all.
+        if self.dead {
+            return 0.0;
+        }
+        let faulty = !self.faults.is_empty();
         for (r, &x) in inputs.iter().enumerate() {
             if x == 0.0 {
                 continue; // event-driven: silent rows draw no read current
@@ -288,7 +467,10 @@ impl AtomicCrossbar {
             let v = v_read * x;
             let row = &self.conductance[r * m..r * m + cols];
             for (j, &g) in row.iter().enumerate() {
-                let g_eff = noise.sample(g);
+                let mut g_eff = noise.sample(g);
+                if faulty {
+                    g_eff = self.fault_adjust(r * m + j, g_eff);
+                }
                 diff[j] += v * (g_eff - g_mid);
                 total_current += v * g_eff;
             }
@@ -559,6 +741,110 @@ mod tests {
         ));
         assert_eq!(x.evaluations(), 0, "failed batch must evaluate nothing");
         assert_eq!(x.accumulated_read_energy(), Joules::ZERO);
+    }
+
+    #[test]
+    fn stuck_cells_override_programming() {
+        use nebula_device::fault::CellFault;
+        let mut x = xbar(Mode::Ann);
+        x.program(&[vec![1.0, 1.0], vec![1.0, 1.0]], 1.0).unwrap();
+        x.set_cell_fault(0, 0, CellFault::StuckAtGmin);
+        x.set_cell_fault(1, 1, CellFault::StuckAtGmax);
+        // Stuck-at-Gmin reads as -clip, stuck-at-Gmax as +clip.
+        assert!((x.effective_weight(0, 0) + 1.0).abs() < 1e-9);
+        assert!((x.effective_weight(1, 1) - 1.0).abs() < 1e-9);
+        assert!(
+            (x.effective_weight(0, 1) - 1.0).abs() < 1e-9,
+            "healthy cell untouched"
+        );
+        let out = as_values(&x, &x.clone().dot(&[1.0, 1.0]).unwrap());
+        // Column 0: -1 + 1 = 0; column 1: 1 + 1 = 2.
+        assert!(out[0].abs() < 0.01, "col0 {out:?}");
+        assert!((out[1] - 2.0).abs() < 0.01, "col1 {out:?}");
+        // Reprogramming does not clear hard faults.
+        x.program(&[vec![0.5, 0.5], vec![0.5, 0.5]], 1.0).unwrap();
+        assert!((x.effective_weight(0, 0) + 1.0).abs() < 1e-9);
+        assert_eq!(x.faulty_cells(), 2);
+    }
+
+    #[test]
+    fn failed_row_faults_every_cell_in_the_row() {
+        use nebula_device::fault::CellFault;
+        let mut x = xbar(Mode::Ann);
+        x.program(&[vec![1.0, 1.0], vec![1.0, 1.0]], 1.0).unwrap();
+        x.fail_row(0, CellFault::StuckAtGmin);
+        assert_eq!(x.faulty_cells(), x.m());
+        let out = as_values(&x, &x.clone().dot(&[1.0, 1.0]).unwrap());
+        // Row 0 contributes -1 per column; row 1 contributes +1.
+        assert!(out[0].abs() < 0.01 && out[1].abs() < 0.01, "{out:?}");
+    }
+
+    #[test]
+    fn retention_drift_relaxes_with_age_and_resets_on_program() {
+        use nebula_device::fault::CellFault;
+        let mut x = xbar(Mode::Ann);
+        x.program(&[vec![1.0]], 1.0).unwrap();
+        x.set_cell_fault(0, 0, CellFault::RetentionDrift { rate_per_s: 0.1 });
+        let fresh = x.effective_weight(0, 0);
+        assert!((fresh - 1.0).abs() < 1e-9, "no age, no drift: {fresh}");
+        x.advance_age(Seconds(20.0));
+        let aged = x.effective_weight(0, 0);
+        assert!(aged < fresh && aged > 0.0, "drift toward zero: {aged}");
+        // Reprogramming re-seats the wall: age (and drift) restart.
+        x.program(&[vec![1.0]], 1.0).unwrap();
+        assert_eq!(x.age(), Seconds(0.0));
+        assert!((x.effective_weight(0, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_fault_injection_is_deterministic() {
+        let model = nebula_device::fault::FaultModel::none()
+            .with_class_rate(nebula_device::fault::FaultClass::StuckAtGmin, 0.05)
+            .with_class_rate(nebula_device::fault::FaultClass::DwPinning, 0.05);
+        let run = |seed: u64| {
+            let mut x = xbar(Mode::Ann);
+            x.program(&vec![vec![0.5; 8]; 8], 1.0).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = x.inject_faults(&model, &mut rng);
+            let out = x.dot(&[1.0; 8]).unwrap();
+            (n, out)
+        };
+        assert_eq!(run(42), run(42));
+        let (n, _) = run(42);
+        // 10% of 128×128 cells ≈ 1638; allow generous MC slack.
+        assert!((1300..2000).contains(&n), "faulty cells: {n}");
+    }
+
+    #[test]
+    fn killed_array_outputs_zero_and_draws_no_energy() {
+        let mut x = xbar(Mode::Ann);
+        x.program(&[vec![1.0, -1.0], vec![0.5, 0.5]], 1.0).unwrap();
+        x.kill();
+        assert!(x.is_dead());
+        let out = x.dot(&[1.0, 1.0]).unwrap();
+        assert!(out.iter().all(|i| i.0 == 0.0), "dead array must be silent");
+        assert_eq!(x.accumulated_read_energy(), Joules::ZERO);
+        assert_eq!(x.evaluations(), 1, "the cycle still happened");
+        assert_eq!(x.effective_weight(0, 0), 0.0);
+        // Revival restores the programmed weights.
+        x.revive();
+        let out = as_values(&x, &x.clone().dot(&[1.0, 1.0]).unwrap());
+        assert!((out[0] - 1.5).abs() < 0.05, "{out:?}");
+    }
+
+    #[test]
+    fn fault_free_injection_is_a_noop() {
+        let mut x = xbar(Mode::Ann);
+        x.program(&[vec![1.0]], 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let clean = x.clone();
+        let n = x.inject_faults(&nebula_device::fault::FaultModel::none(), &mut rng);
+        assert_eq!(n, 0);
+        assert_eq!(x.faulty_cells(), 0);
+        assert_eq!(
+            x.clone().dot(&[1.0]).unwrap(),
+            clean.clone().dot(&[1.0]).unwrap()
+        );
     }
 
     #[test]

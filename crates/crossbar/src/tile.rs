@@ -14,7 +14,9 @@
 use crate::array::AtomicCrossbar;
 use crate::config::CrossbarConfig;
 use crate::error::CrossbarError;
-use nebula_device::units::{Amps, Joules};
+use nebula_device::fault::FaultModel;
+use nebula_device::units::{Amps, Joules, Seconds};
+use rand::Rng;
 
 /// The neuron-unit hierarchy level a kernel activates (paper Fig. 7a).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -175,9 +177,11 @@ impl SuperTile {
             debug_assert!(chunk_idx < stacks_needed);
             self.acs[chunk_idx].program(chunk, clip)?;
         }
-        // Reset remaining ACs to an unprogrammed state.
+        // Reset remaining ACs to an unprogrammed state (their physical
+        // fault state — cell faults, kill switches — survives; broken
+        // hardware is not repaired by reprogramming).
         for ac in self.acs.iter_mut().skip(stacks_needed) {
-            *ac = AtomicCrossbar::new(ac.config().clone())?;
+            ac.reset();
         }
         self.rf = rf;
         self.kernels = k;
@@ -259,6 +263,79 @@ impl SuperTile {
         self.acs[0].unit_current()
     }
 
+    /// Samples hard faults into every atomic crossbar, in AC order (the
+    /// draw sequence is reproducible for a fixed seed). Returns the total
+    /// number of faulty cells across the super-tile.
+    pub fn inject_faults<R: Rng + ?Sized>(&mut self, model: &FaultModel, rng: &mut R) -> usize {
+        self.acs
+            .iter_mut()
+            .map(|ac| ac.inject_faults(model, rng))
+            .sum()
+    }
+
+    /// Power-gates one atomic crossbar (e.g. a manufacturing reject):
+    /// its partial currents read as zero and it draws no read energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx ≥ 16`.
+    pub fn kill_ac(&mut self, idx: usize) {
+        self.acs[idx].kill();
+    }
+
+    /// The whole-tile kill switch: power-gates all 16 atomic crossbars.
+    pub fn kill(&mut self) {
+        for ac in &mut self.acs {
+            ac.kill();
+        }
+    }
+
+    /// Lifts the kill switch on every AC (cell faults remain).
+    pub fn revive(&mut self) {
+        for ac in &mut self.acs {
+            ac.revive();
+        }
+    }
+
+    /// Number of power-gated (dead) atomic crossbars.
+    pub fn dead_acs(&self) -> usize {
+        self.acs.iter().filter(|ac| ac.is_dead()).count()
+    }
+
+    /// True when every atomic crossbar is dead — the whole super-tile is
+    /// out of service and the mapper must route around it.
+    pub fn is_dead(&self) -> bool {
+        self.acs.iter().all(AtomicCrossbar::is_dead)
+    }
+
+    /// Faulty-cell fraction across the whole super-tile (dead ACs count
+    /// as fully faulty — none of their cells can hold a weight).
+    pub fn faulty_fraction(&self) -> f64 {
+        self.acs
+            .iter()
+            .map(|ac| {
+                if ac.is_dead() {
+                    1.0
+                } else {
+                    ac.faulty_fraction()
+                }
+            })
+            .sum::<f64>()
+            / self.acs.len() as f64
+    }
+
+    /// Total faulty cells across all ACs (excluding kill switches).
+    pub fn faulty_cells(&self) -> usize {
+        self.acs.iter().map(AtomicCrossbar::faulty_cells).sum()
+    }
+
+    /// Advances every AC's age by `dt` (drives retention-drift faults).
+    pub fn advance_age(&mut self, dt: Seconds) {
+        for ac in &mut self.acs {
+            ac.advance_age(dt);
+        }
+    }
+
     /// Total read energy accrued across all ACs.
     pub fn accumulated_read_energy(&self) -> Joules {
         self.acs
@@ -280,6 +357,7 @@ impl SuperTile {
 mod tests {
     use super::*;
     use crate::config::Mode;
+    use rand::SeedableRng;
 
     fn small_config() -> CrossbarConfig {
         let mut cfg = CrossbarConfig::paper_default(Mode::Ann);
@@ -450,6 +528,62 @@ mod tests {
             snapshot.accumulated_program_energy(),
             "failed program must not accrue programming energy"
         );
+    }
+
+    #[test]
+    fn killed_ac_drops_its_partial_currents() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        let rf = 20; // spans 3 ACs of m=8: rows 0..8, 8..16, 16..20
+        st.program(&vec![vec![1.0]; rf], 1.0).unwrap();
+        st.kill_ac(1); // rows 8..16 go silent
+        assert_eq!(st.dead_acs(), 1);
+        assert!(!st.is_dead());
+        let out = st.dot(&vec![1.0; rf]).unwrap();
+        let val = out[0].0 / st.unit_current().0;
+        // 20 rows minus the 8 dead ones ≈ 12.
+        assert!((val - 12.0).abs() < 0.2, "graceful partial output: {val}");
+    }
+
+    #[test]
+    fn whole_tile_kill_switch_silences_everything() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        st.program(&vec![vec![1.0]; 10], 1.0).unwrap();
+        let before = st.accumulated_read_energy();
+        st.kill();
+        assert!(st.is_dead());
+        assert_eq!(st.faulty_fraction(), 1.0);
+        let out = st.dot(&[1.0; 10]).unwrap();
+        assert!(out.iter().all(|i| i.0 == 0.0));
+        assert_eq!(
+            st.accumulated_read_energy(),
+            before,
+            "dead tile draws nothing"
+        );
+        st.revive();
+        assert_eq!(st.dead_acs(), 0);
+        let out = st.dot(&[1.0; 10]).unwrap();
+        assert!(out[0].0 > 0.0, "revival restores evaluation");
+    }
+
+    #[test]
+    fn tile_fault_injection_is_seeded_and_survives_reprogramming() {
+        use nebula_device::fault::{FaultClass, FaultModel};
+        let model = FaultModel::single(FaultClass::StuckAtGmax, 0.05);
+        let count = |seed: u64| {
+            let mut st = SuperTile::new(small_config()).unwrap();
+            st.program(&vec![vec![0.0]; 20], 1.0).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            st.inject_faults(&model, &mut rng)
+        };
+        assert_eq!(count(7), count(7), "same seed, same fault map");
+        let mut st = SuperTile::new(small_config()).unwrap();
+        st.program(&vec![vec![0.0]; 20], 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = st.inject_faults(&model, &mut rng);
+        assert!(n > 0);
+        // Reprogramming (even shrinking to fewer ACs) keeps the faults.
+        st.program(&vec![vec![0.5]; 4], 1.0).unwrap();
+        assert_eq!(st.faulty_cells(), n, "faults must survive reprogram");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 #![allow(clippy::needless_range_loop)]
 
+use nebula_crossbar::converters::{Adc, MultiLevelDac, SpikeDriver};
 use nebula_crossbar::{kernels_per_supertile, nu_level_for, AtomicCrossbar, CrossbarConfig, Mode};
 use proptest::prelude::*;
 
@@ -63,6 +64,70 @@ proptest! {
         let (lo, hi) = if rf1 <= rf2 { (rf1, rf2) } else { (rf2, rf1) };
         prop_assert!(kernels_per_supertile(lo, 128) >= kernels_per_supertile(hi, 128));
         prop_assert!(nu_level_for(lo, 128).is_some());
+    }
+
+    #[test]
+    fn dac_is_monotone_bounded_and_never_panics(
+        levels in 2usize..64,
+        a in 0usize..1000,
+        b in 0usize..1000,
+    ) {
+        let mut dac = MultiLevelDac::new(levels).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let va = dac.convert(lo);
+        let vb = dac.convert(hi);
+        prop_assert!((0.0..=1.0).contains(&va) && (0.0..=1.0).contains(&vb));
+        prop_assert!(va <= vb, "DAC not monotone: {va} > {vb}");
+        // In-range codes land exactly on the uniform grid.
+        if hi < levels {
+            prop_assert!((vb - hi as f64 / (levels - 1) as f64).abs() < 1e-12);
+        }
+        prop_assert_eq!(dac.conversions(), 2);
+    }
+
+    #[test]
+    fn adc_roundtrip_error_is_within_half_lsb(bits in 1u32..12, v in 0.0f64..1.0) {
+        let mut adc = Adc::new(bits).unwrap();
+        let lsb = 1.0 / (adc.codes() - 1) as f64;
+        let code = adc.convert(v);
+        prop_assert!(code < adc.codes());
+        let back = adc.reconstruct(code);
+        prop_assert!((back - v).abs() <= lsb / 2.0 + 1e-12, "err {} at {}", (back - v).abs(), v);
+        // Reconstructed values are fixed points of the converter.
+        prop_assert_eq!(adc.convert(back), code);
+    }
+
+    #[test]
+    fn adc_is_monotone_in_its_input(bits in 1u32..12, v1 in -0.5f64..1.5, v2 in -0.5f64..1.5) {
+        let mut adc = Adc::new(bits).unwrap();
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(adc.convert(lo) <= adc.convert(hi));
+    }
+
+    #[test]
+    fn adc_accepts_any_finite_input_without_panicking(
+        bits in 1u32..17,
+        v in -1e300f64..1e300,
+    ) {
+        let mut adc = Adc::new(bits).unwrap();
+        let code = adc.convert(v);
+        prop_assert!(code < adc.codes(), "code {code} out of range");
+        prop_assert!((0.0..=1.0).contains(&adc.reconstruct(code)));
+    }
+
+    #[test]
+    fn spike_driver_output_matches_events(spikes in proptest::collection::vec(0u8..2, 0..64)) {
+        let mut d = SpikeDriver::new();
+        let mut expected = 0u64;
+        for &bit in &spikes {
+            let s = bit == 1;
+            let v = d.drive(s);
+            prop_assert_eq!(v, if s { 1.0 } else { 0.0 });
+            if s {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(d.events(), expected);
     }
 
     #[test]

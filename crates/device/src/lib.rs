@@ -19,6 +19,9 @@
 //!   potential stored as wall position; fire-and-reset at the far edge)
 //!   and the saturating-ReLU non-spiking neuron.
 //! * [`variation`] — the 10 % Monte-Carlo device-variation model of §IV-D.
+//! * [`fault`] — hard-failure modes beyond Gaussian mismatch: stuck-at
+//!   conductance states, domain-wall pinning faults, retention drift and
+//!   TMR degradation, seeded and composable with [`variation`].
 //! * [`units`] — physical-unit newtypes shared by the whole stack.
 //!
 //! # Examples
@@ -49,6 +52,7 @@
 
 pub mod dw;
 pub mod error;
+pub mod fault;
 pub mod neuron;
 pub mod params;
 pub mod synapse;
@@ -57,6 +61,7 @@ pub mod variation;
 
 pub use dw::DomainWall;
 pub use error::DeviceError;
+pub use fault::{CellFault, ConductanceEnvelope, FaultClass, FaultModel, NonidealityModel};
 pub use neuron::{SaturatingReluNeuron, SpikeEvent, SpikingNeuron};
 pub use params::{DeviceParams, DeviceParamsBuilder};
 pub use synapse::{transfer_characteristic, DwMtjSynapse, TransferPoint};

@@ -21,7 +21,13 @@ use rand::Rng;
 /// let model = VariationModel::new(0.10);
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 /// let noisy = model.perturb(1.0, &mut rng);
-/// assert!((noisy - 1.0).abs() < 1.0); // within a few sigma
+/// // The draw is fully determined by the seed: 1 + 0.1·z with
+/// // z ≈ -1.0312 for StdRng seeded with 7.
+/// assert!((noisy - 0.8968806059417889).abs() < 1e-15);
+///
+/// // σ = 0 is the exact identity, whatever the seed.
+/// let ideal = VariationModel::new(0.0);
+/// assert_eq!(ideal.perturb(1.0, &mut rng), 1.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationModel {
@@ -102,6 +108,32 @@ impl Default for VariationModel {
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn doc_example_seeded_value_is_pinned() {
+        // Keeps the doc example's exact assertion honest: if the vendored
+        // RNG stream or Box–Muller path ever changes, this fails loudly
+        // here instead of silently weakening the documented guarantee.
+        let m = VariationModel::new(0.10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let noisy = m.perturb(1.0, &mut rng);
+        assert!(
+            (noisy - 0.8968806059417889).abs() < 1e-15,
+            "seeded perturb drifted: {noisy:.17}"
+        );
+    }
+
+    #[test]
+    fn sigma_zero_is_exact_identity_for_any_value() {
+        let m = VariationModel::new(0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        for v in [0.0, 1.0, -3.5, 1e-30, 1e30, f64::MIN_POSITIVE] {
+            assert_eq!(m.perturb(v, &mut rng), v);
+        }
+        // And it must not consume any RNG draws.
+        let mut twin = rand::rngs::StdRng::seed_from_u64(123);
+        assert_eq!(rng.gen::<u64>(), twin.gen::<u64>());
+    }
 
     #[test]
     fn ideal_model_is_identity() {

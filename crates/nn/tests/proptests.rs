@@ -68,6 +68,71 @@ proptest! {
     }
 
     #[test]
+    fn quantization_is_monotone(
+        data in proptest::collection::vec(-2.0f32..2.0, 2..48),
+        levels in prop::sample::select(vec![2usize, 4, 8, 16]),
+    ) {
+        // Rounding onto a shared uniform grid preserves order.
+        let n = data.len();
+        let orig = Tensor::from_vec(data, &[n]).unwrap();
+        let mut q = orig.clone();
+        quantize_weights_inplace(&mut q, levels, 1.0);
+        for i in 0..n {
+            for j in 0..n {
+                if orig.data()[i] <= orig.data()[j] {
+                    prop_assert!(
+                        q.data()[i] <= q.data()[j] + 1e-6,
+                        "order broken: q({}) = {} > q({}) = {}",
+                        orig.data()[i], q.data()[i], orig.data()[j], q.data()[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_never_panics_on_arbitrary_finite_inputs(
+        data in proptest::collection::vec(-1e30f32..1e30, 1..48),
+        levels in prop::sample::select(vec![0usize, 2, 3, 16, 255]),
+        percentile in 0.0f64..1.0,
+    ) {
+        // Degenerate inputs (all equal, all zero, huge magnitudes, tiny
+        // vectors) and degenerate configs (levels = 0 = full precision,
+        // odd level counts, extreme percentiles) must never panic or
+        // produce non-finite weights.
+        let n = data.len();
+        let orig = Tensor::from_vec(data, &[n]).unwrap();
+        let mut w = orig.clone();
+        let clip = quantize_weights_inplace(&mut w, levels, percentile);
+        prop_assert!(clip.is_finite() && clip > 0.0);
+        if levels == 0 {
+            // Full precision: weights pass through untouched.
+            prop_assert_eq!(w.data(), orig.data());
+        } else {
+            for &v in w.data() {
+                prop_assert!(v.is_finite());
+                prop_assert!(v.abs() <= clip * (1.0 + 1e-5));
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_roundtrip_recovers_grid_codes(
+        data in proptest::collection::vec(-1.0f32..1.0, 2..48),
+    ) {
+        // quantize → (dequantize to codes) → requantize is the identity:
+        // the grid is a fixed point of the quantizer.
+        let n = data.len();
+        let mut q = Tensor::from_vec(data, &[n]).unwrap();
+        quantize_weights_inplace(&mut q, 16, 1.0);
+        let mut q2 = q.clone();
+        quantize_weights_inplace(&mut q2, 16, 1.0);
+        for (a, b) in q.data().iter().zip(q2.data()) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
     fn if_rate_approximates_input_rate(rate in 0.05f32..0.95) {
         // The conversion identity: IF with v_th 1 fires at the input rate.
         let mut pop = IfPopulation::new(1.0, ResetMode::Subtract);

@@ -52,6 +52,18 @@ pub enum NocError {
     },
     /// A reduction was requested with no sources.
     EmptyReduction,
+    /// A transfer endpoint's router is marked failed.
+    RouterFailed {
+        /// The failed router's node id.
+        node: usize,
+    },
+    /// No minimal route (XY or YX) avoids the failed routers.
+    Unroutable {
+        /// Source node id.
+        src: usize,
+        /// Destination node id.
+        dst: usize,
+    },
 }
 
 impl fmt::Display for NocError {
@@ -62,6 +74,15 @@ impl fmt::Display for NocError {
                 write!(f, "node {node} out of range for a {nodes}-node mesh")
             }
             NocError::EmptyReduction => write!(f, "reduction requires at least one source"),
+            NocError::RouterFailed { node } => {
+                write!(f, "router at node {node} is marked failed")
+            }
+            NocError::Unroutable { src, dst } => {
+                write!(
+                    f,
+                    "no minimal route from node {src} to node {dst} avoids failed routers"
+                )
+            }
         }
     }
 }

@@ -58,6 +58,8 @@ pub struct MeshNetwork {
     topology: MeshTopology,
     rus: Vec<RoutingUnit>,
     stats: TrafficStats,
+    failed: Vec<bool>,
+    failures: usize,
 }
 
 impl MeshNetwork {
@@ -67,7 +69,85 @@ impl MeshNetwork {
             topology,
             rus: vec![RoutingUnit::new(); topology.nodes()],
             stats: TrafficStats::default(),
+            failed: vec![false; topology.nodes()],
+            failures: 0,
         }
+    }
+
+    /// Marks the router at `node` as failed. Transfers terminating there
+    /// return [`NocError::RouterFailed`]; transfers whose XY path crosses
+    /// it detour via the YX path when that path is clear.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] for an invalid node.
+    pub fn fail_router(&mut self, node: NodeId) -> Result<(), NocError> {
+        self.topology.validate(node)?;
+        if !self.failed[node.0] {
+            self.failed[node.0] = true;
+            self.failures += 1;
+        }
+        Ok(())
+    }
+
+    /// Restores a previously failed router.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] for an invalid node.
+    pub fn revive_router(&mut self, node: NodeId) -> Result<(), NocError> {
+        self.topology.validate(node)?;
+        if self.failed[node.0] {
+            self.failed[node.0] = false;
+            self.failures -= 1;
+        }
+        Ok(())
+    }
+
+    /// Whether the router at `node` is operational.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn router_ok(&self, node: NodeId) -> bool {
+        !self.failed[node.0]
+    }
+
+    /// Ids of all currently failed routers.
+    pub fn failed_routers(&self) -> Vec<NodeId> {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// A minimal route from `src` to `dst` avoiding failed routers:
+    /// XY dimension order first, YX as the detour.
+    ///
+    /// # Errors
+    ///
+    /// [`NocError::RouterFailed`] when an endpoint is dead,
+    /// [`NocError::Unroutable`] when both minimal paths are blocked.
+    fn viable_route(&self, src: NodeId, dst: NodeId) -> Result<Vec<NodeId>, NocError> {
+        for endpoint in [src, dst] {
+            if self.failed[endpoint.0] {
+                return Err(NocError::RouterFailed { node: endpoint.0 });
+            }
+        }
+        let xy = self.topology.xy_route(src, dst);
+        if xy.iter().all(|n| !self.failed[n.0]) {
+            return Ok(xy);
+        }
+        let yx = self.topology.yx_route(src, dst);
+        if yx.iter().all(|n| !self.failed[n.0]) {
+            return Ok(yx);
+        }
+        Err(NocError::Unroutable {
+            src: src.0,
+            dst: dst.0,
+        })
     }
 
     /// The underlying topology.
@@ -94,11 +174,20 @@ impl MeshNetwork {
     ///
     /// # Errors
     ///
-    /// Returns [`NocError::NodeOutOfRange`] for invalid endpoints.
+    /// Returns [`NocError::NodeOutOfRange`] for invalid endpoints,
+    /// [`NocError::RouterFailed`] when an endpoint router is dead, or
+    /// [`NocError::Unroutable`] when failed routers block both the XY
+    /// and the YX minimal paths.
     pub fn send(&mut self, src: NodeId, dst: NodeId, bits: u64) -> Result<RouteReport, NocError> {
         self.topology.validate(src)?;
         self.topology.validate(dst)?;
-        let hops = self.topology.hops(src, dst);
+        // With a healthy mesh the XY route is always viable and its hop
+        // count is the Manhattan distance; skip the path walk entirely.
+        let hops = if self.failures == 0 {
+            self.topology.hops(src, dst)
+        } else {
+            self.viable_route(src, dst)?.len() - 1
+        };
         let flits = bits.div_ceil(FLIT_BITS).max(1);
         let flit_hops = flits * hops as u64;
         let report = RouteReport {
@@ -120,8 +209,11 @@ impl MeshNetwork {
     ///
     /// # Errors
     ///
-    /// Returns [`NocError::EmptyReduction`] when `dsts` is empty, or
-    /// [`NocError::NodeOutOfRange`] for invalid nodes.
+    /// Returns [`NocError::EmptyReduction`] when `dsts` is empty,
+    /// [`NocError::NodeOutOfRange`] for invalid nodes,
+    /// [`NocError::RouterFailed`] when an endpoint router is dead, or
+    /// [`NocError::Unroutable`] when some branch cannot avoid the failed
+    /// routers.
     pub fn multicast(
         &mut self,
         src: NodeId,
@@ -136,7 +228,11 @@ impl MeshNetwork {
         let mut max_hops = 0usize;
         for &dst in dsts {
             self.topology.validate(dst)?;
-            let route = self.topology.xy_route(src, dst);
+            let route = if self.failures == 0 {
+                self.topology.xy_route(src, dst)
+            } else {
+                self.viable_route(src, dst)?
+            };
             max_hops = max_hops.max(route.len() - 1);
             for pair in route.windows(2) {
                 links.insert((pair[0], pair[1]));
@@ -320,6 +416,72 @@ mod tests {
         let mut n = net();
         assert!(n.multicast(NodeId(0), &[], 8).is_err());
         assert!(n.multicast(NodeId(0), &[NodeId(99)], 8).is_err());
+    }
+
+    #[test]
+    fn failed_endpoint_rejects_transfers() {
+        let mut n = net();
+        n.fail_router(NodeId(15)).unwrap();
+        assert!(!n.router_ok(NodeId(15)));
+        assert_eq!(n.failed_routers(), vec![NodeId(15)]);
+        assert!(matches!(
+            n.send(NodeId(0), NodeId(15), 32),
+            Err(NocError::RouterFailed { node: 15 })
+        ));
+        assert!(matches!(
+            n.send(NodeId(15), NodeId(0), 32),
+            Err(NocError::RouterFailed { node: 15 })
+        ));
+        // Reductions into a dead node fail the same way.
+        assert!(n.reduce_to(&[(NodeId(0), 1.0)], NodeId(15), 32).is_err());
+    }
+
+    #[test]
+    fn blocked_xy_path_detours_via_yx_at_equal_cost() {
+        let mut n = net();
+        // XY route 0→10 passes through nodes 1, 2, 6. Kill node 2.
+        n.fail_router(NodeId(2)).unwrap();
+        let r = n.send(NodeId(0), NodeId(10), 32).unwrap();
+        // The YX detour is still minimal: same Manhattan hop count.
+        assert_eq!(r.hops, n.topology().hops(NodeId(0), NodeId(10)));
+    }
+
+    #[test]
+    fn both_paths_blocked_is_unroutable_until_revival() {
+        let mut n = net();
+        // 0→10: XY goes through (1,0)=1; YX goes through (0,1)=4.
+        n.fail_router(NodeId(1)).unwrap();
+        n.fail_router(NodeId(4)).unwrap();
+        assert!(matches!(
+            n.send(NodeId(0), NodeId(10), 32),
+            Err(NocError::Unroutable { src: 0, dst: 10 })
+        ));
+        n.revive_router(NodeId(4)).unwrap();
+        assert!(n.router_ok(NodeId(4)));
+        let r = n.send(NodeId(0), NodeId(10), 32).unwrap();
+        assert_eq!(r.hops, 4);
+    }
+
+    #[test]
+    fn multicast_routes_around_failed_routers() {
+        let mut n = net();
+        n.fail_router(NodeId(2)).unwrap();
+        let m = n.multicast(NodeId(0), &[NodeId(10)], 32).unwrap();
+        assert_eq!(m.hops, 4);
+        // A branch terminating at the dead router still errors.
+        assert!(n.multicast(NodeId(0), &[NodeId(2)], 32).is_err());
+    }
+
+    #[test]
+    fn healthy_mesh_routing_is_unchanged_by_fault_machinery() {
+        let mut a = net();
+        let mut b = net();
+        b.fail_router(NodeId(9)).unwrap();
+        b.revive_router(NodeId(9)).unwrap();
+        assert_eq!(
+            a.send(NodeId(0), NodeId(15), 128).unwrap(),
+            b.send(NodeId(0), NodeId(15), 128).unwrap()
+        );
     }
 
     #[test]

@@ -121,6 +121,26 @@ impl MeshTopology {
         path
     }
 
+    /// The YX dimension-order route from `src` to `dst`, inclusive of
+    /// both endpoints: first all Y hops, then all X hops. Same hop count
+    /// as [`xy_route`](Self::xy_route); used as the detour when a failed
+    /// router blocks the XY path.
+    pub fn yx_route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut path = vec![src];
+        let (mut x, mut y) = (sx, sy);
+        while y != dy {
+            y = if dy > y { y + 1 } else { y - 1 };
+            path.push(self.node_at(x, y));
+        }
+        while x != dx {
+            x = if dx > x { x + 1 } else { x - 1 };
+            path.push(self.node_at(x, y));
+        }
+        path
+    }
+
     /// Direct mesh neighbors of a node (2–4 of them).
     pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
         let (x, y) = self.coords(node);
@@ -190,6 +210,23 @@ mod tests {
         assert_eq!(route.first(), Some(&NodeId(15)));
         assert_eq!(route.last(), Some(&NodeId(0)));
         assert_eq!(route.len(), 7);
+    }
+
+    #[test]
+    fn yx_route_goes_y_first_with_the_same_hop_count() {
+        let m = MeshTopology::new(4, 4).unwrap();
+        let route = m.yx_route(NodeId(0), NodeId(10)); // (0,0) → (2,2)
+        assert_eq!(
+            route,
+            vec![NodeId(0), NodeId(4), NodeId(8), NodeId(9), NodeId(10)]
+        );
+        assert_eq!(route.len(), m.xy_route(NodeId(0), NodeId(10)).len());
+        // Degenerate cases coincide with XY routing.
+        assert_eq!(m.yx_route(NodeId(3), NodeId(3)), vec![NodeId(3)]);
+        assert_eq!(
+            m.yx_route(NodeId(0), NodeId(3)),
+            m.xy_route(NodeId(0), NodeId(3))
+        );
     }
 
     #[test]
