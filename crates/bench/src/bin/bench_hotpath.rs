@@ -1,0 +1,179 @@
+//! Analog-eval hot path: cached/batched fast path vs the legacy
+//! per-sample per-cell reference on the circuit-level executors.
+//!
+//! Times the quantized VGG/10 workload through [`AnalogNetwork`] (ANN)
+//! and [`AnalogSpikingNetwork`] at 50/150/300 timesteps, running each
+//! leg twice: once through the uncached sequential reference
+//! (`forward_sequential` / `run_sequential` — the pre-cache baseline)
+//! and once through the cached, batched, spike-sparse fast path
+//! (`forward` / `run`). Outputs and accumulated read energy must match
+//! bit for bit; the binary aborts otherwise.
+//!
+//! Writes `results/BENCH_hotpath.json` (schema `nebula-bench-hotpath/1`,
+//! documented in `EXPERIMENTS.md`). `NEBULA_HOTPATH_SAMPLES` overrides
+//! the evaluated sample count (CI smoke runs use a reduced set).
+
+use std::time::Instant;
+
+use nebula_bench::setup::{trained, Workload};
+use nebula_core::analog::compile_ann;
+use nebula_core::analog_snn::compile_snn_default;
+use nebula_nn::convert::{ann_to_snn, ConversionConfig};
+use nebula_nn::quant::{quantize_network, QuantConfig};
+use nebula_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Evaluated sample count (the circuit-level SNN legs dominate the
+/// wall clock, so this stays modest by default).
+fn sample_count() -> usize {
+    std::env::var("NEBULA_HOTPATH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(8)
+}
+
+struct Leg {
+    name: String,
+    detail: String,
+    sequential_ms: f64,
+    fast_ms: f64,
+    identical: bool,
+}
+
+impl Leg {
+    fn speedup(&self) -> f64 {
+        self.sequential_ms / self.fast_ms.max(1e-9)
+    }
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let samples = sample_count();
+    let workers = nebula_tensor::par::worker_count();
+    let t = trained(Workload::Vgg10, 500, 20);
+    let q = quantize_network(&t.net, &t.train.take(64), &QuantConfig::default()).unwrap();
+    let x = t.test.take(samples).inputs;
+
+    let mut legs = Vec::new();
+
+    // --- ANN: batched dot_batch fast path vs per-row reference ----------
+    {
+        let mut fast = compile_ann(&q).unwrap();
+        let mut slow = fast.clone();
+        let tm = Instant::now();
+        let ys = slow.forward_sequential(&x).unwrap();
+        let sequential_ms = ms(tm);
+        let tm = Instant::now();
+        let yf = fast.forward(&x).unwrap();
+        let fast_ms = ms(tm);
+        legs.push(Leg {
+            name: "ann".into(),
+            detail: format!("VGG/10 quantized, {samples} samples"),
+            sequential_ms,
+            fast_ms,
+            identical: bits_equal(&yf, &ys)
+                && fast.read_energy() == slow.read_energy()
+                && fast.waves() == slow.waves(),
+        });
+    }
+
+    // --- SNN: spike-sparse batched timesteps vs per-sample reference ----
+    let snn = ann_to_snn(&q, &t.train.take(64), &ConversionConfig::default()).unwrap();
+    for timesteps in [50usize, 150, 300] {
+        let mut fast = compile_snn_default(&snn).unwrap();
+        let mut slow = fast.clone();
+        // Same seed both legs: the Poisson encoder draws per timestep
+        // for the whole batch, so RNG consumption is identical.
+        let mut r_slow = ChaCha8Rng::seed_from_u64(7);
+        let mut r_fast = ChaCha8Rng::seed_from_u64(7);
+        let tm = Instant::now();
+        let ys = slow.run_sequential(&x, timesteps, &mut r_slow).unwrap();
+        let sequential_ms = ms(tm);
+        let tm = Instant::now();
+        let yf = fast.run(&x, timesteps, &mut r_fast).unwrap();
+        let fast_ms = ms(tm);
+        legs.push(Leg {
+            name: format!("snn@{timesteps}"),
+            detail: format!("VGG/10 spiking, {samples} samples, {timesteps} timesteps"),
+            sequential_ms,
+            fast_ms,
+            identical: bits_equal(&yf, &ys)
+                && fast.read_energy() == slow.read_energy()
+                && fast.waves() == slow.waves(),
+        });
+    }
+
+    let total_seq: f64 = legs.iter().map(|l| l.sequential_ms).sum();
+    let total_fast: f64 = legs.iter().map(|l| l.fast_ms).sum();
+    let all_identical = legs.iter().all(|l| l.identical);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"nebula-bench-hotpath/1\",\n");
+    json.push_str("  \"workload\": \"VGG/10\",\n");
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str("  \"legs\": [\n");
+    for (i, l) in legs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"sequential_ms\": {:.3}, \"fast_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+            json_escape(&l.name),
+            json_escape(&l.detail),
+            l.sequential_ms,
+            l.fast_ms,
+            l.speedup(),
+            l.identical,
+            if i + 1 < legs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"total\": {{\"sequential_ms\": {:.3}, \"fast_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}\n",
+        total_seq,
+        total_fast,
+        total_seq / total_fast.max(1e-9),
+        all_identical
+    ));
+    json.push_str("}\n");
+
+    let path = if std::path::Path::new("results").is_dir() {
+        "results/BENCH_hotpath.json"
+    } else {
+        "BENCH_hotpath.json"
+    };
+    std::fs::write(path, &json).expect("write BENCH_hotpath.json");
+
+    println!("BENCH hotpath (VGG/10, {samples} samples), written to {path}\n");
+    for l in &legs {
+        println!(
+            "  {:<8} {:<44} seq {:>9.1} ms   fast {:>9.1} ms   {:>5.2}x   identical: {}",
+            l.name,
+            l.detail,
+            l.sequential_ms,
+            l.fast_ms,
+            l.speedup(),
+            l.identical
+        );
+    }
+    println!(
+        "\n  total: seq {total_seq:.1} ms, fast {total_fast:.1} ms, speedup {:.2}x",
+        total_seq / total_fast.max(1e-9)
+    );
+    assert!(all_identical, "fast path diverged from the reference");
+}

@@ -1,14 +1,13 @@
 //! Order-preserving parallel map for the bench harness.
 //!
 //! The figure/table binaries fan independent per-workload computations
-//! (baseline comparisons, scaled-model training) out across a scoped
-//! thread pool. Each item is mapped by exactly one worker and results
-//! come back **in item order**, so output is identical to a sequential
-//! `iter().map()` — only wall-clock time changes.
+//! (baseline comparisons, scaled-model training) out across the
+//! persistent worker pool ([`nebula_tensor::pool`]). Each item is mapped
+//! by exactly one worker and results come back **in item order**, so
+//! output is identical to a sequential `iter().map()` — only wall-clock
+//! time changes.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Maps `f` over `items` on a scoped thread pool sized by
+/// Maps `f` over `items` on the persistent pool, sized by
 /// [`nebula_tensor::par::worker_count`], returning results in item
 /// order.
 ///
@@ -35,42 +34,9 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = workers.max(1).min(items.len().max(1));
-    if workers <= 1 {
-        return items.iter().map(f).collect();
-    }
-    // Items vary in cost, so workers pull indices from a shared counter
-    // rather than taking fixed chunks.
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(items.len(), || None);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let (next, f) = (&next, &f);
-                s.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        local.push((i, f(&items[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, r) in h.join().expect("par_map worker panicked") {
-                slots[i] = Some(r);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|r| r.expect("every item index was claimed by exactly one worker"))
-        .collect()
+    // Items vary in cost, so the pool's indexed map pulls indices from a
+    // shared counter rather than taking fixed chunks.
+    nebula_tensor::pool::par_map_indexed(items.len(), workers, |i| f(&items[i]))
 }
 
 #[cfg(test)]

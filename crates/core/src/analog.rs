@@ -19,7 +19,7 @@
 
 use crate::components::{M, MAX_RF_IN_CORE};
 use nebula_crossbar::{CrossbarConfig, CrossbarError, Mode, SuperTile};
-use nebula_device::units::Joules;
+use nebula_device::units::{Amps, Joules};
 use nebula_nn::layer::Layer;
 use nebula_nn::{Network, NnError};
 use nebula_tensor::{avg_pool2d, im2col, ConvGeometry, Tensor, TensorError};
@@ -146,10 +146,13 @@ impl ProgrammedMatrix {
         })
     }
 
-    /// Evaluates one input vector (length `rf`, real units): drives the
-    /// crossbars with `x / x_scale` and returns the real-valued products
-    /// `Wᵀx` per column.
-    fn dot(&mut self, x: &[f32]) -> Result<Vec<f32>, AnalogError> {
+    /// Evaluates one input vector (length `rf`, real units) through the
+    /// legacy per-cell crossbar loop ([`SuperTile::dot_reference`]):
+    /// drives the crossbars with `x / x_scale` and returns the
+    /// real-valued products `Wᵀx` per column. Bit-identical to one item
+    /// of [`dot_batch`](Self::dot_batch); kept as the reference for
+    /// equivalence tests and the `bench_hotpath` sequential leg.
+    fn dot_reference(&mut self, x: &[f32]) -> Result<Vec<f32>, AnalogError> {
         debug_assert_eq!(x.len(), self.rf);
         let mut out = vec![0.0f32; self.cols];
         let mut offset = 0usize;
@@ -159,7 +162,7 @@ impl ProgrammedMatrix {
                 .map(|&v| (v / self.x_scale).clamp(0.0, 1.0) as f64)
                 .collect();
             for (g, tile) in self.tiles[seg].iter_mut().enumerate() {
-                let currents = tile.dot(&drive)?;
+                let currents = tile.dot_reference(&drive)?;
                 let unit = tile.unit_current().0;
                 for (c, i) in currents.iter().enumerate() {
                     // value (weight units) → real: × x_scale (drive
@@ -170,6 +173,97 @@ impl ProgrammedMatrix {
             offset += seg_rows;
         }
         Ok(out)
+    }
+
+    /// Evaluates a whole batch of input rows through the split-phase
+    /// fast path: every tile's conductance caches are prepared once, the
+    /// persistent worker pool evaluates items concurrently against the
+    /// shared tiles (`&self` — [`SuperTile::eval_dense_prepared`]), and
+    /// read energy is then accrued sequentially in ascending item order
+    /// per atomic crossbar. Outputs and per-crossbar energy counters are
+    /// **bit-identical** to calling
+    /// [`dot_reference`](Self::dot_reference) on each row in turn — for
+    /// any worker count — because each item's floating-point work is
+    /// per-item pure and the accrual order matches the sequential path.
+    fn dot_batch(&mut self, rows: &[&[f32]]) -> Result<Vec<Vec<f32>>, AnalogError> {
+        for tile in self.tiles.iter_mut().flatten() {
+            tile.prepare();
+        }
+        let x_scale = self.x_scale;
+        let cols = self.cols;
+        let rf = self.rf;
+        let segment_rows = &self.segment_rows;
+        let tiles = &self.tiles;
+        // Per-AC total currents for one item live in a single flat
+        // buffer, sliced per tile in (segment, group) order.
+        let total_chunks: usize = tiles.iter().flatten().map(SuperTile::chunk_count).sum();
+        let n = rows.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = nebula_tensor::par::worker_count();
+        // Workers take contiguous item blocks so scratch buffers are
+        // reused across a block's items; the per-item values don't depend
+        // on the partition, so results are identical for any worker
+        // count. Each item yields its output row and the total current
+        // drawn per AC (flattened in (segment, group, chunk) order).
+        let blocks = workers.clamp(1, n);
+        type ItemResult = (Vec<f32>, Vec<f64>);
+        let per_block: Vec<Vec<ItemResult>> =
+            nebula_tensor::pool::par_map_indexed(blocks, workers, |b| {
+                let mut totals = vec![Amps::ZERO; M];
+                let mut diff = vec![0.0f64; M];
+                let mut drive: Vec<f64> = Vec::new();
+                let mut block = Vec::with_capacity(n.div_ceil(blocks));
+                for x in &rows[b * n / blocks..(b + 1) * n / blocks] {
+                    debug_assert_eq!(x.len(), rf);
+                    let mut out_row = vec![0.0f32; cols];
+                    let mut flat = vec![0.0f64; total_chunks];
+                    let mut offset = 0usize;
+                    let mut chunk_off = 0usize;
+                    for (seg, &seg_rows) in segment_rows.iter().enumerate() {
+                        drive.clear();
+                        drive.extend(
+                            x[offset..offset + seg_rows]
+                                .iter()
+                                .map(|&v| (v / x_scale).clamp(0.0, 1.0) as f64),
+                        );
+                        for (g, tile) in tiles[seg].iter().enumerate() {
+                            let chunks = tile.chunk_count();
+                            tile.eval_dense_prepared(
+                                &drive,
+                                &mut totals,
+                                &mut flat[chunk_off..chunk_off + chunks],
+                                &mut diff,
+                            );
+                            let unit = tile.unit_current().0;
+                            for (c, i) in totals[..tile.kernels()].iter().enumerate() {
+                                out_row[g * M + c] += (i.0 / unit) as f32 * x_scale;
+                            }
+                            chunk_off += chunks;
+                        }
+                        offset += seg_rows;
+                    }
+                    block.push((out_row, flat));
+                }
+                block
+            });
+        let per_item: Vec<ItemResult> = per_block.into_iter().flatten().collect();
+        // Sequential accrual in ascending item order per atomic crossbar.
+        let mut item_currents: Vec<&[f64]> = Vec::with_capacity(per_item.len());
+        let mut chunk_off = 0usize;
+        for tile in self.tiles.iter_mut().flatten() {
+            let chunks = tile.chunk_count();
+            item_currents.clear();
+            item_currents.extend(
+                per_item
+                    .iter()
+                    .map(|(_, flat)| &flat[chunk_off..chunk_off + chunks]),
+            );
+            tile.accrue_batch(&item_currents);
+            chunk_off += chunks;
+        }
+        Ok(per_item.into_iter().map(|(out_row, _)| out_row).collect())
     }
 
     fn read_energy(&self) -> Joules {
@@ -286,10 +380,31 @@ pub fn compile(net: &Network, config: &CrossbarConfig) -> Result<AnalogNetwork, 
 impl AnalogNetwork {
     /// Runs a batch through the crossbar models and returns the logits.
     ///
+    /// All samples advance through each stage together: every weight
+    /// stage issues one [`SuperTile::dot_batch`] per tile instead of one
+    /// `dot` per sample. Results and energy counters are bit-identical
+    /// to [`forward_sequential`](Self::forward_sequential).
+    ///
     /// # Errors
     ///
     /// Propagates circuit and tensor failures.
     pub fn forward(&mut self, inputs: &Tensor) -> Result<Tensor, AnalogError> {
+        self.forward_impl(inputs, false)
+    }
+
+    /// [`forward`](Self::forward) through the legacy path: one
+    /// uncached per-cell crossbar evaluation per sample — the pre-cache
+    /// baseline. Kept for equivalence tests and the `bench_hotpath`
+    /// sequential leg.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit and tensor failures.
+    pub fn forward_sequential(&mut self, inputs: &Tensor) -> Result<Tensor, AnalogError> {
+        self.forward_impl(inputs, true)
+    }
+
+    fn forward_impl(&mut self, inputs: &Tensor, reference: bool) -> Result<Tensor, AnalogError> {
         let mut h = inputs.clone();
         // Take stages out to satisfy the borrow checker during mutation.
         let mut stages = std::mem::take(&mut self.stages);
@@ -298,11 +413,22 @@ impl AnalogNetwork {
                 h = match stage {
                     AnalogStage::Dense { matrix, bias } => {
                         let n = h.shape()[0];
+                        let ys = if reference {
+                            let mut ys = Vec::with_capacity(n);
+                            for i in 0..n {
+                                let row = &h.data()[i * matrix.rf..(i + 1) * matrix.rf];
+                                ys.push(matrix.dot_reference(row)?);
+                            }
+                            ys
+                        } else {
+                            let rows: Vec<&[f32]> = (0..n)
+                                .map(|i| &h.data()[i * matrix.rf..(i + 1) * matrix.rf])
+                                .collect();
+                            matrix.dot_batch(&rows)?
+                        };
+                        self.waves += n as u64;
                         let mut out = Tensor::zeros(&[n, matrix.cols]);
-                        for i in 0..n {
-                            let row = &h.data()[i * matrix.rf..(i + 1) * matrix.rf];
-                            let y = matrix.dot(row)?;
-                            self.waves += 1;
+                        for (i, y) in ys.iter().enumerate() {
                             let dst = &mut out.data_mut()[i * bias.len()..(i + 1) * bias.len()];
                             for (d, (v, b)) in dst.iter_mut().zip(y.iter().zip(bias.iter())) {
                                 *d = v + b;
@@ -316,19 +442,35 @@ impl AnalogNetwork {
                         geom,
                         out_channels,
                     } => {
-                        let (n, _c, hh, ww) =
-                            (h.shape()[0], h.shape()[1], h.shape()[2], h.shape()[3]);
+                        let (n, hh, ww) = (h.shape()[0], h.shape()[2], h.shape()[3]);
                         let (oh, ow) = geom.out_hw(hh, ww)?;
-                        let cols = im2col(&h, *geom)?; // [N·OH·OW, R_f]
+                        // [N·OH·OW, R_f]; the parallel lowering is
+                        // bit-identical to `im2col` (same index order).
+                        let cols = if reference {
+                            im2col(&h, *geom)?
+                        } else {
+                            nebula_tensor::par::im2col(&h, *geom)?
+                        };
                         let spatial = oh * ow;
+                        let total_rows = n * spatial;
+                        let ys = if reference {
+                            let mut ys = Vec::with_capacity(total_rows);
+                            for ri in 0..total_rows {
+                                let row = &cols.data()[ri * matrix.rf..(ri + 1) * matrix.rf];
+                                ys.push(matrix.dot_reference(row)?);
+                            }
+                            ys
+                        } else {
+                            let rows: Vec<&[f32]> = (0..total_rows)
+                                .map(|ri| &cols.data()[ri * matrix.rf..(ri + 1) * matrix.rf])
+                                .collect();
+                            matrix.dot_batch(&rows)?
+                        };
+                        self.waves += total_rows as u64;
                         let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);
                         for img in 0..n {
                             for s in 0..spatial {
-                                let row_idx = img * spatial + s;
-                                let row =
-                                    &cols.data()[row_idx * matrix.rf..(row_idx + 1) * matrix.rf];
-                                let y = matrix.dot(row)?;
-                                self.waves += 1;
+                                let y = &ys[img * spatial + s];
                                 for (o, (&v, &b)) in y.iter().zip(bias.iter()).enumerate() {
                                     out.data_mut()
                                         [img * *out_channels * spatial + o * spatial + s] = v + b;
@@ -572,6 +714,45 @@ mod tests {
             .forward(&Tensor::rand_uniform(&[2, 8], 0.1, 1.0, &mut r))
             .unwrap();
         assert!(analog.read_energy() > before, "reads cost energy");
+    }
+
+    #[test]
+    fn batched_forward_matches_sequential_reference_exactly() {
+        let mut r = rng();
+        // Conv → pool → dense exercises every batched stage kind.
+        let net = Network::new(vec![
+            L::conv2d(2, 4, 3, 1, 1, &mut r),
+            L::relu(),
+            L::avg_pool(2),
+            L::flatten(),
+            L::dense(4 * 4 * 4, 5, &mut r),
+        ]);
+        let x = Tensor::rand_uniform(&[6, 2, 8, 8], 0.0, 1.0, &mut r);
+        let mut fast = compile_ann(&net).unwrap();
+        let mut slow = fast.clone();
+        let yf = fast.forward(&x).unwrap();
+        let ys = slow.forward_sequential(&x).unwrap();
+        assert_eq!(yf.shape(), ys.shape());
+        for (a, b) in yf.data().iter().zip(ys.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fast {a} vs reference {b}");
+        }
+        assert_eq!(fast.read_energy(), slow.read_energy());
+        assert_eq!(fast.waves(), slow.waves());
+    }
+
+    #[test]
+    fn batched_forward_matches_reference_under_device_mismatch() {
+        let mut r = rng();
+        let net = Network::new(vec![L::dense(3000, 20, &mut r)]);
+        let x = Tensor::rand_uniform(&[3, 3000], 0.0, 1.0, &mut r);
+        let mut fast = compile_ann_with_mismatch(&net, 0.10, &mut r).unwrap();
+        let mut slow = fast.clone();
+        let yf = fast.forward(&x).unwrap();
+        let ys = slow.forward_sequential(&x).unwrap();
+        for (a, b) in yf.data().iter().zip(ys.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fast {a} vs reference {b}");
+        }
+        assert_eq!(fast.read_energy(), slow.read_energy());
     }
 
     #[test]

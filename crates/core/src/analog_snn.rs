@@ -12,7 +12,7 @@
 use crate::analog::AnalogError;
 use crate::components::{M, MAX_RF_IN_CORE};
 use nebula_crossbar::{CrossbarConfig, Mode, SuperTile};
-use nebula_device::units::Joules;
+use nebula_device::units::{Amps, Joules};
 use nebula_nn::layer::Layer;
 use nebula_nn::snn::{IfPopulation, InputEncoding, SnnStage, SpikingNetwork};
 use nebula_tensor::{avg_pool2d, im2col, ConvGeometry, Tensor};
@@ -68,9 +68,14 @@ impl SnnMatrix {
         })
     }
 
-    /// One timestep for one sample: binary spike vector in, real-valued
-    /// membrane increments (`Wᵀs + b` handled by caller) out.
-    fn dot_spikes(&mut self, spikes: &[f32]) -> Result<Vec<f32>, AnalogError> {
+    /// One timestep for one sample through the legacy per-cell crossbar
+    /// loop ([`SuperTile::dot_reference`]): binary spike vector in,
+    /// real-valued membrane increments (`Wᵀs + b` handled by caller)
+    /// out. Bit-identical to one item of
+    /// [`dot_spikes_batch`](Self::dot_spikes_batch); kept as the
+    /// reference for equivalence tests and the `bench_hotpath`
+    /// sequential leg.
+    fn dot_spikes_reference(&mut self, spikes: &[f32]) -> Result<Vec<f32>, AnalogError> {
         debug_assert_eq!(spikes.len(), self.rf);
         let mut out = vec![0.0f32; self.cols];
         let mut offset = 0usize;
@@ -80,7 +85,7 @@ impl SnnMatrix {
                 .map(|&v| f64::from(v > 0.5))
                 .collect();
             for (g, tile) in self.tiles[seg].iter_mut().enumerate() {
-                let currents = tile.dot(&drive)?;
+                let currents = tile.dot_reference(&drive)?;
                 let unit = tile.unit_current().0;
                 for (c, i) in currents.iter().enumerate() {
                     out[g * M + c] += (i.0 / unit) as f32;
@@ -89,6 +94,102 @@ impl SnnMatrix {
             offset += seg_rows;
         }
         Ok(out)
+    }
+
+    /// One timestep for a whole batch of spike vectors through the
+    /// split-phase, spike-sparse fast path: every tile's conductance
+    /// caches are prepared once, then the persistent worker pool
+    /// evaluates items concurrently against the shared tiles — each
+    /// item's active (spiking) rows are gathered into an ascending index
+    /// list and evaluated with [`SuperTile::eval_sparse_prepared`], so
+    /// silent rows are never scanned inside the crossbar loop — and read
+    /// energy is accrued sequentially in ascending item order per atomic
+    /// crossbar. Outputs and per-crossbar energy counters are
+    /// **bit-identical** to calling
+    /// [`dot_spikes_reference`](Self::dot_spikes_reference) on each item
+    /// in turn, for any worker count: a spiking row drives exactly full
+    /// read voltage in both paths, each item's floating-point work is
+    /// per-item pure, and the accrual order matches the sequential path.
+    fn dot_spikes_batch(&mut self, rows: &[&[f32]]) -> Result<Vec<Vec<f32>>, AnalogError> {
+        for tile in self.tiles.iter_mut().flatten() {
+            tile.prepare();
+        }
+        let cols = self.cols;
+        let rf = self.rf;
+        let segment_rows = &self.segment_rows;
+        let tiles = &self.tiles;
+        // Per-AC total currents for one item live in a single flat
+        // buffer, sliced per tile in (segment, group) order.
+        let total_chunks: usize = tiles.iter().flatten().map(SuperTile::chunk_count).sum();
+        let n = rows.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = nebula_tensor::par::worker_count();
+        // Workers take contiguous item blocks so scratch buffers are
+        // reused across a block's items; the per-item values don't depend
+        // on the partition, so results are identical for any worker
+        // count. Each item yields its output row and the total current
+        // drawn per AC (flattened in (segment, group, chunk) order).
+        let blocks = workers.clamp(1, n);
+        type ItemResult = (Vec<f32>, Vec<f64>);
+        let per_block: Vec<Vec<ItemResult>> =
+            nebula_tensor::pool::par_map_indexed(blocks, workers, |b| {
+                let mut totals = vec![Amps::ZERO; M];
+                let mut diff = vec![0.0f64; M];
+                let mut active: Vec<usize> = Vec::new();
+                let mut block = Vec::with_capacity(n.div_ceil(blocks));
+                for spikes in &rows[b * n / blocks..(b + 1) * n / blocks] {
+                    debug_assert_eq!(spikes.len(), rf);
+                    let mut out_row = vec![0.0f32; cols];
+                    let mut flat = vec![0.0f64; total_chunks];
+                    let mut offset = 0usize;
+                    let mut chunk_off = 0usize;
+                    for (seg, &seg_rows) in segment_rows.iter().enumerate() {
+                        active.clear();
+                        active.extend(
+                            spikes[offset..offset + seg_rows]
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &v)| v > 0.5)
+                                .map(|(r, _)| r),
+                        );
+                        for (g, tile) in tiles[seg].iter().enumerate() {
+                            let chunks = tile.chunk_count();
+                            tile.eval_sparse_prepared(
+                                &active,
+                                &mut totals,
+                                &mut flat[chunk_off..chunk_off + chunks],
+                                &mut diff,
+                            );
+                            let unit = tile.unit_current().0;
+                            for (c, i) in totals[..tile.kernels()].iter().enumerate() {
+                                out_row[g * M + c] += (i.0 / unit) as f32;
+                            }
+                            chunk_off += chunks;
+                        }
+                        offset += seg_rows;
+                    }
+                    block.push((out_row, flat));
+                }
+                block
+            });
+        let per_item: Vec<ItemResult> = per_block.into_iter().flatten().collect();
+        // Sequential accrual in ascending item order per atomic crossbar.
+        let mut item_currents: Vec<&[f64]> = Vec::with_capacity(per_item.len());
+        let mut chunk_off = 0usize;
+        for tile in self.tiles.iter_mut().flatten() {
+            let chunks = tile.chunk_count();
+            item_currents.clear();
+            item_currents.extend(
+                per_item
+                    .iter()
+                    .map(|(_, flat)| &flat[chunk_off..chunk_off + chunks]),
+            );
+            tile.accrue_batch(&item_currents);
+            chunk_off += chunks;
+        }
+        Ok(per_item.into_iter().map(|(out_row, _)| out_row).collect())
     }
 
     fn read_energy(&self) -> Joules {
@@ -218,6 +319,12 @@ impl AnalogSpikingNetwork {
     /// Runs `timesteps` of circuit-backed spiking inference and returns
     /// the accumulated output potentials `[N, classes]`.
     ///
+    /// All samples advance through each timestep together: every
+    /// synaptic stage issues one spike-sparse batched crossbar call per
+    /// tile ([`SuperTile::dot_batch_sparse`]) instead of one dense `dot`
+    /// per sample. Outputs, RNG consumption and energy counters are
+    /// bit-identical to [`run_sequential`](Self::run_sequential).
+    ///
     /// # Errors
     ///
     /// Propagates circuit and tensor failures.
@@ -226,6 +333,35 @@ impl AnalogSpikingNetwork {
         inputs: &Tensor,
         timesteps: usize,
         rng: &mut R,
+    ) -> Result<Tensor, AnalogError> {
+        self.run_impl(inputs, timesteps, rng, false)
+    }
+
+    /// [`run`](Self::run) through the legacy path: one uncached
+    /// per-cell crossbar evaluation per sample per timestep — the
+    /// pre-cache baseline. The encoder consumes the RNG identically
+    /// (whole batch per timestep), so outputs match [`run`](Self::run)
+    /// bit for bit. Kept for equivalence tests and the `bench_hotpath`
+    /// sequential leg.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit and tensor failures.
+    pub fn run_sequential<R: Rng + ?Sized>(
+        &mut self,
+        inputs: &Tensor,
+        timesteps: usize,
+        rng: &mut R,
+    ) -> Result<Tensor, AnalogError> {
+        self.run_impl(inputs, timesteps, rng, true)
+    }
+
+    fn run_impl<R: Rng + ?Sized>(
+        &mut self,
+        inputs: &Tensor,
+        timesteps: usize,
+        rng: &mut R,
+        reference: bool,
     ) -> Result<Tensor, AnalogError> {
         self.reset_state();
         let mut acc: Option<Tensor> = None;
@@ -237,11 +373,22 @@ impl AnalogSpikingNetwork {
                     h = match stage {
                         SpikingAnalogStage::Dense { matrix, bias } => {
                             let n = h.shape()[0];
+                            let ys = if reference {
+                                let mut ys = Vec::with_capacity(n);
+                                for i in 0..n {
+                                    let row = &h.data()[i * matrix.rf..(i + 1) * matrix.rf];
+                                    ys.push(matrix.dot_spikes_reference(row)?);
+                                }
+                                ys
+                            } else {
+                                let rows: Vec<&[f32]> = (0..n)
+                                    .map(|i| &h.data()[i * matrix.rf..(i + 1) * matrix.rf])
+                                    .collect();
+                                matrix.dot_spikes_batch(&rows)?
+                            };
+                            self.timestep_waves += n as u64;
                             let mut out = Tensor::zeros(&[n, matrix.cols]);
-                            for i in 0..n {
-                                let row = &h.data()[i * matrix.rf..(i + 1) * matrix.rf];
-                                let y = matrix.dot_spikes(row)?;
-                                self.timestep_waves += 1;
+                            for (i, y) in ys.iter().enumerate() {
                                 let dst = &mut out.data_mut()[i * bias.len()..(i + 1) * bias.len()];
                                 for (d, (v, b)) in dst.iter_mut().zip(y.iter().zip(bias.iter())) {
                                     *d = v + b;
@@ -257,16 +404,33 @@ impl AnalogSpikingNetwork {
                         } => {
                             let (n, hh, ww) = (h.shape()[0], h.shape()[2], h.shape()[3]);
                             let (oh, ow) = geom.out_hw(hh, ww)?;
-                            let cols = im2col(&h, *geom)?;
+                            // The parallel lowering is bit-identical to
+                            // `im2col` (same index order).
+                            let cols = if reference {
+                                im2col(&h, *geom)?
+                            } else {
+                                nebula_tensor::par::im2col(&h, *geom)?
+                            };
                             let spatial = oh * ow;
+                            let total_rows = n * spatial;
+                            let ys = if reference {
+                                let mut ys = Vec::with_capacity(total_rows);
+                                for ri in 0..total_rows {
+                                    let row = &cols.data()[ri * matrix.rf..(ri + 1) * matrix.rf];
+                                    ys.push(matrix.dot_spikes_reference(row)?);
+                                }
+                                ys
+                            } else {
+                                let rows: Vec<&[f32]> = (0..total_rows)
+                                    .map(|ri| &cols.data()[ri * matrix.rf..(ri + 1) * matrix.rf])
+                                    .collect();
+                                matrix.dot_spikes_batch(&rows)?
+                            };
+                            self.timestep_waves += total_rows as u64;
                             let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);
                             for img in 0..n {
                                 for s in 0..spatial {
-                                    let row_idx = img * spatial + s;
-                                    let row = &cols.data()
-                                        [row_idx * matrix.rf..(row_idx + 1) * matrix.rf];
-                                    let y = matrix.dot_spikes(row)?;
-                                    self.timestep_waves += 1;
+                                    let y = &ys[img * spatial + s];
                                     for (o, (&v, &b)) in y.iter().zip(bias.iter()).enumerate() {
                                         out.data_mut()
                                             [img * *out_channels * spatial + o * spatial + s] =
@@ -434,6 +598,29 @@ mod tests {
             busy.read_energy(),
             quiet.read_energy()
         );
+    }
+
+    #[test]
+    fn batched_run_matches_sequential_reference_exactly() {
+        let mut r = rng();
+        let (net, data) = trained_net(&mut r);
+        let functional = ann_to_snn(&net, &data, &ConversionConfig::default()).unwrap();
+        let mut fast = compile_snn_default(&functional).unwrap();
+        let mut slow = fast.clone();
+        let cols = data.inputs.shape()[1];
+        let x = Tensor::from_vec(data.inputs.data()[..16 * cols].to_vec(), &[16, cols]).unwrap();
+        // Same seed for both legs: the Poisson encoder draws per
+        // timestep for the whole batch, so RNG consumption is identical.
+        let mut r_fast = rand::rngs::StdRng::seed_from_u64(9);
+        let mut r_slow = rand::rngs::StdRng::seed_from_u64(9);
+        let yf = fast.run(&x, 40, &mut r_fast).unwrap();
+        let ys = slow.run_sequential(&x, 40, &mut r_slow).unwrap();
+        assert_eq!(yf.shape(), ys.shape());
+        for (a, b) in yf.data().iter().zip(ys.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fast {a} vs reference {b}");
+        }
+        assert_eq!(fast.read_energy(), slow.read_energy());
+        assert_eq!(fast.waves(), slow.waves());
     }
 
     #[test]

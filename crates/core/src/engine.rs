@@ -411,7 +411,8 @@ pub fn evaluate_suite(model: &EnergyModel, jobs: &[SuiteJob]) -> Vec<SuiteReport
     jobs.iter().map(|j| evaluate_suite_job(model, j)).collect()
 }
 
-/// Evaluates every job across a scoped thread pool sized by
+/// Evaluates every job across the persistent worker pool
+/// ([`nebula_tensor::pool`]) sized by
 /// [`nebula_tensor::par::worker_count`]. Each job is evaluated by
 /// exactly one worker with the same engine [`evaluate_suite`] uses, so
 /// the reports are **identical** to the sequential ones, in job order —
@@ -440,38 +441,12 @@ pub fn par_evaluate_suite_with_workers(
     if workers <= 1 {
         return evaluate_suite(model, jobs);
     }
-    // Jobs vary widely in cost (VGG-13 SNN@300 vs LeNet ANN), so workers
-    // pull indices from a shared counter instead of taking fixed chunks.
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<SuiteReport>> = Vec::new();
-    slots.resize_with(jobs.len(), || None);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let next = &next;
-                s.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        local.push((i, evaluate_suite_job(model, &jobs[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, report) in h.join().expect("suite worker panicked") {
-                slots[i] = Some(report);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|r| r.expect("every job index was claimed by exactly one worker"))
-        .collect()
+    // Jobs vary widely in cost (VGG-13 SNN@300 vs LeNet ANN); the pool's
+    // indexed map pulls indices from a shared counter instead of taking
+    // fixed chunks, so slow jobs never serialize behind fast ones.
+    nebula_tensor::pool::par_map_indexed(jobs.len(), workers, |i| {
+        evaluate_suite_job(model, &jobs[i])
+    })
 }
 
 #[cfg(test)]

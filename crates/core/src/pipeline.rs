@@ -44,8 +44,18 @@ pub fn stages_for(mapping: &LayerMapping) -> Vec<Stage> {
 }
 
 /// Pipeline depth (stages) for a layer.
+///
+/// Computed arithmetically — in-core layers are 3 deep; a spilled layer
+/// adds digitize + ⌈log₂ segments⌉ reduce hops + activate — so the
+/// per-wave latency math never materializes the stage list.
 pub fn depth_for(mapping: &LayerMapping) -> u64 {
-    stages_for(mapping).len() as u64
+    match mapping.aggregation {
+        Aggregation::InCore(_) => 3,
+        Aggregation::AcrossCores { segments } => {
+            let reduce_hops = (segments.max(2) as f64).log2().ceil() as u64;
+            3 + reduce_hops + 2
+        }
+    }
 }
 
 /// Initiation interval: cycles between successive waves entering the
@@ -114,6 +124,21 @@ mod tests {
         // 5 segments → ⌈log2 5⌉ = 3 reduce hops.
         assert_eq!(stages.iter().filter(|s| **s == Stage::Reduce).count(), 3);
         assert_eq!(depth_for(&m), 3 + 3 + 2);
+    }
+
+    #[test]
+    fn depth_matches_stage_list_length() {
+        let descriptors = [
+            LayerDescriptor::conv(0, "c", 3, 64, 3, 1, 1, (32, 32)),
+            LayerDescriptor::dense(1, "fc1", 9216, 4096),
+            LayerDescriptor::dense(2, "fc2", 4096, 4096),
+            LayerDescriptor::dense(3, "fc3", 2049, 10),
+            LayerDescriptor::conv(4, "c2", 512, 512, 3, 1, 1, (4, 4)),
+        ];
+        for d in &descriptors {
+            let m = map_layer(d);
+            assert_eq!(depth_for(&m), stages_for(&m).len() as u64, "{}", d.name);
+        }
     }
 
     #[test]

@@ -118,16 +118,6 @@ impl NeuronUnit {
         self.len() == 0
     }
 
-    /// Converts an abstract value into the device drive current: a value
-    /// of `full_scale` maps to the device's full-scale current over one
-    /// switching time.
-    fn value_to_current(&self, value: f64) -> Amps {
-        let i_c = self.params.critical_current().0;
-        let i_fs = self.params.full_scale_current().0;
-        let frac = value / self.full_scale;
-        Amps(frac.signum() * (i_c + (i_fs - i_c) * frac.abs()))
-    }
-
     /// Processes one cycle of column values.
     ///
     /// * Spiking NU: integrates each value into its neuron's wall; output
@@ -148,18 +138,32 @@ impl NeuronUnit {
             });
         }
         let full_scale = self.full_scale;
-        let currents: Vec<Amps> = values.iter().map(|&v| self.value_to_current(v)).collect();
+        // Fused value→current→neuron loop: no intermediate current
+        // vector — every column value drives its neuron directly, just
+        // as the current-driven spin devices do in hardware.
+        let i_c = self.params.critical_current().0;
+        let i_fs = self.params.full_scale_current().0;
+        let to_current = |v: f64| {
+            let frac = v / full_scale;
+            Amps(frac.signum() * (i_c + (i_fs - i_c) * frac.abs()))
+        };
         match &mut self.population {
             Population::Spiking(neurons) => Ok(neurons
                 .iter_mut()
-                .zip(currents)
-                .map(|(n, i)| if n.integrate(i).fired() { 1.0 } else { 0.0 })
+                .zip(values)
+                .map(|(n, &v)| {
+                    if n.integrate(to_current(v)).fired() {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()),
             Population::Relu(neurons) => Ok(neurons
                 .iter_mut()
-                .zip(currents)
-                .map(|(n, i)| {
-                    let level = n.evaluate(i);
+                .zip(values)
+                .map(|(n, &v)| {
+                    let level = n.evaluate(to_current(v));
                     level as f64 / (n.levels() - 1) as f64 * full_scale
                 })
                 .collect()),

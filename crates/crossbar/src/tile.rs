@@ -205,9 +205,13 @@ impl SuperTile {
                 expected: self.rf,
             });
         }
+        // One up-front length check proves every per-AC chunk valid:
+        // `chunks(m)` yields full `m`-row slices plus one tail of
+        // `rf mod m` rows — exactly the row counts the ACs were
+        // programmed with — so the subtile loop skips revalidation.
         let mut totals = vec![Amps::ZERO; self.kernels];
         for (chunk_idx, chunk) in inputs.chunks(self.m).enumerate() {
-            let partial = self.acs[chunk_idx].dot(chunk)?;
+            let partial = self.acs[chunk_idx].dot_unchecked(chunk);
             for (t, p) in totals.iter_mut().zip(partial) {
                 *t += p; // Kirchhoff current summation
             }
@@ -215,15 +219,42 @@ impl SuperTile {
         Ok(totals)
     }
 
+    /// Like [`dot`](Self::dot) but evaluated through each AC's legacy
+    /// uncached loop ([`AtomicCrossbar::dot_reference`]). Bit-identical
+    /// to `dot`; the reference implementation for equivalence tests and
+    /// the `bench_hotpath` sequential leg.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLengthMismatch`] when
+    /// `inputs.len() != rf`.
+    pub fn dot_reference(&mut self, inputs: &[f64]) -> Result<Vec<Amps>, CrossbarError> {
+        if inputs.len() != self.rf {
+            return Err(CrossbarError::InputLengthMismatch {
+                len: inputs.len(),
+                expected: self.rf,
+            });
+        }
+        let mut totals = vec![Amps::ZERO; self.kernels];
+        for (chunk_idx, chunk) in inputs.chunks(self.m).enumerate() {
+            let partial = self.acs[chunk_idx].dot_reference(chunk)?;
+            for (t, p) in totals.iter_mut().zip(partial) {
+                *t += p;
+            }
+        }
+        Ok(totals)
+    }
+
     /// Evaluates a batch of dot-product cycles in one call, amortizing
     /// per-call overhead: each AC sees the whole batch of its input
-    /// chunk at once ([`AtomicCrossbar::dot_batch`]) and aggregates its
-    /// read energy once per batch.
+    /// chunk at once ([`AtomicCrossbar::dot_batch`]).
     ///
-    /// Per-item outputs are **identical** to calling [`dot`](Self::dot)
-    /// on each item in turn: every item's partial currents are summed in
-    /// the same ascending chunk order. Validation is all-or-nothing —
-    /// a bad item length fails the call before any evaluation.
+    /// Per-item outputs **and energy counters** are bit-identical to
+    /// calling [`dot`](Self::dot) on each item in turn: every item's
+    /// partial currents are summed in the same ascending chunk order and
+    /// each AC accrues read energy per item in batch order. Validation
+    /// is all-or-nothing — a bad item length fails the call before any
+    /// evaluation.
     ///
     /// # Errors
     ///
@@ -243,18 +274,179 @@ impl SuperTile {
         }
         let mut totals = vec![vec![Amps::ZERO; self.kernels]; batch.len()];
         let chunks = self.rf.div_ceil(self.m.max(1));
+        // The up-front check above proves every chunk slice below has the
+        // row count its AC was programmed with, so the per-AC calls skip
+        // revalidation. A reused `sub` buffer avoids a per-chunk Vec, and
+        // each AC accumulates its partials into `totals` directly
+        // (Kirchhoff current summation, chunk-ascending).
+        let mut sub: Vec<&[f64]> = Vec::with_capacity(batch.len());
         for chunk_idx in 0..chunks {
             let start = chunk_idx * self.m;
             let end = (start + self.m).min(self.rf);
-            let sub: Vec<&[f64]> = batch.iter().map(|b| &b.as_ref()[start..end]).collect();
-            let partials = self.acs[chunk_idx].dot_batch(&sub)?;
-            for (item_totals, partial) in totals.iter_mut().zip(partials) {
-                for (t, p) in item_totals.iter_mut().zip(partial) {
-                    *t += p; // Kirchhoff current summation, chunk-ascending
-                }
-            }
+            sub.clear();
+            sub.extend(batch.iter().map(|b| &b.as_ref()[start..end]));
+            self.acs[chunk_idx].dot_batch_accumulate(&sub, &mut totals);
         }
         Ok(totals)
+    }
+
+    /// Batched spike-sparse evaluation: each item is a strictly ascending
+    /// list of active (spiking) rows in `0..rf`; silent rows are never
+    /// scanned. Outputs and energy counters are bit-identical to
+    /// [`dot_batch`](Self::dot_batch) driven with the equivalent dense
+    /// binary vectors (a spiking row drives full read voltage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidActiveRows`] when any item's list
+    /// is out of range or not strictly ascending; validation is
+    /// all-or-nothing.
+    pub fn dot_batch_sparse<S: AsRef<[usize]>>(
+        &mut self,
+        batch: &[S],
+    ) -> Result<Vec<Vec<Amps>>, CrossbarError> {
+        for item in batch {
+            let mut prev: Option<usize> = None;
+            for &r in item.as_ref() {
+                if r >= self.rf || prev.is_some_and(|p| p >= r) {
+                    return Err(CrossbarError::InvalidActiveRows {
+                        row: r,
+                        rows: self.rf,
+                    });
+                }
+                prev = Some(r);
+            }
+        }
+        let mut totals = vec![vec![Amps::ZERO; self.kernels]; batch.len()];
+        let chunks = self.rf.div_ceil(self.m.max(1));
+        // Each item's row list is ascending, so the rows belonging to one
+        // AC chunk form a contiguous sub-slice found by binary search —
+        // no per-chunk copy or rebase allocation. The AC subtracts the
+        // chunk's first row itself and accumulates partials into `totals`
+        // directly, preserving the dense loop's evaluation order.
+        let mut sub: Vec<&[usize]> = Vec::with_capacity(batch.len());
+        for chunk_idx in 0..chunks {
+            let start = chunk_idx * self.m;
+            let end = (start + self.m).min(self.rf);
+            sub.clear();
+            sub.extend(batch.iter().map(|item| {
+                let rows = item.as_ref();
+                let lo = rows.partition_point(|&r| r < start);
+                let hi = rows.partition_point(|&r| r < end);
+                &rows[lo..hi]
+            }));
+            self.acs[chunk_idx].dot_batch_sparse_accumulate(&sub, start, &mut totals);
+        }
+        Ok(totals)
+    }
+
+    /// Rebuilds every AC's effective-conductance cache if dirty, so the
+    /// `&self` split-phase evaluators
+    /// ([`eval_dense_prepared`](Self::eval_dense_prepared),
+    /// [`eval_sparse_prepared`](Self::eval_sparse_prepared)) can run from
+    /// parallel workers that share the tile immutably.
+    pub fn prepare(&mut self) {
+        for ac in &mut self.acs {
+            ac.prepare();
+        }
+    }
+
+    /// Kernel (output column) count of the current programming.
+    pub fn kernels(&self) -> usize {
+        self.kernels
+    }
+
+    /// Number of stacked ACs the current programming occupies — the
+    /// length of the per-chunk current vector the split-phase evaluators
+    /// fill.
+    pub fn chunk_count(&self) -> usize {
+        self.rf.div_ceil(self.m.max(1))
+    }
+
+    /// Split-phase dense evaluation of one item: the compute half of
+    /// [`dot`](Self::dot), usable through `&self` so a worker pool can
+    /// evaluate many items against one prepared tile concurrently.
+    /// Writes the per-kernel differential currents into `totals` (len
+    /// [`kernels`](Self::kernels)) and the total (non-differential)
+    /// current each AC drew into `currents` (len
+    /// [`chunk_count`](Self::chunk_count)) — the caller must feed the
+    /// latter back through [`accrue_batch`](Self::accrue_batch) in item
+    /// order to keep energy counters bit-identical to the sequential
+    /// path. `diff` is scratch space (len ≥ kernels; contents ignored).
+    /// All floating-point work happens in exactly [`dot`]'s order, so
+    /// results are independent of worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len() != rf`, a buffer is too short, or
+    /// [`prepare`](Self::prepare) has not run since the last state
+    /// mutation.
+    pub fn eval_dense_prepared(
+        &self,
+        inputs: &[f64],
+        totals: &mut [Amps],
+        currents: &mut [f64],
+        diff: &mut [f64],
+    ) {
+        assert_eq!(inputs.len(), self.rf, "drive vector length != rf");
+        let totals = &mut totals[..self.kernels];
+        totals.fill(Amps::ZERO);
+        for (chunk_idx, chunk) in inputs.chunks(self.m).enumerate() {
+            let diff = &mut diff[..self.kernels];
+            diff.fill(0.0);
+            currents[chunk_idx] = self.acs[chunk_idx].eval_dense_prepared(chunk, diff);
+            for (t, &d) in totals.iter_mut().zip(diff.iter()) {
+                *t += Amps(d); // Kirchhoff current summation, chunk-ascending
+            }
+        }
+    }
+
+    /// Spike-sparse twin of
+    /// [`eval_dense_prepared`](Self::eval_dense_prepared): `active_rows`
+    /// is a strictly ascending list of spiking rows in `0..rf` (the
+    /// caller is trusted — indices are split per AC by binary search and
+    /// evaluated unchecked).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a buffer is too short or [`prepare`](Self::prepare)
+    /// has not run since the last state mutation; out-of-range indices
+    /// panic on cache indexing.
+    pub fn eval_sparse_prepared(
+        &self,
+        active_rows: &[usize],
+        totals: &mut [Amps],
+        currents: &mut [f64],
+        diff: &mut [f64],
+    ) {
+        let totals = &mut totals[..self.kernels];
+        totals.fill(Amps::ZERO);
+        for (chunk_idx, current) in currents.iter_mut().enumerate().take(self.chunk_count()) {
+            let start = chunk_idx * self.m;
+            let end = (start + self.m).min(self.rf);
+            let lo = active_rows.partition_point(|&r| r < start);
+            let hi = active_rows.partition_point(|&r| r < end);
+            let diff = &mut diff[..self.kernels];
+            diff.fill(0.0);
+            *current = self.acs[chunk_idx].eval_sparse_prepared(&active_rows[lo..hi], start, diff);
+            for (t, &d) in totals.iter_mut().zip(diff.iter()) {
+                *t += Amps(d);
+            }
+        }
+    }
+
+    /// Accrual half of the split-phase evaluators: `per_item[i]` is the
+    /// per-AC total-current vector the `i`-th item's
+    /// `eval_*_prepared` call returned. Each AC accrues its items in
+    /// ascending item order — the exact floating-point sequence the
+    /// sequential batch path produces.
+    pub fn accrue_batch(&mut self, per_item: &[&[f64]]) {
+        let chunks = self.rf.div_ceil(self.m.max(1));
+        for (chunk_idx, ac) in self.acs.iter_mut().take(chunks).enumerate() {
+            for item in per_item {
+                ac.accrue_read(item[chunk_idx], 1);
+            }
+        }
     }
 
     /// Natural current scale: see
@@ -477,11 +669,71 @@ mod tests {
         let expected: Vec<Vec<Amps>> = batch.iter().map(|b| seq.dot(b).unwrap()).collect();
         let got = st.dot_batch(&batch).unwrap();
         assert_eq!(got, expected, "batch outputs must be bit-identical");
-        let (eb, es) = (
-            st.accumulated_read_energy().0,
-            seq.accumulated_read_energy().0,
+        // Per-item accrual makes the energy counters match the
+        // sequential path bit for bit.
+        assert_eq!(st.accumulated_read_energy(), seq.accumulated_read_energy());
+    }
+
+    #[test]
+    fn supertile_sparse_batch_matches_dense_binary_batch() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        let rf = 20; // spans 3 ACs → exercises chunk splitting/rebase
+        st.program(&vec![vec![1.0, -0.5]; rf], 1.0).unwrap();
+        let sparse: Vec<Vec<usize>> = vec![
+            (0..rf).step_by(3).collect(), // crosses all three chunks
+            vec![],                       // fully silent item
+            vec![7, 8, 15, 16, 19],       // straddles chunk boundaries
+        ];
+        let dense: Vec<Vec<f64>> = sparse
+            .iter()
+            .map(|rows| {
+                let mut v = vec![0.0; rf];
+                for &r in rows {
+                    v[r] = 1.0;
+                }
+                v
+            })
+            .collect();
+        let mut dense_st = st.clone();
+        let got = st.dot_batch_sparse(&sparse).unwrap();
+        let expected = dense_st.dot_batch(&dense).unwrap();
+        assert_eq!(got, expected, "sparse must match dense bitwise");
+        assert_eq!(
+            st.accumulated_read_energy(),
+            dense_st.accumulated_read_energy()
         );
-        assert!((eb - es).abs() <= es.abs() * 1e-12, "{eb} vs {es}");
+    }
+
+    #[test]
+    fn supertile_sparse_batch_validates_rows() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        st.program(&vec![vec![1.0]; 10], 1.0).unwrap();
+        assert!(matches!(
+            st.dot_batch_sparse(&[vec![0usize, 10]]),
+            Err(CrossbarError::InvalidActiveRows { row: 10, rows: 10 })
+        ));
+        assert!(matches!(
+            st.dot_batch_sparse(&[vec![0usize], vec![5, 4]]),
+            Err(CrossbarError::InvalidActiveRows { .. })
+        ));
+        assert_eq!(st.accumulated_read_energy(), Joules::ZERO);
+    }
+
+    #[test]
+    fn supertile_dot_reference_matches_fast_path() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        let rf = 20;
+        st.program(&vec![vec![0.75, -0.25]; rf], 1.0).unwrap();
+        let inputs: Vec<f64> = (0..rf).map(|i| (i % 4) as f64 / 3.0).collect();
+        let mut reference = st.clone();
+        assert_eq!(
+            st.dot(&inputs).unwrap(),
+            reference.dot_reference(&inputs).unwrap()
+        );
+        assert_eq!(
+            st.accumulated_read_energy(),
+            reference.accumulated_read_energy()
+        );
     }
 
     #[test]

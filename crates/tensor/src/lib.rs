@@ -7,8 +7,10 @@
 //! * [`Tensor`] — row-major dense tensor: arithmetic, matmul, reductions.
 //! * [`conv`] — `im2col`/`col2im` lowering (the software twin of NEBULA's
 //!   kernel-to-crossbar mapping), dense & depthwise convolution, pooling.
-//! * [`par`] — scoped-thread parallel matmul / im2col / conv2d that are
-//!   bit-identical to their sequential counterparts.
+//! * [`par`] — parallel matmul / im2col / conv2d that are bit-identical
+//!   to their sequential counterparts, running on [`pool`].
+//! * [`pool`] — the lazily-initialized persistent worker pool behind
+//!   every parallel kernel (honors `NEBULA_THREADS`).
 //!
 //! # Examples
 //!
@@ -29,6 +31,7 @@
 pub mod conv;
 pub mod error;
 pub mod par;
+pub mod pool;
 mod tensor;
 
 pub use conv::{

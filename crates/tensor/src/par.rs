@@ -4,8 +4,10 @@
 //! The hot path of every NEBULA benchmark sweep is `im2col` + `matmul`
 //! (the software twin of the crossbar evaluation). This module splits
 //! the *output row space* — `[M, N]` matmul rows, `[N·OH·OW, C·KH·KW]`
-//! patch rows — across a `std::thread::scope` pool and hands each worker
-//! a disjoint `&mut` window of the output buffer.
+//! patch rows — across the persistent worker pool
+//! ([`pool`](crate::pool)) and hands each task a disjoint `&mut` window
+//! of the output buffer. The pool is created once, on first use; calls
+//! here no longer pay a `thread::spawn`/`join` round trip each.
 //!
 //! # Determinism
 //!
@@ -65,8 +67,8 @@ pub(crate) fn chunk_ranges(total: usize, workers: usize) -> Vec<Range<usize>> {
     ranges
 }
 
-/// Runs `kernel` over each row range on its own scoped thread, handing
-/// every range the matching disjoint window of `out` (`width` values per
+/// Runs `kernel` over each row range as one pool task, handing every
+/// range the matching disjoint window of `out` (`width` values per
 /// row). A single range short-circuits to a plain call.
 fn run_row_chunks<F>(out: &mut [f32], width: usize, ranges: &[Range<usize>], kernel: F)
 where
@@ -78,16 +80,16 @@ where
         }
         return;
     }
-    std::thread::scope(|s| {
-        let kernel = &kernel;
-        let mut rest = out;
-        for r in ranges {
-            let (window, tail) = rest.split_at_mut((r.end - r.start) * width);
-            rest = tail;
-            let row0 = r.start;
-            s.spawn(move || kernel(row0, window));
-        }
-    });
+    let kernel = &kernel;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    for r in ranges {
+        let (window, tail) = rest.split_at_mut((r.end - r.start) * width);
+        rest = tail;
+        let row0 = r.start;
+        tasks.push(Box::new(move || kernel(row0, window)));
+    }
+    crate::pool::run_scoped(tasks);
 }
 
 /// Parallel rank-2 matrix product `a · b` over [`worker_count`] threads;

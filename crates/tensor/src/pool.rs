@@ -1,0 +1,326 @@
+//! Lazily-initialized persistent worker pool.
+//!
+//! The parallel kernels in [`par`](crate::par) used to spawn fresh
+//! scoped threads on every call; for the analog-evaluation hot path that
+//! is one `thread::spawn`/`join` round trip per matmul per timestep. The
+//! pool here is created once, on first use, with
+//! [`par::worker_count`](crate::par::worker_count)` − 1` background
+//! threads (the calling thread is the remaining worker), and all
+//! subsequent parallel calls submit closures to it.
+//!
+//! # Determinism
+//!
+//! The pool executes tasks — it never decides how work is split. Callers
+//! chunk their work deterministically (e.g.
+//! [`par::matmul_with_workers`](crate::par::matmul_with_workers) via
+//! `chunk_ranges`), so results are bit-identical for any pool size,
+//! including zero background threads: the submitting thread helps drain
+//! the queue while it waits, so every task set completes even when
+//! `NEBULA_THREADS=1`.
+//!
+//! # Scoped semantics
+//!
+//! [`run_scoped`] accepts tasks borrowing the caller's stack and does
+//! not return until every one of them has finished (a completion latch
+//! is waited on even on the panic path), which is what makes handing
+//! `'scope` borrows to `'static` pool threads sound. A panicking task is
+//! caught on the worker and re-raised on the submitting thread after the
+//! whole task set has settled.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A unit of work queued on the pool. Jobs are pre-wrapped so they
+/// cannot unwind into the worker loop.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+}
+
+static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
+
+/// The process-wide pool, spawning its background threads on first use.
+/// Sized from [`worker_count`](crate::par::worker_count) at that moment
+/// (so `NEBULA_THREADS` is honored); the submitting thread always helps,
+/// hence the `− 1`.
+fn shared() -> &'static Arc<Shared> {
+    POOL.get_or_init(|| {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+        });
+        let background = crate::par::worker_count().saturating_sub(1);
+        for i in 0..background {
+            let s = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("nebula-pool-{i}"))
+                .spawn(move || worker_loop(&s))
+                .expect("failed to spawn pool worker");
+        }
+        shared
+    })
+}
+
+fn worker_loop(s: &Shared) {
+    loop {
+        let job = {
+            let mut q = s.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = s.job_ready.wait(q).expect("pool queue poisoned");
+            }
+        };
+        job();
+    }
+}
+
+/// Completion latch for one submitted task set: counts tasks down and
+/// holds the first panic payload so it can be re-raised on the
+/// submitting thread.
+struct Latch {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Self {
+            remaining: Mutex::new(n),
+            all_done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        if let Some(p) = panic {
+            let mut slot = self.panic.lock().expect("latch poisoned");
+            slot.get_or_insert(p); // keep the first panic
+        }
+        let mut rem = self.remaining.lock().expect("latch poisoned");
+        *rem -= 1;
+        if *rem == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().expect("latch poisoned") == 0
+    }
+
+    /// Blocks until every task has completed. Idempotent.
+    fn wait(&self) {
+        let mut rem = self.remaining.lock().expect("latch poisoned");
+        while *rem > 0 {
+            rem = self.all_done.wait(rem).expect("latch poisoned");
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().expect("latch poisoned").take()
+    }
+}
+
+/// Blocks on the latch when dropped, so borrowed task data cannot be
+/// released to the caller before every task referencing it has finished
+/// — including when the submitting thread itself unwinds.
+struct WaitGuard<'a>(&'a Latch);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+/// Runs every task on the persistent pool and returns once all of them
+/// have completed. Tasks may borrow from the caller's stack (`'scope`):
+/// the call guarantees they have all finished before it returns, on both
+/// the normal and the panic path. If any task panics, the first panic is
+/// re-raised here after the whole set has settled.
+pub fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    if tasks.is_empty() {
+        return;
+    }
+    if tasks.len() == 1 {
+        // Single task: nothing to parallelize, run it in place.
+        (tasks.into_iter().next().expect("len checked"))();
+        return;
+    }
+    let latch = Arc::new(Latch::new(tasks.len()));
+    let s = shared();
+    {
+        let mut q = s.queue.lock().expect("pool queue poisoned");
+        for task in tasks {
+            let latch = Arc::clone(&latch);
+            let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(task));
+                latch.complete(outcome.err());
+            });
+            // SAFETY: the job borrows data for 'scope, but the latch —
+            // waited on below and again by `guard` on every exit path,
+            // unwinding included — guarantees the job has run to
+            // completion before this function returns, so the borrow
+            // never outlives its referent. Jobs never unwind (the
+            // catch_unwind above) and the latch methods only panic on
+            // mutex poisoning, which that same catch rules out.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+            q.push_back(job);
+        }
+        s.job_ready.notify_all();
+    }
+    let guard = WaitGuard(&latch);
+    // Help drain the queue while waiting: with zero background threads
+    // (NEBULA_THREADS=1) this runs everything inline, and under nested
+    // parallelism it keeps the submitting thread productive instead of
+    // idle-blocked, so task sets always make progress.
+    while !latch.is_done() {
+        let job = s.queue.lock().expect("pool queue poisoned").pop_front();
+        match job {
+            Some(j) => j(),
+            None => {
+                latch.wait();
+                break;
+            }
+        }
+    }
+    drop(guard);
+    if let Some(payload) = latch.take_panic() {
+        resume_unwind(payload);
+    }
+}
+
+/// Order-preserving parallel map over `0..len` with dynamic work
+/// pulling: up to `workers` pool tasks claim indices from a shared
+/// counter and write each result into its own slot, so the output is
+/// `(0..len).map(f)` exactly, independent of worker count or scheduling
+/// (each `f(i)` is computed once, by exactly one task).
+pub fn par_map_indexed<T, F>(len: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(len.max(1));
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    {
+        let (f, slots, next) = (&f, &slots, &next);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..workers)
+            .map(|_| {
+                Box::new(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let value = f(i);
+                    *slots[i].lock().expect("slot poisoned") = Some(value);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(tasks);
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every index claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_scoped_completes_borrowed_tasks() {
+        let mut data = vec![0u64; 64];
+        {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+                .chunks_mut(8)
+                .enumerate()
+                .map(|(k, chunk)| {
+                    Box::new(move || {
+                        for (i, v) in chunk.iter_mut().enumerate() {
+                            *v = (k * 8 + i) as u64;
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_scoped(tasks);
+        }
+        assert_eq!(data, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn run_scoped_propagates_panics_after_settling() {
+        let done = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                .map(|i| {
+                    let done = &done;
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("task 3 exploded");
+                        }
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_scoped(tasks);
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            7,
+            "non-panicking tasks must all have completed"
+        );
+    }
+
+    #[test]
+    fn nested_run_scoped_does_not_deadlock() {
+        let outer: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                Box::new(move || {
+                    let mut inner_data = [0usize; 16];
+                    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = inner_data
+                        .chunks_mut(4)
+                        .enumerate()
+                        .map(|(k, c)| {
+                            Box::new(move || {
+                                for v in c.iter_mut() {
+                                    *v = k;
+                                }
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    run_scoped(tasks);
+                    assert_eq!(inner_data[15], 3);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(outer);
+    }
+
+    #[test]
+    fn par_map_indexed_preserves_order_for_any_worker_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 200] {
+            let got = par_map_indexed(97, workers, |i| i * i);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+        assert!(par_map_indexed(0, 4, |i| i).is_empty());
+    }
+}
