@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nebula_core::energy::EnergyModel;
 use nebula_core::engine::{evaluate_ann, evaluate_snn};
 use nebula_core::mapper::map_network;
-use nebula_crossbar::{AtomicCrossbar, CrossbarConfig, Mode, SuperTile};
+use nebula_crossbar::{AtomicCrossbar, CrossbarConfig, KernelPath, Mode, SuperTile};
 use nebula_nn::layer::Layer;
 use nebula_nn::snn::{IfPopulation, ResetMode};
 use nebula_tensor::{conv2d, im2col, ConvGeometry, Tensor};
@@ -74,6 +74,76 @@ fn bench_snn(c: &mut Criterion) {
     });
 }
 
+/// The two crossbar inner-loop kernels ([`KernelPath`]) head to head on
+/// dense and spike-sparse GEMV, plus the packed f32 GEMM against its
+/// naive pinned reference at im2col shapes from the LeNet and VGG
+/// workloads. Summarized in `EXPERIMENTS.md` ("Kernel microbenchmarks").
+fn bench_kernel_paths(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let paths = [
+        ("vectorized", KernelPath::Vectorized),
+        ("scalar", KernelPath::Scalar),
+    ];
+
+    // Dense GEMV: full 128×128 differential array, analog input drive.
+    let mut xbar = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
+    let weights: Vec<Vec<f64>> = (0..128)
+        .map(|_| (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    xbar.program(&weights, 1.0).unwrap();
+    let inputs: Vec<f64> = (0..128).map(|_| rng.gen_range(0.0..1.0)).collect();
+    for (label, path) in paths {
+        xbar.set_kernel_path(path);
+        c.bench_function(&format!("gemv_dense_128x128_{label}"), |b| {
+            b.iter(|| xbar.dot(black_box(&inputs)).unwrap())
+        });
+    }
+
+    // Spike-sparse GEMV at 5 / 20 / 80 % row activity (SNN mode drives
+    // active rows at full read voltage; silent rows are skipped).
+    let mut snn_xbar = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Snn)).unwrap();
+    snn_xbar.program(&weights, 1.0).unwrap();
+    for activity in [5u32, 20, 80] {
+        let active: Vec<usize> = (0..128)
+            .filter(|_| rng.gen_bool(f64::from(activity) / 100.0))
+            .collect();
+        for (label, path) in paths {
+            snn_xbar.set_kernel_path(path);
+            c.bench_function(
+                &format!("gemv_sparse_128x128_act{activity:02}_{label}"),
+                |b| b.iter(|| snn_xbar.dot_sparse(black_box(&active)).unwrap()),
+            );
+        }
+    }
+
+    // Packed f32 GEMM at im2col shapes: LeNet conv2 (24×24 patches of a
+    // 6-channel 5×5 window onto 16 kernels) and the VGG/10 bench's
+    // second conv (16×16 patches of a 16-channel 3×3 window onto 16
+    // kernels), against the naive pinned reference.
+    for (name, m, k, n) in [
+        ("lenet_conv2", 576usize, 150usize, 16usize),
+        ("vgg_conv2", 2048, 144, 16),
+    ] {
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b_mat = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        c.bench_function(&format!("gemm_{name}_{m}x{k}x{n}_packed"), |b| {
+            b.iter(|| a.matmul(black_box(&b_mat)).unwrap())
+        });
+        c.bench_function(&format!("gemm_{name}_{m}x{k}x{n}_reference"), |b| {
+            b.iter(|| nebula_tensor::gemm::matmul_reference(&a, black_box(&b_mat)).unwrap())
+        });
+        // Mostly-zero rows (spike-train matrices): near the threshold the
+        // dense axpy still wins — the skip branch only pays once rows are
+        // nearly silent, as spiking im2col patches are (≥ 99 % zeros).
+        for (tag, cut) in [("80pct_zero", 0.6f32), ("98pct_zero", 0.96)] {
+            let sparse_a = a.map(|v| if v < cut { 0.0 } else { v });
+            c.bench_function(&format!("gemm_{name}_{m}x{k}x{n}_{tag}"), |b| {
+                b.iter(|| sparse_a.matmul(black_box(&b_mat)).unwrap())
+            });
+        }
+    }
+}
+
 fn bench_architecture(c: &mut Criterion) {
     let model = EnergyModel::default();
     let vgg = zoo::vgg13(10);
@@ -91,6 +161,6 @@ fn bench_architecture(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_crossbar, bench_tensor, bench_snn, bench_architecture
+    targets = bench_crossbar, bench_tensor, bench_snn, bench_kernel_paths, bench_architecture
 }
 criterion_main!(benches);

@@ -1,15 +1,26 @@
-//! Analog-eval hot path: cached/batched fast path vs the legacy
-//! per-sample per-cell reference on the circuit-level executors.
+//! Analog-eval hot path: vectorized kernels vs the scalar fast path vs
+//! the legacy per-sample per-cell reference on the circuit-level
+//! executors.
 //!
 //! Times the quantized VGG/10 workload through [`AnalogNetwork`] (ANN)
 //! and [`AnalogSpikingNetwork`] at 50/150/300 timesteps, running each
-//! leg twice: once through the uncached sequential reference
-//! (`forward_sequential` / `run_sequential` — the pre-cache baseline)
-//! and once through the cached, batched, spike-sparse fast path
-//! (`forward` / `run`). Outputs and accumulated read energy must match
-//! bit for bit; the binary aborts otherwise.
+//! leg three times:
 //!
-//! Writes `results/BENCH_hotpath.json` (schema `nebula-bench-hotpath/1`,
+//! * **sequential** — the uncached per-sample reference
+//!   (`forward_sequential` / `run_sequential`);
+//! * **fast** — the cached, batched, spike-sparse fast path pinned to
+//!   [`KernelPath::Scalar`] (the per-cell loop, matching the pre-kernel
+//!   fast path bit for bit, energy included);
+//! * **kernels** — the same fast path on the default
+//!   [`KernelPath::Vectorized`] column-lane GEMV kernels.
+//!
+//! Differential outputs and wave counts must match bit for bit across
+//! all three; scalar energy must equal the reference exactly, while the
+//! vectorized leg's energy uses the per-row-sum formulation and is
+//! checked against a 1e-9 relative tolerance (per-dot bound is 1e-12 —
+//! see DESIGN.md "Kernel layer"). The binary aborts on any divergence.
+//!
+//! Writes `results/BENCH_hotpath.json` (schema `nebula-bench-hotpath/2`,
 //! documented in `EXPERIMENTS.md`). `NEBULA_HOTPATH_SAMPLES` overrides
 //! the evaluated sample count (CI smoke runs use a reduced set).
 
@@ -18,11 +29,17 @@ use std::time::Instant;
 use nebula_bench::setup::{trained, Workload};
 use nebula_core::analog::compile_ann;
 use nebula_core::analog_snn::compile_snn_default;
+use nebula_crossbar::KernelPath;
 use nebula_nn::convert::{ann_to_snn, ConversionConfig};
 use nebula_nn::quant::{quantize_network, QuantConfig};
 use nebula_tensor::Tensor;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Accumulated-energy tolerance for the vectorized leg: each dot is
+/// within 1e-12 relative of the reference, and the workload sums
+/// millions of them, so the accumulated deviation stays far below this.
+const ENERGY_RTOL: f64 = 1e-9;
 
 /// Evaluated sample count (the circuit-level SNN legs dominate the
 /// wall clock, so this stays modest by default).
@@ -39,12 +56,23 @@ struct Leg {
     detail: String,
     sequential_ms: f64,
     fast_ms: f64,
+    kernels_ms: f64,
+    /// Outputs + waves bitwise identical across all three paths, and
+    /// scalar energy exactly equal to the reference.
     identical: bool,
+    /// |vectorized − reference| / |reference| on accumulated read energy.
+    energy_rel_err: f64,
 }
 
 impl Leg {
+    /// Headline speedup: vectorized kernels vs the sequential reference.
     fn speedup(&self) -> f64 {
-        self.sequential_ms / self.fast_ms.max(1e-9)
+        self.sequential_ms / self.kernels_ms.max(1e-9)
+    }
+
+    /// Kernel-layer gain: vectorized kernels vs the scalar fast path.
+    fn kernel_gain(&self) -> f64 {
+        self.fast_ms / self.kernels_ms.max(1e-9)
     }
 }
 
@@ -58,6 +86,18 @@ fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
             .iter()
             .zip(b.data())
             .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn rel_err(value: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if value == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((value - reference) / reference).abs()
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -75,80 +115,107 @@ fn main() {
 
     // --- ANN: batched dot_batch fast path vs per-row reference ----------
     {
-        let mut fast = compile_ann(&q).unwrap();
-        let mut slow = fast.clone();
+        let mut kernels = compile_ann(&q).unwrap();
+        let mut slow = kernels.clone();
+        let mut fast = kernels.clone();
+        fast.set_kernel_path(KernelPath::Scalar);
         let tm = Instant::now();
         let ys = slow.forward_sequential(&x).unwrap();
         let sequential_ms = ms(tm);
         let tm = Instant::now();
         let yf = fast.forward(&x).unwrap();
         let fast_ms = ms(tm);
+        let tm = Instant::now();
+        let yk = kernels.forward(&x).unwrap();
+        let kernels_ms = ms(tm);
         legs.push(Leg {
             name: "ann".into(),
             detail: format!("VGG/10 quantized, {samples} samples"),
             sequential_ms,
             fast_ms,
+            kernels_ms,
             identical: bits_equal(&yf, &ys)
+                && bits_equal(&yk, &ys)
                 && fast.read_energy() == slow.read_energy()
-                && fast.waves() == slow.waves(),
+                && fast.waves() == slow.waves()
+                && kernels.waves() == slow.waves(),
+            energy_rel_err: rel_err(kernels.read_energy().0, slow.read_energy().0),
         });
     }
 
     // --- SNN: spike-sparse batched timesteps vs per-sample reference ----
     let snn = ann_to_snn(&q, &t.train.take(64), &ConversionConfig::default()).unwrap();
     for timesteps in [50usize, 150, 300] {
-        let mut fast = compile_snn_default(&snn).unwrap();
-        let mut slow = fast.clone();
-        // Same seed both legs: the Poisson encoder draws per timestep
+        let mut kernels = compile_snn_default(&snn).unwrap();
+        let mut slow = kernels.clone();
+        let mut fast = kernels.clone();
+        fast.set_kernel_path(KernelPath::Scalar);
+        // Same seed on every leg: the Poisson encoder draws per timestep
         // for the whole batch, so RNG consumption is identical.
         let mut r_slow = ChaCha8Rng::seed_from_u64(7);
         let mut r_fast = ChaCha8Rng::seed_from_u64(7);
+        let mut r_kern = ChaCha8Rng::seed_from_u64(7);
         let tm = Instant::now();
         let ys = slow.run_sequential(&x, timesteps, &mut r_slow).unwrap();
         let sequential_ms = ms(tm);
         let tm = Instant::now();
         let yf = fast.run(&x, timesteps, &mut r_fast).unwrap();
         let fast_ms = ms(tm);
+        let tm = Instant::now();
+        let yk = kernels.run(&x, timesteps, &mut r_kern).unwrap();
+        let kernels_ms = ms(tm);
         legs.push(Leg {
             name: format!("snn@{timesteps}"),
             detail: format!("VGG/10 spiking, {samples} samples, {timesteps} timesteps"),
             sequential_ms,
             fast_ms,
+            kernels_ms,
             identical: bits_equal(&yf, &ys)
+                && bits_equal(&yk, &ys)
                 && fast.read_energy() == slow.read_energy()
-                && fast.waves() == slow.waves(),
+                && fast.waves() == slow.waves()
+                && kernels.waves() == slow.waves(),
+            energy_rel_err: rel_err(kernels.read_energy().0, slow.read_energy().0),
         });
     }
 
     let total_seq: f64 = legs.iter().map(|l| l.sequential_ms).sum();
     let total_fast: f64 = legs.iter().map(|l| l.fast_ms).sum();
+    let total_kernels: f64 = legs.iter().map(|l| l.kernels_ms).sum();
     let all_identical = legs.iter().all(|l| l.identical);
+    let max_energy_err = legs.iter().map(|l| l.energy_rel_err).fold(0.0, f64::max);
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"nebula-bench-hotpath/1\",\n");
+    json.push_str("  \"schema\": \"nebula-bench-hotpath/2\",\n");
     json.push_str("  \"workload\": \"VGG/10\",\n");
     json.push_str(&format!("  \"samples\": {samples},\n"));
     json.push_str(&format!("  \"workers\": {workers},\n"));
     json.push_str("  \"legs\": [\n");
     for (i, l) in legs.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"sequential_ms\": {:.3}, \"fast_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"sequential_ms\": {:.3}, \"fast_ms\": {:.3}, \"kernels_ms\": {:.3}, \"speedup\": {:.3}, \"kernel_gain\": {:.3}, \"identical\": {}, \"energy_rel_err\": {:.3e}}}{}\n",
             json_escape(&l.name),
             json_escape(&l.detail),
             l.sequential_ms,
             l.fast_ms,
+            l.kernels_ms,
             l.speedup(),
+            l.kernel_gain(),
             l.identical,
+            l.energy_rel_err,
             if i + 1 < legs.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"total\": {{\"sequential_ms\": {:.3}, \"fast_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}\n",
+        "  \"total\": {{\"sequential_ms\": {:.3}, \"fast_ms\": {:.3}, \"kernels_ms\": {:.3}, \"speedup\": {:.3}, \"kernel_gain\": {:.3}, \"identical\": {}, \"max_energy_rel_err\": {:.3e}}}\n",
         total_seq,
         total_fast,
-        total_seq / total_fast.max(1e-9),
-        all_identical
+        total_kernels,
+        total_seq / total_kernels.max(1e-9),
+        total_fast / total_kernels.max(1e-9),
+        all_identical,
+        max_energy_err
     ));
     json.push_str("}\n");
 
@@ -162,18 +229,26 @@ fn main() {
     println!("BENCH hotpath (VGG/10, {samples} samples), written to {path}\n");
     for l in &legs {
         println!(
-            "  {:<8} {:<44} seq {:>9.1} ms   fast {:>9.1} ms   {:>5.2}x   identical: {}",
+            "  {:<8} {:<44} seq {:>9.1} ms   fast {:>9.1} ms   kernels {:>9.1} ms   {:>5.2}x (gain {:>4.2}x)   identical: {}   energy err {:.1e}",
             l.name,
             l.detail,
             l.sequential_ms,
             l.fast_ms,
+            l.kernels_ms,
             l.speedup(),
-            l.identical
+            l.kernel_gain(),
+            l.identical,
+            l.energy_rel_err
         );
     }
     println!(
-        "\n  total: seq {total_seq:.1} ms, fast {total_fast:.1} ms, speedup {:.2}x",
-        total_seq / total_fast.max(1e-9)
+        "\n  total: seq {total_seq:.1} ms, fast {total_fast:.1} ms, kernels {total_kernels:.1} ms, speedup {:.2}x, kernel gain {:.2}x",
+        total_seq / total_kernels.max(1e-9),
+        total_fast / total_kernels.max(1e-9)
     );
     assert!(all_identical, "fast path diverged from the reference");
+    assert!(
+        max_energy_err <= ENERGY_RTOL,
+        "vectorized energy deviated {max_energy_err:.3e} > {ENERGY_RTOL:.0e} relative"
+    );
 }

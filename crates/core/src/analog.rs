@@ -18,7 +18,7 @@
 //! compilation.
 
 use crate::components::{M, MAX_RF_IN_CORE};
-use nebula_crossbar::{CrossbarConfig, CrossbarError, Mode, SuperTile};
+use nebula_crossbar::{kernel, CrossbarConfig, CrossbarError, KernelPath, Mode, SuperTile};
 use nebula_device::units::{Amps, Joules};
 use nebula_nn::layer::Layer;
 use nebula_nn::{Network, NnError};
@@ -180,11 +180,14 @@ impl ProgrammedMatrix {
     /// persistent worker pool evaluates items concurrently against the
     /// shared tiles (`&self` — [`SuperTile::eval_dense_prepared`]), and
     /// read energy is then accrued sequentially in ascending item order
-    /// per atomic crossbar. Outputs and per-crossbar energy counters are
-    /// **bit-identical** to calling
+    /// per atomic crossbar. Outputs are **bit-identical** to calling
     /// [`dot_reference`](Self::dot_reference) on each row in turn — for
     /// any worker count — because each item's floating-point work is
     /// per-item pure and the accrual order matches the sequential path.
+    /// Energy counters are bit-identical too under
+    /// [`KernelPath::Scalar`]; the default vectorized kernel re-associates
+    /// the total-current sum per row and tracks the reference to a
+    /// relative error ≤ 1e-12.
     fn dot_batch(&mut self, rows: &[&[f32]]) -> Result<Vec<Vec<f32>>, AnalogError> {
         for tile in self.tiles.iter_mut().flatten() {
             tile.prepare();
@@ -212,7 +215,9 @@ impl ProgrammedMatrix {
         let per_block: Vec<Vec<ItemResult>> =
             nebula_tensor::pool::par_map_indexed(blocks, workers, |b| {
                 let mut totals = vec![Amps::ZERO; M];
-                let mut diff = vec![0.0f64; M];
+                // Lane-padded so the vectorized kernel can write its
+                // tail lanes (every tile's scratch_cols() is ≤ this).
+                let mut diff = vec![0.0f64; kernel::padded_len(M)];
                 let mut drive: Vec<f64> = Vec::new();
                 let mut block = Vec::with_capacity(n.div_ceil(blocks));
                 for x in &rows[b * n / blocks..(b + 1) * n / blocks] {
@@ -284,6 +289,12 @@ impl ProgrammedMatrix {
 
     fn supertile_count(&self) -> usize {
         self.tiles.iter().map(Vec::len).sum()
+    }
+
+    fn set_kernel_path(&mut self, path: KernelPath) {
+        for tile in self.tiles.iter_mut().flatten() {
+            tile.set_kernel_path(path);
+        }
     }
 }
 
@@ -523,6 +534,19 @@ impl AnalogNetwork {
         Ok(correct as f64 / labels.len().max(1) as f64)
     }
 
+    /// Selects the crossbar inner-loop kernel every programmed tile
+    /// evaluates through (default [`KernelPath::Vectorized`]). Outputs
+    /// are bit-identical either way; under the vectorized path read
+    /// energy agrees with the scalar/reference path to a relative error
+    /// ≤ 1e-12 instead of bitwise (see [`nebula_crossbar::kernel`]).
+    pub fn set_kernel_path(&mut self, path: KernelPath) {
+        for stage in &mut self.stages {
+            if let AnalogStage::Dense { matrix, .. } | AnalogStage::Conv { matrix, .. } = stage {
+                matrix.set_kernel_path(path);
+            }
+        }
+    }
+
     /// Crossbar evaluation waves executed so far (each is one 110 ns
     /// pipeline wave on hardware).
     pub fn waves(&self) -> u64 {
@@ -730,13 +754,24 @@ mod tests {
         let x = Tensor::rand_uniform(&[6, 2, 8, 8], 0.0, 1.0, &mut r);
         let mut fast = compile_ann(&net).unwrap();
         let mut slow = fast.clone();
+        let mut scalar = fast.clone();
+        scalar.set_kernel_path(KernelPath::Scalar);
         let yf = fast.forward(&x).unwrap();
         let ys = slow.forward_sequential(&x).unwrap();
+        let yk = scalar.forward(&x).unwrap();
         assert_eq!(yf.shape(), ys.shape());
-        for (a, b) in yf.data().iter().zip(ys.data()) {
+        for ((a, b), c) in yf.data().iter().zip(ys.data()).zip(yk.data()) {
             assert_eq!(a.to_bits(), b.to_bits(), "fast {a} vs reference {b}");
+            assert_eq!(c.to_bits(), b.to_bits(), "scalar {c} vs reference {b}");
         }
-        assert_eq!(fast.read_energy(), slow.read_energy());
+        // Scalar kernel: energy bitwise-identical to the reference leg;
+        // vectorized kernel: per-row energy re-association within 1e-12.
+        assert_eq!(scalar.read_energy(), slow.read_energy());
+        let (e_vec, e_ref) = (fast.read_energy().0, slow.read_energy().0);
+        assert!(
+            (e_vec - e_ref).abs() <= 1e-12 * e_ref.abs(),
+            "vectorized energy {e_vec} vs reference {e_ref}"
+        );
         assert_eq!(fast.waves(), slow.waves());
     }
 
@@ -752,7 +787,11 @@ mod tests {
         for (a, b) in yf.data().iter().zip(ys.data()) {
             assert_eq!(a.to_bits(), b.to_bits(), "fast {a} vs reference {b}");
         }
-        assert_eq!(fast.read_energy(), slow.read_energy());
+        let (e_vec, e_ref) = (fast.read_energy().0, slow.read_energy().0);
+        assert!(
+            (e_vec - e_ref).abs() <= 1e-12 * e_ref.abs(),
+            "vectorized energy {e_vec} vs reference {e_ref}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::analog::AnalogError;
 use crate::components::{M, MAX_RF_IN_CORE};
-use nebula_crossbar::{CrossbarConfig, Mode, SuperTile};
+use nebula_crossbar::{kernel, CrossbarConfig, KernelPath, Mode, SuperTile};
 use nebula_device::units::{Amps, Joules};
 use nebula_nn::layer::Layer;
 use nebula_nn::snn::{IfPopulation, InputEncoding, SnnStage, SpikingNetwork};
@@ -104,24 +104,41 @@ impl SnnMatrix {
     /// list and evaluated with [`SuperTile::eval_sparse_prepared`], so
     /// silent rows are never scanned inside the crossbar loop — and read
     /// energy is accrued sequentially in ascending item order per atomic
-    /// crossbar. Outputs and per-crossbar energy counters are
-    /// **bit-identical** to calling
+    /// crossbar. Outputs are **bit-identical** to calling
     /// [`dot_spikes_reference`](Self::dot_spikes_reference) on each item
     /// in turn, for any worker count: a spiking row drives exactly full
     /// read voltage in both paths, each item's floating-point work is
     /// per-item pure, and the accrual order matches the sequential path.
-    fn dot_spikes_batch(&mut self, rows: &[&[f32]]) -> Result<Vec<Vec<f32>>, AnalogError> {
+    /// Energy counters are bit-identical too under
+    /// [`KernelPath::Scalar`]; the default vectorized kernel re-associates
+    /// the total-current sum per row and tracks the reference to a
+    /// relative error ≤ 1e-12.
+    fn dot_spikes_batch(&mut self, rows: &[&[f32]]) -> Result<Vec<f32>, AnalogError> {
+        for (i, spikes) in rows.iter().enumerate() {
+            debug_assert_eq!(spikes.len(), self.rf, "item {i} spike length");
+        }
+        let batch = gather_spike_rows(rows);
+        self.dot_spikes_batch_active(&batch)
+    }
+
+    /// [`dot_spikes_batch`](Self::dot_spikes_batch) taking each item's
+    /// active (spiking) receptive-field indices directly instead of a
+    /// dense spike vector — the convolution path builds these straight
+    /// from the sparse feature map without ever materializing `im2col`
+    /// patches. Indices must be strictly ascending per item; the result
+    /// is bit-identical to the dense entry point on a spike vector whose
+    /// `> 0.5` positions are exactly `batch`.
+    fn dot_spikes_batch_active(&mut self, batch: &SpikeBatch) -> Result<Vec<f32>, AnalogError> {
         for tile in self.tiles.iter_mut().flatten() {
             tile.prepare();
         }
         let cols = self.cols;
-        let rf = self.rf;
         let segment_rows = &self.segment_rows;
         let tiles = &self.tiles;
         // Per-AC total currents for one item live in a single flat
         // buffer, sliced per tile in (segment, group) order.
         let total_chunks: usize = tiles.iter().flatten().map(SuperTile::chunk_count).sum();
-        let n = rows.len();
+        let n = batch.len();
         if n == 0 {
             return Ok(Vec::new());
         }
@@ -129,37 +146,56 @@ impl SnnMatrix {
         // Workers take contiguous item blocks so scratch buffers are
         // reused across a block's items; the per-item values don't depend
         // on the partition, so results are identical for any worker
-        // count. Each item yields its output row and the total current
-        // drawn per AC (flattened in (segment, group, chunk) order).
+        // count. Each block yields one flat output buffer (`cols` values
+        // per item) and one flat current buffer (`total_chunks` values
+        // per item, in (segment, group, chunk) order) — two allocations
+        // per block instead of two per item, which dominates the
+        // fixed cost when convolutions stream thousands of patch rows.
         let blocks = workers.clamp(1, n);
-        type ItemResult = (Vec<f32>, Vec<f64>);
-        let per_block: Vec<Vec<ItemResult>> =
+        type BlockResult = (Vec<f32>, Vec<f64>);
+        let per_block: Vec<BlockResult> =
             nebula_tensor::pool::par_map_indexed(blocks, workers, |b| {
+                let lo = b * n / blocks;
+                let hi = (b + 1) * n / blocks;
                 let mut totals = vec![Amps::ZERO; M];
-                let mut diff = vec![0.0f64; M];
+                // Lane-padded so the vectorized kernel can write its
+                // tail lanes (every tile's scratch_cols() is ≤ this).
+                let mut diff = vec![0.0f64; kernel::padded_len(M)];
                 let mut active: Vec<usize> = Vec::new();
-                let mut block = Vec::with_capacity(n.div_ceil(blocks));
-                for spikes in &rows[b * n / blocks..(b + 1) * n / blocks] {
-                    debug_assert_eq!(spikes.len(), rf);
-                    let mut out_row = vec![0.0f32; cols];
-                    let mut flat = vec![0.0f64; total_chunks];
+                let mut out = vec![0.0f32; (hi - lo) * cols];
+                let mut flat = vec![0.0f64; (hi - lo) * total_chunks];
+                for (i, item) in (lo..hi).enumerate() {
+                    let acts = batch.item(item);
+                    if acts.is_empty() {
+                        // Fully silent item: zero output, zero current.
+                        continue;
+                    }
+                    let out_row = &mut out[i * cols..(i + 1) * cols];
+                    let flat_row = &mut flat[i * total_chunks..(i + 1) * total_chunks];
                     let mut offset = 0usize;
                     let mut chunk_off = 0usize;
                     for (seg, &seg_rows) in segment_rows.iter().enumerate() {
+                        let end = offset + seg_rows;
+                        let s_lo = acts.partition_point(|&g| (g as usize) < offset);
+                        let s_hi = acts.partition_point(|&g| (g as usize) < end);
+                        if s_lo == s_hi {
+                            // A fully silent segment contributes exactly
+                            // zero to every column and draws no current
+                            // (`flat_row` is pre-zeroed); adding `+0.0`
+                            // into `out_row` cannot change any bit
+                            // because partial outputs are never `-0.0`.
+                            chunk_off += tiles[seg].iter().map(|t| t.chunk_count()).sum::<usize>();
+                            offset = end;
+                            continue;
+                        }
                         active.clear();
-                        active.extend(
-                            spikes[offset..offset + seg_rows]
-                                .iter()
-                                .enumerate()
-                                .filter(|(_, &v)| v > 0.5)
-                                .map(|(r, _)| r),
-                        );
+                        active.extend(acts[s_lo..s_hi].iter().map(|&g| g as usize - offset));
                         for (g, tile) in tiles[seg].iter().enumerate() {
                             let chunks = tile.chunk_count();
                             tile.eval_sparse_prepared(
                                 &active,
                                 &mut totals,
-                                &mut flat[chunk_off..chunk_off + chunks],
+                                &mut flat_row[chunk_off..chunk_off + chunks],
                                 &mut diff,
                             );
                             let unit = tile.unit_current().0;
@@ -168,28 +204,30 @@ impl SnnMatrix {
                             }
                             chunk_off += chunks;
                         }
-                        offset += seg_rows;
+                        offset = end;
                     }
-                    block.push((out_row, flat));
                 }
-                block
+                (out, flat)
             });
-        let per_item: Vec<ItemResult> = per_block.into_iter().flatten().collect();
-        // Sequential accrual in ascending item order per atomic crossbar.
-        let mut item_currents: Vec<&[f64]> = Vec::with_capacity(per_item.len());
+        // Sequential accrual in ascending item order per atomic crossbar
+        // (blocks are in ascending item order, items ascend within one).
+        let mut item_currents: Vec<&[f64]> = Vec::with_capacity(n);
         let mut chunk_off = 0usize;
         for tile in self.tiles.iter_mut().flatten() {
             let chunks = tile.chunk_count();
             item_currents.clear();
-            item_currents.extend(
-                per_item
-                    .iter()
-                    .map(|(_, flat)| &flat[chunk_off..chunk_off + chunks]),
-            );
+            item_currents.extend(per_block.iter().flat_map(|(_, flat)| {
+                flat.chunks(total_chunks)
+                    .map(|row| &row[chunk_off..chunk_off + chunks])
+            }));
             tile.accrue_batch(&item_currents);
             chunk_off += chunks;
         }
-        Ok(per_item.into_iter().map(|(out_row, _)| out_row).collect())
+        let mut out = Vec::with_capacity(n * cols);
+        for (block_out, _) in per_block {
+            out.extend_from_slice(&block_out);
+        }
+        Ok(out)
     }
 
     fn read_energy(&self) -> Joules {
@@ -199,6 +237,187 @@ impl SnnMatrix {
             .map(SuperTile::accumulated_read_energy)
             .sum()
     }
+
+    fn set_kernel_path(&mut self, path: KernelPath) {
+        for tile in self.tiles.iter_mut().flatten() {
+            tile.set_kernel_path(path);
+        }
+    }
+}
+
+/// Active-row (spiking) index lists for a batch of crossbar waves, in
+/// CSR form: `starts` has `len() + 1` entries and item `i`'s strictly
+/// ascending receptive-field indices are `idx[starts[i]..starts[i+1]]`.
+#[derive(Debug, Default)]
+struct SpikeBatch {
+    idx: Vec<u32>,
+    starts: Vec<usize>,
+}
+
+impl SpikeBatch {
+    fn with_items(n: usize) -> Self {
+        let mut starts = Vec::with_capacity(n + 1);
+        starts.push(0);
+        Self {
+            idx: Vec::new(),
+            starts,
+        }
+    }
+
+    /// Seals the current item: everything appended to `idx` since the
+    /// previous seal belongs to it.
+    fn push_item(&mut self) {
+        self.starts.push(self.idx.len());
+    }
+
+    fn len(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    fn item(&self, i: usize) -> &[u32] {
+        &self.idx[self.starts[i]..self.starts[i + 1]]
+    }
+}
+
+/// Gathers each dense spike vector's active (`v > 0.5`) indices into a
+/// [`SpikeBatch`]. A branch-free counting pass over 64-wide blocks
+/// (which the compiler vectorizes) decides whether the index-building
+/// scan runs at all; spike trains after the first IF layer are mostly
+/// silent, so most blocks are dismissed with ~1 op/element.
+fn gather_spike_rows(rows: &[&[f32]]) -> SpikeBatch {
+    let mut batch = SpikeBatch::with_items(rows.len());
+    for spikes in rows {
+        let mut base = 0u32;
+        for blk in spikes.chunks(64) {
+            let hits: u32 = blk.iter().map(|&v| u32::from(v > 0.5)).sum();
+            if hits > 0 {
+                batch.idx.extend(
+                    blk.iter()
+                        .enumerate()
+                        .filter(|(_, &v)| v > 0.5)
+                        .map(|(r, _)| base + r as u32),
+                );
+            }
+            base += blk.len() as u32;
+        }
+        batch.push_item();
+    }
+    batch
+}
+
+/// Builds the per-patch active-index lists for a convolution directly
+/// from the sparse spiking feature map — the fused twin of
+/// [`im2col`] + [`gather_spike_rows`] that never materializes the
+/// `[N·OH·OW, C·KH·KW]` patch matrix. Produces exactly the indices the
+/// unfused pipeline would: for patch `(img, oy, ox)`, column
+/// `ch·kh·kw + ky·kw + kx` is active iff input pixel
+/// `(img, ch, oy·stride + ky − pad, ox·stride + kx − pad)` is in bounds
+/// and spiking (`> 0.5`) — the identical test (padded taps stay `0.0`
+/// in `im2col`, hence inactive) emitted in the identical ascending
+/// `(ch, ky, kx)` order, so the downstream crossbar evaluation is
+/// bit-identical.
+fn gather_conv_patches(
+    data: &[f32],
+    [n, c, h, w]: [usize; 4],
+    [oh, ow]: [usize; 2],
+    geom: ConvGeometry,
+) -> SpikeBatch {
+    // Feature-map CSR over the n·c·h input scanlines: ascending spiking
+    // x positions per scanline, found with the same blocked counting
+    // pass as `gather_spike_rows`.
+    let mut fm_idx: Vec<u32> = Vec::new();
+    let mut fm_starts: Vec<usize> = Vec::with_capacity(n * c * h + 1);
+    fm_starts.push(0);
+    for line in data.chunks(w.max(1)) {
+        let mut base = 0u32;
+        for blk in line.chunks(64) {
+            let hits: u32 = blk.iter().map(|&v| u32::from(v > 0.5)).sum();
+            if hits > 0 {
+                fm_idx.extend(
+                    blk.iter()
+                        .enumerate()
+                        .filter(|(_, &v)| v > 0.5)
+                        .map(|(x, _)| base + x as u32),
+                );
+            }
+            base += blk.len() as u32;
+        }
+        fm_starts.push(fm_idx.len());
+    }
+    let (kh, kw, stride, pad) = (geom.kh, geom.kw, geom.stride, geom.pad);
+    let patches = n * oh * ow;
+    if data.is_empty() {
+        return SpikeBatch {
+            idx: Vec::new(),
+            starts: vec![0; patches + 1],
+        };
+    }
+    // Scatter, not gather: each spiking pixel `(img, ch, y, x)` lands in
+    // at most `kh·kw` patches — those `(oy, ox)` with
+    // `y = oy·stride + ky − pad` and `x = ox·stride + kx − pad` for some
+    // in-kernel `(ky, kx)` — so the work scales with *spikes*, not with
+    // `patches × C·KH` probes of mostly-silent scanlines. `for_each`
+    // walks every (patch, column) contribution once; it runs twice —
+    // first to size each patch's slot (prefix-summed into `starts`),
+    // then to fill through per-patch write cursors. Pixels are visited
+    // in ascending `(ch, y, x)` order and a fixed patch maps
+    // `ky = y − (oy·stride − pad)` monotonically in `y` (and `kx`
+    // likewise in `x`), so each patch receives its columns already in
+    // strictly ascending order.
+    let for_each = |emit: &mut dyn FnMut(usize, u32)| {
+        for img in 0..n {
+            for ch in 0..c {
+                for y in 0..h {
+                    let line_r = (img * c + ch) * h + y;
+                    let line = &fm_idx[fm_starts[line_r]..fm_starts[line_r + 1]];
+                    if line.is_empty() {
+                        continue;
+                    }
+                    for ky in 0..kh {
+                        let Some(t) = (y + pad).checked_sub(ky) else {
+                            continue;
+                        };
+                        if t % stride != 0 {
+                            continue;
+                        }
+                        let oy = t / stride;
+                        if oy >= oh {
+                            continue;
+                        }
+                        let col0 = ((ch * kh + ky) * kw) as u32;
+                        let patch0 = (img * oh + oy) * ow;
+                        for &x in line {
+                            for kx in 0..kw {
+                                let Some(u) = (x as usize + pad).checked_sub(kx) else {
+                                    continue;
+                                };
+                                if u % stride != 0 {
+                                    continue;
+                                }
+                                let ox = u / stride;
+                                if ox >= ow {
+                                    continue;
+                                }
+                                emit(patch0 + ox, col0 + kx as u32);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+    let mut starts = vec![0usize; patches + 1];
+    for_each(&mut |p, _| starts[p + 1] += 1);
+    for p in 0..patches {
+        starts[p + 1] += starts[p];
+    }
+    let mut cursor: Vec<usize> = starts[..patches].to_vec();
+    let mut idx = vec![0u32; starts[patches]];
+    for_each(&mut |p, col| {
+        idx[cursor[p]] = col;
+        cursor[p] += 1;
+    });
+    SpikeBatch { idx, starts }
 }
 
 #[derive(Debug, Clone)]
@@ -293,6 +512,21 @@ impl AnalogSpikingNetwork {
         self.encoding = encoding;
     }
 
+    /// Selects the crossbar inner-loop kernel every programmed tile
+    /// evaluates through (default [`KernelPath::Vectorized`]). Outputs
+    /// are bit-identical either way; under the vectorized path read
+    /// energy agrees with the scalar/reference path to a relative error
+    /// ≤ 1e-12 instead of bitwise (see [`nebula_crossbar::kernel`]).
+    pub fn set_kernel_path(&mut self, path: KernelPath) {
+        for stage in &mut self.stages {
+            if let SpikingAnalogStage::Dense { matrix, .. }
+            | SpikingAnalogStage::Conv { matrix, .. } = stage
+            {
+                matrix.set_kernel_path(path);
+            }
+        }
+    }
+
     fn encode<R: Rng + ?Sized>(&self, inputs: &Tensor, rng: &mut R) -> Tensor {
         match self.encoding {
             InputEncoding::Poisson => {
@@ -365,7 +599,7 @@ impl AnalogSpikingNetwork {
     ) -> Result<Tensor, AnalogError> {
         self.reset_state();
         let mut acc: Option<Tensor> = None;
-        for _t in 0..timesteps {
+        for _ in 0..timesteps {
             let mut h = self.encode(inputs, rng);
             let mut stages = std::mem::take(&mut self.stages);
             let step: Result<(), AnalogError> = (|| {
@@ -373,11 +607,11 @@ impl AnalogSpikingNetwork {
                     h = match stage {
                         SpikingAnalogStage::Dense { matrix, bias } => {
                             let n = h.shape()[0];
-                            let ys = if reference {
-                                let mut ys = Vec::with_capacity(n);
+                            let ys: Vec<f32> = if reference {
+                                let mut ys = Vec::with_capacity(n * matrix.cols);
                                 for i in 0..n {
                                     let row = &h.data()[i * matrix.rf..(i + 1) * matrix.rf];
-                                    ys.push(matrix.dot_spikes_reference(row)?);
+                                    ys.extend_from_slice(&matrix.dot_spikes_reference(row)?);
                                 }
                                 ys
                             } else {
@@ -388,8 +622,11 @@ impl AnalogSpikingNetwork {
                             };
                             self.timestep_waves += n as u64;
                             let mut out = Tensor::zeros(&[n, matrix.cols]);
-                            for (i, y) in ys.iter().enumerate() {
-                                let dst = &mut out.data_mut()[i * bias.len()..(i + 1) * bias.len()];
+                            for (dst, y) in out
+                                .data_mut()
+                                .chunks_mut(bias.len())
+                                .zip(ys.chunks(matrix.cols))
+                            {
                                 for (d, (v, b)) in dst.iter_mut().zip(y.iter().zip(bias.iter())) {
                                     *d = v + b;
                                 }
@@ -402,35 +639,35 @@ impl AnalogSpikingNetwork {
                             geom,
                             out_channels,
                         } => {
-                            let (n, hh, ww) = (h.shape()[0], h.shape()[2], h.shape()[3]);
+                            let (n, cc, hh, ww) =
+                                (h.shape()[0], h.shape()[1], h.shape()[2], h.shape()[3]);
                             let (oh, ow) = geom.out_hw(hh, ww)?;
-                            // The parallel lowering is bit-identical to
-                            // `im2col` (same index order).
-                            let cols = if reference {
-                                im2col(&h, *geom)?
-                            } else {
-                                nebula_tensor::par::im2col(&h, *geom)?
-                            };
                             let spatial = oh * ow;
                             let total_rows = n * spatial;
-                            let ys = if reference {
-                                let mut ys = Vec::with_capacity(total_rows);
+                            let ys: Vec<f32> = if reference {
+                                let cols = im2col(&h, *geom)?;
+                                let mut ys = Vec::with_capacity(total_rows * matrix.cols);
                                 for ri in 0..total_rows {
                                     let row = &cols.data()[ri * matrix.rf..(ri + 1) * matrix.rf];
-                                    ys.push(matrix.dot_spikes_reference(row)?);
+                                    ys.extend_from_slice(&matrix.dot_spikes_reference(row)?);
                                 }
                                 ys
                             } else {
-                                let rows: Vec<&[f32]> = (0..total_rows)
-                                    .map(|ri| &cols.data()[ri * matrix.rf..(ri + 1) * matrix.rf])
-                                    .collect();
-                                matrix.dot_spikes_batch(&rows)?
+                                // Fused sparse lowering: build each patch's
+                                // active-index list straight from the
+                                // spiking feature map — no im2col matrix,
+                                // no dense patch rows. Bit-identical to the
+                                // unfused path (see `gather_conv_patches`).
+                                let batch =
+                                    gather_conv_patches(h.data(), [n, cc, hh, ww], [oh, ow], *geom);
+                                matrix.dot_spikes_batch_active(&batch)?
                             };
                             self.timestep_waves += total_rows as u64;
+                            let mc = matrix.cols;
                             let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);
                             for img in 0..n {
                                 for s in 0..spatial {
-                                    let y = &ys[img * spatial + s];
+                                    let y = &ys[(img * spatial + s) * mc..][..mc];
                                     for (o, (&v, &b)) in y.iter().zip(bias.iter()).enumerate() {
                                         out.data_mut()
                                             [img * *out_channels * spatial + o * spatial + s] =
@@ -611,15 +848,27 @@ mod tests {
         let x = Tensor::from_vec(data.inputs.data()[..16 * cols].to_vec(), &[16, cols]).unwrap();
         // Same seed for both legs: the Poisson encoder draws per
         // timestep for the whole batch, so RNG consumption is identical.
+        let mut scalar = fast.clone();
+        scalar.set_kernel_path(KernelPath::Scalar);
         let mut r_fast = rand::rngs::StdRng::seed_from_u64(9);
         let mut r_slow = rand::rngs::StdRng::seed_from_u64(9);
+        let mut r_scalar = rand::rngs::StdRng::seed_from_u64(9);
         let yf = fast.run(&x, 40, &mut r_fast).unwrap();
         let ys = slow.run_sequential(&x, 40, &mut r_slow).unwrap();
+        let yk = scalar.run(&x, 40, &mut r_scalar).unwrap();
         assert_eq!(yf.shape(), ys.shape());
-        for (a, b) in yf.data().iter().zip(ys.data()) {
+        for ((a, b), c) in yf.data().iter().zip(ys.data()).zip(yk.data()) {
             assert_eq!(a.to_bits(), b.to_bits(), "fast {a} vs reference {b}");
+            assert_eq!(c.to_bits(), b.to_bits(), "scalar {c} vs reference {b}");
         }
-        assert_eq!(fast.read_energy(), slow.read_energy());
+        // Scalar kernel: energy bitwise-identical to the reference leg;
+        // vectorized kernel: per-row energy re-association within 1e-12.
+        assert_eq!(scalar.read_energy(), slow.read_energy());
+        let (e_vec, e_ref) = (fast.read_energy().0, slow.read_energy().0);
+        assert!(
+            (e_vec - e_ref).abs() <= 1e-12 * e_ref.abs(),
+            "vectorized energy {e_vec} vs reference {e_ref}"
+        );
         assert_eq!(fast.waves(), slow.waves());
     }
 

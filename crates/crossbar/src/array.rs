@@ -11,6 +11,7 @@
 
 use crate::config::CrossbarConfig;
 use crate::error::CrossbarError;
+use crate::kernel::{self, KernelPath};
 use nebula_device::fault::{CellFault, ConductanceEnvelope, FaultModel};
 use nebula_device::synapse::DwMtjSynapse;
 use nebula_device::units::{Amps, Joules, Seconds, Volts};
@@ -58,12 +59,36 @@ pub struct AtomicCrossbar {
     /// zero differential current and draws no read energy.
     dead: bool,
     /// Lazily rebuilt fault/age-resolved effective conductances for the
-    /// programmed block (`rows_used × cols_used`, row-major). `None`
-    /// means dirty: every state mutation (program, reset, fault
-    /// injection, aging, kill/revive) invalidates it, and the next
-    /// noise-free evaluation rebuilds it once instead of re-resolving
-    /// faults per cell per evaluation.
-    eff_cache: Option<Vec<f64>>,
+    /// programmed block. `None` means dirty: every state mutation
+    /// (program, reset, fault injection, aging, kill/revive) invalidates
+    /// it, and the next noise-free evaluation rebuilds it once instead
+    /// of re-resolving faults per cell per evaluation.
+    eff_cache: Option<EffCache>,
+    /// Which inner-loop kernel the prepared evaluators dispatch to.
+    /// Switching paths does not invalidate the cache: both layouts are
+    /// always materialized together.
+    kernel: KernelPath,
+}
+
+/// The prepared evaluation cache: the scalar layout (pinned reference)
+/// plus the vectorized differential layout, built together so the kernel
+/// path can be switched without re-preparing.
+#[derive(Debug, Clone)]
+struct EffCache {
+    /// Fault/age-resolved effective conductances, row-major
+    /// `rows_used × cols_used` — exactly what the legacy per-cell loop
+    /// would compute, consumed by [`KernelPath::Scalar`].
+    eff: Vec<f64>,
+    /// Differential conductances `g_eff − g_mid`, row-major with each row
+    /// zero-padded to `padded_cols` — the column-lane layout consumed by
+    /// [`KernelPath::Vectorized`].
+    dg: Vec<f64>,
+    /// Per-row sum of effective conductances (column-ascending), folding
+    /// the energy term of the vectorized path into one multiply per
+    /// active row.
+    row_sum: Vec<f64>,
+    /// Stride of one `dg` row: `kernel::padded_len(cols_used)`.
+    padded_cols: usize,
 }
 
 impl AtomicCrossbar {
@@ -95,8 +120,30 @@ impl AtomicCrossbar {
             age: Seconds(0.0),
             dead: false,
             eff_cache: None,
+            kernel: KernelPath::default(),
             config,
         })
+    }
+
+    /// Selects the inner-loop kernel the noise-free evaluators run
+    /// through (default [`KernelPath::Vectorized`]). Differential
+    /// outputs are bit-identical either way; only the energy term's
+    /// association differs (see [`KernelPath`]). Does not invalidate the
+    /// prepared cache — both layouts are always built together.
+    pub fn set_kernel_path(&mut self, path: KernelPath) {
+        self.kernel = path;
+    }
+
+    /// The currently selected inner-loop kernel.
+    pub fn kernel_path(&self) -> KernelPath {
+        self.kernel
+    }
+
+    /// Scratch width the `*_prepared` evaluators require: `cols_used`
+    /// rounded up to a lane multiple (the vectorized kernel writes the
+    /// zero-padded tail lanes).
+    pub(crate) fn padded_cols(&self) -> usize {
+        kernel::padded_len(self.cols_used)
     }
 
     /// The configuration this crossbar was built with.
@@ -390,11 +437,25 @@ impl AtomicCrossbar {
     /// (e.g. [`SuperTile`](crate::tile::SuperTile)) that already proved
     /// the whole drive vector valid up front.
     pub(crate) fn dot_unchecked(&mut self, inputs: &[f64]) -> Vec<Amps> {
-        debug_assert_eq!(inputs.len(), self.rows_used);
-        let mut diff = vec![0.0f64; self.cols_used];
-        let total_current = self.eval_cached(inputs, &mut diff);
-        self.accrue_read(total_current, 1);
+        let mut diff = vec![0.0f64; self.padded_cols()];
+        self.dot_unchecked_into(inputs, &mut diff);
+        diff.truncate(self.cols_used);
         diff.into_iter().map(Amps).collect()
+    }
+
+    /// Allocation-free [`dot_unchecked`](Self::dot_unchecked): evaluates
+    /// into the caller's scratch slice (length ≥
+    /// [`padded_cols`](Self::padded_cols); zeroed here, so it can be
+    /// reused dirty across calls) and accrues read energy. The
+    /// differential currents land in `diff[..cols_used]` in amps. This is
+    /// the per-timestep entry [`SuperTile`](crate::tile::SuperTile) drives
+    /// with one block-reused buffer instead of a fresh `Vec` per call.
+    pub(crate) fn dot_unchecked_into(&mut self, inputs: &[f64], diff: &mut [f64]) {
+        debug_assert_eq!(inputs.len(), self.rows_used);
+        let scratch = &mut diff[..self.padded_cols()];
+        scratch.fill(0.0);
+        let total_current = self.eval_cached(inputs, scratch);
+        self.accrue_read(total_current, 1);
     }
 
     /// Like [`dot`](Self::dot) but evaluated through the legacy per-cell
@@ -459,29 +520,45 @@ impl AtomicCrossbar {
     }
 
     /// Rebuilds the effective-conductance cache if a state mutation
-    /// marked it dirty. Each cached cell is exactly the value the legacy
-    /// loop would compute for it (fault- and age-resolved programmed
-    /// conductance), so cached evaluations are bit-identical by
-    /// construction.
+    /// marked it dirty. Each cached `eff` cell is exactly the value the
+    /// legacy loop would compute for it (fault- and age-resolved
+    /// programmed conductance), so cached evaluations are bit-identical
+    /// by construction; the differential layout stores the same
+    /// `g_eff − g_mid` the scalar loop computes per visit, pre-subtracted
+    /// once here instead.
     fn ensure_cache(&mut self) {
         if self.eff_cache.is_some() {
             return;
         }
         let m = self.m();
         let cols = self.cols_used;
+        let padded_cols = kernel::padded_len(cols);
+        let g_mid = self.g_mid();
         let faulty = !self.faults.is_empty();
-        let mut cache = Vec::with_capacity(self.rows_used * cols);
+        let mut eff = Vec::with_capacity(self.rows_used * cols);
+        let mut dg = vec![0.0f64; self.rows_used * padded_cols];
+        let mut row_sum = Vec::with_capacity(self.rows_used);
         for r in 0..self.rows_used {
+            let mut sum = 0.0f64;
             for j in 0..cols {
                 let g = self.conductance[r * m + j];
-                cache.push(if faulty {
+                let g = if faulty {
                     self.fault_adjust(r * m + j, g)
                 } else {
                     g
-                });
+                };
+                eff.push(g);
+                dg[r * padded_cols + j] = g - g_mid;
+                sum += g;
             }
+            row_sum.push(sum);
         }
-        self.eff_cache = Some(cache);
+        self.eff_cache = Some(EffCache {
+            eff,
+            dg,
+            row_sum,
+            padded_cols,
+        });
     }
 
     /// Rebuilds the conductance cache if dirty, so that the `&self`
@@ -510,7 +587,10 @@ impl AtomicCrossbar {
     /// that already ran [`prepare`](Self::prepare) — parallel batch
     /// workers evaluate through this without mutating the array; energy
     /// is accrued afterwards by the owner via
-    /// [`accrue_read`](Self::accrue_read).
+    /// [`accrue_read`](Self::accrue_read). `diff` must be at least
+    /// [`padded_cols`](Self::padded_cols) long; the vectorized kernel
+    /// writes (zero) into the padding tail, and only `diff[..cols_used]`
+    /// is meaningful.
     ///
     /// # Panics
     ///
@@ -522,21 +602,36 @@ impl AtomicCrossbar {
         }
         let cache = self
             .eff_cache
-            .as_deref()
+            .as_ref()
             .expect("prepare() must run before a *_prepared evaluation");
         let v_read = self.config.mode.read_voltage().0;
-        let g_mid = self.g_mid();
-        let cols = self.cols_used;
         let mut total_current = 0.0f64;
-        for (r, &x) in inputs.iter().enumerate() {
-            if x == 0.0 {
-                continue; // event-driven: silent rows draw no read current
+        match self.kernel {
+            KernelPath::Scalar => {
+                let g_mid = self.g_mid();
+                let cols = self.cols_used;
+                for (r, &x) in inputs.iter().enumerate() {
+                    if x == 0.0 {
+                        continue; // event-driven: silent rows draw no read current
+                    }
+                    let v = v_read * x;
+                    let row = &cache.eff[r * cols..(r + 1) * cols];
+                    for (j, &g) in row.iter().enumerate() {
+                        diff[j] += v * (g - g_mid);
+                        total_current += v * g;
+                    }
+                }
             }
-            let v = v_read * x;
-            let row = &cache[r * cols..(r + 1) * cols];
-            for (j, &g) in row.iter().enumerate() {
-                diff[j] += v * (g - g_mid);
-                total_current += v * g;
+            KernelPath::Vectorized => {
+                let pc = cache.padded_cols;
+                for (r, &x) in inputs.iter().enumerate() {
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let v = v_read * x;
+                    total_current += v * cache.row_sum[r];
+                    kernel::axpy(v, &cache.dg[r * pc..(r + 1) * pc], diff);
+                }
             }
         }
         total_current
@@ -576,18 +671,30 @@ impl AtomicCrossbar {
         }
         let cache = self
             .eff_cache
-            .as_deref()
+            .as_ref()
             .expect("prepare() must run before a *_prepared evaluation");
         let v = self.config.mode.read_voltage().0;
-        let g_mid = self.g_mid();
-        let cols = self.cols_used;
         let mut total_current = 0.0f64;
-        for &r in active_rows {
-            let r = r - base;
-            let row = &cache[r * cols..(r + 1) * cols];
-            for (j, &g) in row.iter().enumerate() {
-                diff[j] += v * (g - g_mid);
-                total_current += v * g;
+        match self.kernel {
+            KernelPath::Scalar => {
+                let g_mid = self.g_mid();
+                let cols = self.cols_used;
+                for &r in active_rows {
+                    let r = r - base;
+                    let row = &cache.eff[r * cols..(r + 1) * cols];
+                    for (j, &g) in row.iter().enumerate() {
+                        diff[j] += v * (g - g_mid);
+                        total_current += v * g;
+                    }
+                }
+            }
+            KernelPath::Vectorized => {
+                let pc = cache.padded_cols;
+                for &r in active_rows {
+                    let r = r - base;
+                    total_current += v * cache.row_sum[r];
+                    kernel::axpy(v, &cache.dg[r * pc..(r + 1) * pc], diff);
+                }
             }
         }
         total_current
@@ -625,10 +732,26 @@ impl AtomicCrossbar {
     /// [`dot_sparse`](Self::dot_sparse) without validation, for callers
     /// that already proved the row list valid.
     pub(crate) fn dot_sparse_unchecked(&mut self, active_rows: &[usize]) -> Vec<Amps> {
-        let mut diff = vec![0.0f64; self.cols_used];
-        let total_current = self.eval_cached_sparse(active_rows, 0, &mut diff);
-        self.accrue_read(total_current, 1);
+        let mut diff = vec![0.0f64; self.padded_cols()];
+        self.dot_sparse_unchecked_into(active_rows, 0, &mut diff);
+        diff.truncate(self.cols_used);
         diff.into_iter().map(Amps).collect()
+    }
+
+    /// Spike-sparse twin of
+    /// [`dot_unchecked_into`](Self::dot_unchecked_into): evaluates the
+    /// active-row list (indices relative to `base`) into the caller's
+    /// scratch slice and accrues read energy.
+    pub(crate) fn dot_sparse_unchecked_into(
+        &mut self,
+        active_rows: &[usize],
+        base: usize,
+        diff: &mut [f64],
+    ) {
+        let scratch = &mut diff[..self.padded_cols()];
+        scratch.fill(0.0);
+        let total_current = self.eval_cached_sparse(active_rows, base, scratch);
+        self.accrue_read(total_current, 1);
     }
 
     /// Evaluates a whole batch of input vectors in one call, amortizing
@@ -662,12 +785,12 @@ impl AtomicCrossbar {
     /// [`dot_batch`](Self::dot_batch) without per-item validation.
     pub(crate) fn dot_batch_unchecked<S: AsRef<[f64]>>(&mut self, batch: &[S]) -> Vec<Vec<Amps>> {
         let mut out = Vec::with_capacity(batch.len());
-        let mut diff = vec![0.0f64; self.cols_used];
+        let mut diff = vec![0.0f64; self.padded_cols()];
         for item in batch {
             diff.fill(0.0);
             let total_current = self.eval_cached(item.as_ref(), &mut diff);
             self.accrue_read(total_current, 1);
-            out.push(diff.iter().copied().map(Amps).collect());
+            out.push(diff[..self.cols_used].iter().copied().map(Amps).collect());
         }
         out
     }
@@ -697,12 +820,12 @@ impl AtomicCrossbar {
         batch: &[S],
     ) -> Vec<Vec<Amps>> {
         let mut out = Vec::with_capacity(batch.len());
-        let mut diff = vec![0.0f64; self.cols_used];
+        let mut diff = vec![0.0f64; self.padded_cols()];
         for item in batch {
             diff.fill(0.0);
             let total_current = self.eval_cached_sparse(item.as_ref(), 0, &mut diff);
             self.accrue_read(total_current, 1);
-            out.push(diff.iter().copied().map(Amps).collect());
+            out.push(diff[..self.cols_used].iter().copied().map(Amps).collect());
         }
         out
     }
@@ -720,12 +843,12 @@ impl AtomicCrossbar {
         base: usize,
         totals: &mut [Vec<Amps>],
     ) {
-        let mut diff = vec![0.0f64; self.cols_used];
+        let mut diff = vec![0.0f64; self.padded_cols()];
         for (item, rows) in batch.iter().enumerate() {
             diff.fill(0.0);
             let total_current = self.eval_cached_sparse(rows, base, &mut diff);
             self.accrue_read(total_current, 1);
-            for (t, &d) in totals[item].iter_mut().zip(diff.iter()) {
+            for (t, &d) in totals[item].iter_mut().zip(diff[..self.cols_used].iter()) {
                 *t += Amps(d);
             }
         }
@@ -736,12 +859,12 @@ impl AtomicCrossbar {
     /// evaluates each item over the conductance cache and adds the
     /// differential currents into `totals[item]` in place.
     pub(crate) fn dot_batch_accumulate(&mut self, batch: &[&[f64]], totals: &mut [Vec<Amps>]) {
-        let mut diff = vec![0.0f64; self.cols_used];
+        let mut diff = vec![0.0f64; self.padded_cols()];
         for (item, inputs) in batch.iter().enumerate() {
             diff.fill(0.0);
             let total_current = self.eval_cached(inputs, &mut diff);
             self.accrue_read(total_current, 1);
-            for (t, &d) in totals[item].iter_mut().zip(diff.iter()) {
+            for (t, &d) in totals[item].iter_mut().zip(diff[..self.cols_used].iter()) {
                 *t += Amps(d);
             }
         }
@@ -1053,12 +1176,25 @@ mod tests {
             .map(|i| if i % 3 == 0 { 0.0 } else { 0.1 * i as f64 })
             .collect();
         let mut reference = x.clone();
+        let mut scalar = x.clone();
+        scalar.set_kernel_path(KernelPath::Scalar);
         let fast = x.dot(&inputs).unwrap();
         let legacy = reference.dot_reference(&inputs).unwrap();
-        assert_eq!(fast, legacy, "cached path must be bit-identical");
+        let pinned = scalar.dot(&inputs).unwrap();
+        assert_eq!(fast, legacy, "vectorized path must be bit-identical");
+        assert_eq!(pinned, legacy, "scalar path must be bit-identical");
+        // The scalar path reproduces the reference energy bitwise; the
+        // vectorized path re-associates the total-current sum per row and
+        // is held to the documented ≤ 1e-12 relative tolerance.
         assert_eq!(
-            x.accumulated_read_energy(),
+            scalar.accumulated_read_energy(),
             reference.accumulated_read_energy()
+        );
+        let e_ref = reference.accumulated_read_energy().0;
+        let e_vec = x.accumulated_read_energy().0;
+        assert!(
+            (e_vec - e_ref).abs() <= 1e-12 * e_ref.abs(),
+            "vectorized energy {e_vec} vs reference {e_ref}"
         );
         assert_eq!(x.evaluations(), reference.evaluations());
     }

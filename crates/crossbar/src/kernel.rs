@@ -1,0 +1,118 @@
+//! Column-lane vectorized GEMV kernels for the analog crossbar.
+//!
+//! The crossbar dot product is a GEMV over cached conductances (the
+//! current-summing spin-neuron evaluation of the DW-magnet designs the
+//! paper builds on). This module holds the lane-level primitives the
+//! [`AtomicCrossbar`](crate::array::AtomicCrossbar) evaluators dispatch
+//! to, plus the [`KernelPath`] selector that switches between the pinned
+//! scalar reference loop and the vectorized layout.
+//!
+//! # Layout and bit-identity contract
+//!
+//! The prepared cache stores, per programmed row, the *differential*
+//! conductances `g_eff − g_mid` pre-subtracted per cell and zero-padded
+//! to a multiple of [`LANES`], alongside a per-row total-conductance sum
+//! for the energy term. Because `g_eff − g_mid` is computed once at
+//! prepare time with the exact same operands the scalar loop uses per
+//! visit, and because each output column `diff[j]` is still accumulated
+//! in row-ascending order, the vectorized differential outputs are
+//! **bit-identical** to the scalar fast path and to `dot_reference`.
+//! Only the total-current (energy) accumulation is re-associated — per
+//! row instead of per cell — so read energy under [`KernelPath::Vectorized`]
+//! agrees with the reference to a relative error ≤ 1e-12 rather than
+//! bitwise (the scalar path remains bitwise-exact on energy too).
+//!
+//! # Lane width and feature detection
+//!
+//! [`LANES`] is fixed at 8 (`4 × f64×2` on SSE2, `2 × f64×4` on AVX2,
+//! one ZMM on AVX-512). The kernels are written as fixed-trip
+//! `[f64; LANES]` chunk loops that LLVM autovectorizes for whatever
+//! vector ISA the target enables — no `core::arch` intrinsics and no
+//! runtime feature dispatch, so `-C target-cpu=native` changes only
+//! instruction selection, never results: rustc does not contract
+//! `a*b + c` into FMA and never re-associates floating point, so the
+//! numbers are identical across targets and `RUSTFLAGS` (a CI job builds
+//! with `-C target-cpu=native` to keep that property honest).
+
+/// Column-lane width of the vectorized kernels. Cached differential rows
+/// are zero-padded to a multiple of this.
+pub const LANES: usize = 8;
+
+/// Smallest multiple of [`LANES`] that holds `cols` values (the stride of
+/// one padded differential-conductance row, and the minimum scratch width
+/// callers of the `*_prepared` evaluators must provide).
+pub fn padded_len(cols: usize) -> usize {
+    cols.div_ceil(LANES) * LANES
+}
+
+/// Which inner-loop implementation an [`AtomicCrossbar`](crate::array::AtomicCrossbar)
+/// evaluates through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPath {
+    /// The PR 3 scalar loop over effective conductances: per-cell
+    /// `g − g_mid` subtraction and a single serial total-current chain.
+    /// Pinned as the bitwise-exact reference (outputs *and* energy).
+    Scalar,
+    /// Column-lane vectorized GEMV over the padded differential layout,
+    /// with the energy term folded into a per-row conductance sum.
+    /// Differential outputs stay bit-identical to [`KernelPath::Scalar`];
+    /// energy agrees to relative error ≤ 1e-12.
+    #[default]
+    Vectorized,
+}
+
+/// `acc[..dg.len()] += v * dg` over [`LANES`]-wide column chunks.
+///
+/// `dg` must be a padded differential row (length a multiple of
+/// [`LANES`]) and `acc` at least as long. Each `acc[j]` receives exactly
+/// one `+= v * dg[j]` per call — the same operation, on the same
+/// operands, as the scalar loop's `diff[j] += v * (g - g_mid)` — so
+/// per-column accumulation order (row-ascending across calls) is
+/// preserved and results are bitwise identical. The mul-then-add is left
+/// uncontracted (no FMA) by rustc's default FP semantics.
+#[inline]
+pub(crate) fn axpy(v: f64, dg: &[f64], acc: &mut [f64]) {
+    debug_assert_eq!(dg.len() % LANES, 0);
+    let acc = &mut acc[..dg.len()];
+    for (dgc, accc) in dg.chunks_exact(LANES).zip(acc.chunks_exact_mut(LANES)) {
+        let dgc: &[f64; LANES] = dgc.try_into().unwrap();
+        let accc: &mut [f64; LANES] = accc.try_into().unwrap();
+        for l in 0..LANES {
+            accc[l] += v * dgc[l];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_len_rounds_up_to_lane_multiples() {
+        assert_eq!(padded_len(0), 0);
+        assert_eq!(padded_len(1), LANES);
+        assert_eq!(padded_len(LANES), LANES);
+        assert_eq!(padded_len(LANES + 1), 2 * LANES);
+        assert_eq!(padded_len(128), 128);
+    }
+
+    #[test]
+    fn axpy_matches_scalar_accumulation_bitwise() {
+        let dg: Vec<f64> = (0..2 * LANES).map(|i| (i as f64).sin() * 1e-4).collect();
+        let v = 0.317;
+        let mut acc = vec![0.05f64; 2 * LANES + 3]; // longer than dg: tail untouched
+        let mut expect = acc.clone();
+        for (e, &d) in expect.iter_mut().zip(dg.iter()) {
+            *e += v * d;
+        }
+        axpy(v, &dg, &mut acc);
+        for (a, e) in acc.iter().zip(expect.iter()) {
+            assert_eq!(a.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn default_path_is_vectorized() {
+        assert_eq!(KernelPath::default(), KernelPath::Vectorized);
+    }
+}

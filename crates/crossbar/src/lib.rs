@@ -14,6 +14,9 @@
 //!   without an ADC.
 //! * [`nu`] — neuron units: arrays of current-driven spin neurons
 //!   (spiking IF or saturating ReLU) terminating crossbar columns.
+//! * [`kernel`] — the column-lane vectorized GEMV kernels beneath the
+//!   evaluation fast path: padded differential-conductance layout,
+//!   per-row energy sums, and the [`KernelPath`] selector.
 //! * [`converters`] — the multi-level DACs, spike drivers and the
 //!   sparingly used 4-bit ADC.
 //!
@@ -45,6 +48,7 @@ pub mod array;
 pub mod config;
 pub mod converters;
 pub mod error;
+pub mod kernel;
 pub mod nu;
 pub mod tile;
 
@@ -52,5 +56,6 @@ pub use array::AtomicCrossbar;
 pub use config::{CrossbarConfig, Mode};
 pub use converters::{Adc, MultiLevelDac, SpikeDriver};
 pub use error::CrossbarError;
+pub use kernel::KernelPath;
 pub use nu::NeuronUnit;
 pub use tile::{acs_per_kernel, kernels_per_supertile, nu_level_for, NuLevel, SuperTile};

@@ -3,11 +3,36 @@
 #![allow(clippy::needless_range_loop)]
 
 use nebula_crossbar::converters::{Adc, MultiLevelDac, SpikeDriver};
-use nebula_crossbar::{kernels_per_supertile, nu_level_for, AtomicCrossbar, CrossbarConfig, Mode};
+use nebula_crossbar::{
+    kernels_per_supertile, nu_level_for, AtomicCrossbar, CrossbarConfig, KernelPath, Mode,
+};
+use nebula_device::fault::CellFault;
+use nebula_device::units::Seconds;
 use proptest::prelude::*;
 
 fn small_weights() -> impl Strategy<Value = Vec<Vec<f64>>> {
     (1usize..16, 1usize..16).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, c), r)
+    })
+}
+
+/// Shapes chosen to stress the column-lane kernel: single rows and
+/// columns, widths below / straddling / above the 8-wide lane boundary
+/// (remainder lanes), and a few generic rectangles. Max extent 24 so
+/// fixed-length drive/mask vectors can be sliced down.
+fn kernel_shapes() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (0usize..9, 1usize..24, 1usize..24).prop_flat_map(|(pick, r, c)| {
+        let (r, c) = match pick {
+            0 => (1, 1),
+            1 => (1, 17),
+            2 => (24, 1),
+            3 => (3, 7),
+            4 => (5, 8),
+            5 => (4, 9),
+            6 => (6, 16),
+            7 => (24, 23),
+            _ => (r, c),
+        };
         proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, c), r)
     })
 }
@@ -128,6 +153,118 @@ proptest! {
             }
         }
         prop_assert_eq!(d.events(), expected);
+    }
+
+    /// Both inner-loop kernels produce bit-identical differential column
+    /// currents to the uncached per-cell reference on arbitrary shapes —
+    /// including single rows/columns and widths straddling the 8-lane
+    /// boundary (remainder lanes) — and the scalar path's read energy is
+    /// bitwise too, while the vectorized path's per-row-sum energy stays
+    /// within 1e-12 relative.
+    #[test]
+    fn kernel_paths_match_reference_bitwise(
+        w in kernel_shapes(),
+        drives in proptest::collection::vec(0.0f64..1.0, 24),
+    ) {
+        let rows = w.len();
+        let mut reference = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
+        reference.program(&w, 1.0).unwrap();
+        let inputs = &drives[..rows];
+        let expect = reference.dot_reference(inputs).unwrap();
+        for path in [KernelPath::Vectorized, KernelPath::Scalar] {
+            let mut x = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
+            x.program(&w, 1.0).unwrap();
+            x.set_kernel_path(path);
+            let got = x.dot(inputs).unwrap();
+            for (j, (g, e)) in got.iter().zip(&expect).enumerate() {
+                prop_assert_eq!(g.0.to_bits(), e.0.to_bits(), "{:?} col {}", path, j);
+            }
+            let (e_got, e_ref) = (x.accumulated_read_energy().0, reference.accumulated_read_energy().0);
+            match path {
+                KernelPath::Scalar => prop_assert_eq!(e_got.to_bits(), e_ref.to_bits()),
+                KernelPath::Vectorized => prop_assert!(
+                    (e_got - e_ref).abs() <= 1e-12 * e_ref.abs(),
+                    "energy {} vs {}", e_got, e_ref
+                ),
+            }
+        }
+    }
+
+    /// The spike-sparse entry point agrees bitwise with dense SNN-mode
+    /// evaluation of the equivalent binary drive on both kernel paths,
+    /// including the all-silent case (no active rows at all).
+    #[test]
+    fn sparse_and_dense_spike_evaluation_agree(
+        w in kernel_shapes(),
+        mask in proptest::collection::vec(0u8..2, 24),
+    ) {
+        let rows = w.len();
+        let active: Vec<usize> = (0..rows).filter(|&r| mask[r] == 1).collect();
+        let dense: Vec<f64> = (0..rows).map(|r| f64::from(mask[r])).collect();
+        for path in [KernelPath::Vectorized, KernelPath::Scalar] {
+            let mut a = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Snn)).unwrap();
+            a.program(&w, 1.0).unwrap();
+            a.set_kernel_path(path);
+            let mut b = a.clone();
+            let ya = a.dot_sparse(&active).unwrap();
+            let yb = b.dot(&dense).unwrap();
+            for (j, (x, y)) in ya.iter().zip(&yb).enumerate() {
+                prop_assert_eq!(x.0.to_bits(), y.0.to_bits(), "{:?} col {}", path, j);
+            }
+            prop_assert_eq!(
+                a.accumulated_read_energy().0.to_bits(),
+                b.accumulated_read_energy().0.to_bits()
+            );
+        }
+    }
+
+    /// Bit-identity survives every conductance-mutating event: dead
+    /// arrays, stuck/pinned/degraded cells and retention aging all flow
+    /// through the same cached differential layout.
+    #[test]
+    fn kernel_paths_match_reference_under_faults_and_aging(
+        w in kernel_shapes(),
+        drives in proptest::collection::vec(0.0f64..1.0, 24),
+        fault_row in 0usize..24,
+        fault_col in 0usize..24,
+        kind in 0usize..4,
+        age_s in 0.0f64..1e7,
+        dead in 0u8..2,
+    ) {
+        let dead = dead == 1;
+        let (rows, cols) = (w.len(), w[0].len());
+        let fault = match kind {
+            0 => CellFault::StuckAtGmin,
+            1 => CellFault::StuckAtGmax,
+            2 => CellFault::DwPinning { offset_states: 3 },
+            _ => CellFault::TmrDegradation { factor: 0.4 },
+        };
+        let inputs = &drives[..rows];
+        let mut expect = None;
+        for path in [None, Some(KernelPath::Vectorized), Some(KernelPath::Scalar)] {
+            let mut x = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
+            x.program(&w, 1.0).unwrap();
+            x.set_cell_fault(fault_row % rows, fault_col % cols, fault);
+            x.advance_age(Seconds(age_s));
+            if dead {
+                x.kill();
+            }
+            let got = match path {
+                None => x.dot_reference(inputs).unwrap(),
+                Some(p) => {
+                    x.set_kernel_path(p);
+                    x.dot(inputs).unwrap()
+                }
+            };
+            match &expect {
+                None => expect = Some(got),
+                Some(e) => {
+                    for (j, (g, r)) in got.iter().zip(e.iter()).enumerate() {
+                        prop_assert_eq!(g.0.to_bits(), r.0.to_bits(), "{:?} col {}", path, j);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use crate::error::NnError;
 use crate::param::Param;
-use nebula_tensor::{avg_pool2d, avg_pool2d_backward, col2im, im2col, ConvGeometry, Tensor};
+// Matmuls and patch lowering go through `par` — bit-identical to the
+// sequential ops for any worker count, and backed by the blocked GEMM.
+use nebula_tensor::{avg_pool2d, avg_pool2d_backward, col2im, par, ConvGeometry, Tensor};
 use rand::Rng;
 
 /// A network layer.
@@ -282,7 +284,7 @@ pub struct DenseLayer {
 
 impl DenseLayer {
     fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
-        let mut y = x.matmul(&self.weight.value)?;
+        let mut y = par::matmul(x, &self.weight.value)?;
         let o = self.bias.value.len();
         let b = self.bias.value.data();
         for row in y.data_mut().chunks_mut(o) {
@@ -303,7 +305,7 @@ impl DenseLayer {
             .ok_or_else(|| NnError::BackwardBeforeForward {
                 layer: "dense".to_string(),
             })?;
-        let dw = x.transpose()?.matmul(grad)?;
+        let dw = par::matmul(&x.transpose()?, grad)?;
         self.weight.grad.add_assign(&dw)?;
         let o = self.bias.value.len();
         {
@@ -314,7 +316,7 @@ impl DenseLayer {
                 }
             }
         }
-        Ok(grad.matmul(&self.weight.value.transpose()?)?)
+        Ok(par::matmul(grad, &self.weight.value.transpose()?)?)
     }
 }
 
@@ -351,8 +353,8 @@ impl Conv2dLayer {
         let (n, _c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let oc = self.weight.value.shape()[0];
         let (oh, ow) = self.geom.out_hw(h, w)?;
-        let cols = im2col(x, self.geom)?; // [N*S, CKK]
-        let prod = cols.matmul(&self.wmat()?.transpose()?)?; // [N*S, OC]
+        let cols = par::im2col(x, self.geom)?; // [N*S, CKK]
+        let prod = par::matmul(&cols, &self.wmat()?.transpose()?)?; // [N*S, OC]
 
         let mut out = Tensor::zeros(&[n, oc, oh, ow]);
         let spatial = oh * ow;
@@ -405,7 +407,7 @@ impl Conv2dLayer {
             }
         }
         // dW = gmatᵀ · cols, reshaped back to [OC, IC, KH, KW].
-        let dwm = gmat.transpose()?.matmul(&cache.cols)?;
+        let dwm = par::matmul(&gmat.transpose()?, &cache.cols)?;
         let dw = dwm.reshape(self.weight.value.shape())?;
         self.weight.grad.add_assign(&dw)?;
         // db = per-channel sums.
@@ -418,7 +420,7 @@ impl Conv2dLayer {
             }
         }
         // dx = col2im(gmat · Wmat).
-        let dcols = gmat.matmul(&self.wmat()?)?;
+        let dcols = par::matmul(&gmat, &self.wmat()?)?;
         Ok(col2im(&dcols, cache.input_shape, self.geom)?)
     }
 }

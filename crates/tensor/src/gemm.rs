@@ -1,0 +1,319 @@
+//! Cache-blocked, B-panel-packed f32 GEMM — the inner kernel behind
+//! [`Tensor::matmul`](crate::Tensor::matmul) and
+//! [`par::matmul`](crate::par::matmul).
+//!
+//! The previous kernel walked every A element and early-continued on
+//! `a[i][k] == 0.0`. That skip is a win on spike-train matrices (mostly
+//! zeros) but defeats autovectorization on dense rows: the branch makes
+//! the trip count of the column loop data-dependent, so LLVM emits a
+//! scalar loop. This kernel classifies each A row once by zero fraction:
+//!
+//! * **dense rows** stream a branch-free, fixed-trip axpy the compiler
+//!   vectorizes — directly over B when it is small enough to stay
+//!   cache-resident (`DIRECT_B_FLOATS`), and through a blocked, packed
+//!   path for large B: panels of `KC×NC` are copied contiguous and `MR`
+//!   output rows share each packed panel read;
+//! * **sparse rows** (zero fraction ≥ [`SPARSE_ROW_THRESHOLD`]) keep the
+//!   zero-skipping walk over unpacked B, which is cheaper than touching
+//!   `n` columns per silent element.
+//!
+//! # Determinism contract
+//!
+//! Every output element is one running `f32` accumulator updated in
+//! ascending-`k` order, on both paths and regardless of blocking: each
+//! `KC` block copies the current output values in, continues the same
+//! chain, and copies them back. Dense-path results are therefore
+//! **bit-identical** to the naive no-skip reference
+//! ([`matmul_reference`]) for any `KC`/`NC`/`MR` and any row partition —
+//! which is what keeps [`par::matmul`](crate::par::matmul) bit-identical
+//! to the sequential product for any worker count. The sparse path skips
+//! exact-zero terms; skipping `acc += 0.0 * b` can only change the
+//! *sign* of an exact-zero accumulator (IEEE 754: `-0.0 + 0.0 == +0.0`),
+//! never a value, so the two paths agree everywhere except possibly the
+//! bit pattern of zeros (the equivalence suite compares with `==`, which
+//! treats `-0.0 == +0.0`).
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Zero fraction of an A row at or above which the zero-skipping sparse
+/// walk beats the branch-free dense axpy. Measured with the `gemm_*`
+/// microbenches (`crates/bench/benches/kernels.rs`): even at 80% zeros
+/// the dense path still wins — the skip branch mispredicts on mixed
+/// rows — while nearly-silent spike rows (≥ 98% zeros, branch almost
+/// always taken) run the walk several times faster.
+pub const SPARSE_ROW_THRESHOLD: f64 = 0.9;
+
+/// Rows of B packed per panel (the `k`-direction block).
+const KC: usize = 256;
+/// Columns per packed panel (the `n`-direction block); also the width of
+/// the per-row accumulator buffers, so panels stay L1-resident.
+const NC: usize = 128;
+/// Output rows evaluated together against one packed panel read.
+const MR: usize = 4;
+/// B element count at or below which dense rows stream the unpacked B
+/// directly: a B this small stays cache-resident across the whole
+/// product, so panel packing and accumulator staging are pure overhead
+/// (measured with the `gemm_*` microbenches — at the workloads' im2col
+/// shapes, e.g. 2048×144×16, the direct walk beats the packed path).
+const DIRECT_B_FLOATS: usize = 16 * 1024;
+
+/// Naive no-skip reference product `a · b`, pinned as the bit-identity
+/// anchor for the blocked kernel: every output element is accumulated in
+/// ascending-`k` order with a single running `f32` accumulator and no
+/// zero skipping. Slow by construction — use it in tests and benches
+/// only.
+///
+/// # Errors
+///
+/// Same conditions as [`Tensor::matmul`]: both operands must be rank-2
+/// with agreeing inner dimensions.
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: if a.rank() != 2 { a.rank() } else { b.rank() },
+            op: "matmul",
+        });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "matmul",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    reference_rows(a.data(), b.data(), k, n, 0, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Row-window form of [`matmul_reference`]: computes output rows
+/// `row0..row0 + out_rows.len()/n` into `out_rows` (zero-initialized by
+/// the caller).
+pub(crate) fn reference_rows(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out_rows: &mut [f32],
+) {
+    if n == 0 || k == 0 || out_rows.is_empty() {
+        return;
+    }
+    for (local, out_row) in out_rows.chunks_mut(n).enumerate() {
+        let a_row = &a[(row0 + local) * k..(row0 + local + 1) * k];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Zero-skipping walk for one mostly-silent A row (the old kernel's
+/// strategy, kept above the sparsity threshold where it wins).
+fn sparse_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    for (kk, &av) in a_row.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// Branch-free axpy walk for one dense A row over unpacked B — the
+/// small-B fast path. The fixed-trip inner loop vectorizes; the
+/// accumulation chain (one running accumulator per element, ascending
+/// `k`) is exactly the reference's.
+fn dense_row_direct(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    for (kk, &av) in a_row.iter().enumerate() {
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// The production GEMM kernel: computes output rows
+/// `row0..row0 + out_rows.len()/n` of `a · b` into `out_rows`
+/// (zero-initialized by the caller). Shared by the sequential
+/// [`Tensor::matmul`] and the row-partitioned
+/// [`par::matmul`](crate::par::matmul), so any partition produces
+/// identical results (row classification and per-row accumulation depend
+/// only on the row itself).
+pub(crate) fn gemm(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out_rows: &mut [f32]) {
+    if n == 0 || k == 0 || out_rows.is_empty() {
+        return;
+    }
+    debug_assert_eq!(out_rows.len() % n, 0);
+    let rows = out_rows.len() / n;
+    // One classification pass: sparse rows are finished immediately with
+    // the skip walk; dense rows are queued for the blocked path. The
+    // nonzero count short-circuits per 32-wide block (each block counted
+    // branch-free), so a dense row is classified after one block instead
+    // of a full-length scan. The decision depends only on the row
+    // itself, keeping any row partition's results identical.
+    let limit = (k as f64 * (1.0 - SPARSE_ROW_THRESHOLD)) as usize;
+    let mut dense: Vec<usize> = Vec::with_capacity(rows);
+    for local in 0..rows {
+        let a_row = &a[(row0 + local) * k..(row0 + local + 1) * k];
+        let mut nonzeros = 0usize;
+        for blk in a_row.chunks(32) {
+            nonzeros += blk.iter().filter(|&&v| v != 0.0).count();
+            if nonzeros > limit {
+                break;
+            }
+        }
+        if nonzeros <= limit {
+            sparse_row(a_row, b, n, &mut out_rows[local * n..(local + 1) * n]);
+        } else {
+            dense.push(local);
+        }
+    }
+    if dense.is_empty() {
+        return;
+    }
+    if k * n <= DIRECT_B_FLOATS {
+        // B stays cache-resident: stream it unpacked. Same per-element
+        // accumulator chain as the blocked path and the reference.
+        for &local in &dense {
+            let a_row = &a[(row0 + local) * k..(row0 + local + 1) * k];
+            dense_row_direct(a_row, b, n, &mut out_rows[local * n..(local + 1) * n]);
+        }
+        return;
+    }
+    let mut pack = vec![0.0f32; KC * NC];
+    let mut acc = [[0.0f32; NC]; MR];
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for kc0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - kc0);
+            // Pack the B panel contiguous: row kk of the panel is
+            // b[kc0+kk][jc..jc+nc].
+            for kk in 0..kc {
+                let src = &b[(kc0 + kk) * n + jc..(kc0 + kk) * n + jc + nc];
+                pack[kk * nc..kk * nc + nc].copy_from_slice(src);
+            }
+            for quad in dense.chunks(MR) {
+                // Copy the current output values in (NOT zero): each
+                // element's k-ascending accumulator chain continues
+                // across KC blocks, preserving bit-identity with the
+                // unblocked reference.
+                for (qi, &local) in quad.iter().enumerate() {
+                    acc[qi][..nc].copy_from_slice(&out_rows[local * n + jc..local * n + jc + nc]);
+                }
+                for kk in 0..kc {
+                    let bp = &pack[kk * nc..(kk + 1) * nc];
+                    for (qi, &local) in quad.iter().enumerate() {
+                        let av = a[(row0 + local) * k + kc0 + kk];
+                        for (o, &bv) in acc[qi][..nc].iter_mut().zip(bp) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+                for (qi, &local) in quad.iter().enumerate() {
+                    out_rows[local * n + jc..local * n + jc + nc].copy_from_slice(&acc[qi][..nc]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_from_fn(shape: [usize; 2], f: impl Fn(usize) -> f32) -> Tensor {
+        let data: Vec<f32> = (0..shape[0] * shape[1]).map(f).collect();
+        Tensor::from_vec(data, &shape).unwrap()
+    }
+
+    /// Pseudo-random values with exact zeros sprinkled in.
+    fn noisy(shape: [usize; 2], seed: u64, zero_every: usize) -> Tensor {
+        tensor_from_fn(shape, |i| {
+            let h = (i as u64 + 1)
+                .wrapping_mul(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1))
+                .rotate_left(17);
+            if zero_every > 0 && (h as usize).is_multiple_of(zero_every) {
+                0.0
+            } else {
+                ((h >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            }
+        })
+    }
+
+    /// Value equality that treats `-0.0 == +0.0` but is bitwise for
+    /// everything else — the documented contract between the sparse-skip
+    /// and dense paths.
+    fn assert_value_identical(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!(
+                x.to_bits() == y.to_bits() || (*x == 0.0 && *y == 0.0),
+                "{x} ({:08x}) vs {y} ({:08x})",
+                x.to_bits(),
+                y.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_is_bit_identical_to_reference_on_dense_inputs() {
+        // Shapes straddling every block boundary: k > KC, n > NC,
+        // rows not a multiple of MR.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (9, 300, 150),
+            (MR + 1, KC + 3, NC + 2),
+        ] {
+            let a = noisy([m, k], 1, 0); // no zeros → all rows dense
+            let b = noisy([k, n], 2, 0);
+            let blocked = a.matmul(&b).unwrap();
+            let reference = matmul_reference(&a, &b).unwrap();
+            assert_eq!(
+                blocked.data(),
+                reference.data(),
+                "m={m} k={k} n={n}: dense path must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_rows_agree_with_reference_up_to_zero_signs() {
+        // 9 of 10 entries exactly zero → every row takes the skip walk.
+        let a = noisy([6, 200], 3, 1).map(|v| if v.abs() < 0.9 { 0.0 } else { v });
+        let b = noisy([200, 40], 4, 0);
+        let got = a.matmul(&b).unwrap();
+        let reference = matmul_reference(&a, &b).unwrap();
+        assert_value_identical(&got, &reference);
+    }
+
+    #[test]
+    fn all_zero_rows_stay_exactly_zero() {
+        let a = Tensor::zeros(&[4, 64]);
+        let b = noisy([64, 32], 5, 0);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.data().iter().all(|v| v.to_bits() == 0), "exact +0.0 out");
+    }
+
+    #[test]
+    fn degenerate_shapes_do_not_panic() {
+        for (m, k, n) in [(0, 4, 4), (4, 0, 4), (4, 4, 0), (0, 0, 0)] {
+            let a = Tensor::zeros(&[m, k]);
+            let b = Tensor::zeros(&[k, n]);
+            let c = a.matmul(&b).unwrap();
+            assert_eq!(c.shape(), &[m, n]);
+            let r = matmul_reference(&a, &b).unwrap();
+            assert_eq!(r.shape(), &[m, n]);
+        }
+    }
+}

@@ -5,6 +5,10 @@
 //! convolution and pooling operations the neural-network layers need.
 //!
 //! * [`Tensor`] — row-major dense tensor: arithmetic, matmul, reductions.
+//! * [`gemm`] — the cache-blocked, panel-packed f32 GEMM kernel behind
+//!   every matmul, with a row-sparsity branch for spike matrices and the
+//!   pinned naive reference ([`gemm::matmul_reference`]) it is
+//!   bit-identical to.
 //! * [`conv`] — `im2col`/`col2im` lowering (the software twin of NEBULA's
 //!   kernel-to-crossbar mapping), dense & depthwise convolution, pooling.
 //! * [`par`] — parallel matmul / im2col / conv2d that are bit-identical
@@ -30,6 +34,7 @@
 
 pub mod conv;
 pub mod error;
+pub mod gemm;
 pub mod par;
 pub mod pool;
 mod tensor;

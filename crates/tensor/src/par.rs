@@ -16,7 +16,7 @@
 //!
 //! * each output row is computed by exactly one worker, using the *same*
 //!   shared inner kernel the sequential path calls
-//!   ([`matmul`] and [`conv::im2col`] share `matmul_kernel` /
+//!   ([`matmul`] and [`conv::im2col`] share [`crate::gemm`]'s kernel /
 //!   `im2col_rows`), with accumulation in the same fixed index order;
 //! * no reduction ever crosses a chunk boundary, so chunking cannot
 //!   reassociate floating-point sums.
@@ -30,7 +30,13 @@ use std::ops::Range;
 
 use crate::conv::{self, ConvGeometry};
 use crate::error::TensorError;
-use crate::tensor::{matmul_kernel, Tensor};
+use crate::tensor::Tensor;
+
+/// Products with fewer multiply-adds than this run on one worker: the
+/// pool dispatch round trip costs more than the whole product. The split
+/// cannot change results (row partitions are bit-identical), only skip
+/// overhead.
+const PAR_MIN_MACS: usize = 64 * 1024;
 
 /// Number of worker threads parallel kernels use by default: the
 /// `NEBULA_THREADS` environment variable when set to a positive integer,
@@ -124,10 +130,11 @@ pub fn matmul_with_workers(a: &Tensor, b: &Tensor, workers: usize) -> Result<Ten
             op: "matmul",
         });
     }
+    let workers = if m * k * n < PAR_MIN_MACS { 1 } else { workers };
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
     run_row_chunks(&mut out, n, &chunk_ranges(m, workers), |row0, window| {
-        matmul_kernel(ad, bd, k, n, row0, window)
+        crate::gemm::gemm(ad, bd, k, n, row0, window)
     });
     Tensor::from_vec(out, &[m, n])
 }

@@ -372,7 +372,7 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        matmul_kernel(&self.data, &other.data, k, n, 0, &mut out);
+        crate::gemm::gemm(&self.data, &other.data, k, n, 0, &mut out);
         Ok(Self {
             data: out,
             shape: vec![m, n],
@@ -463,42 +463,6 @@ impl Tensor {
         let hi = pos.ceil() as usize;
         let frac = (pos - lo as f64) as f32;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    }
-}
-
-/// Shared matmul inner kernel: computes output rows `row0..row0 + r`
-/// (where `r = out_rows.len() / n`) of `A·B` into `out_rows`.
-///
-/// Both the sequential [`Tensor::matmul`] and the parallel
-/// [`crate::par::matmul`] call this with different row windows, so any
-/// row partition produces bit-identical results: each output row is
-/// accumulated in the same fixed `k`-index order regardless of which
-/// worker computes it.
-///
-/// The ikj loop order keeps the inner loop streaming over contiguous
-/// rows of `B`, and zero entries of `A` are skipped (spike trains are
-/// sparse).
-pub(crate) fn matmul_kernel(
-    a: &[f32],
-    b: &[f32],
-    k: usize,
-    n: usize,
-    row0: usize,
-    out_rows: &mut [f32],
-) {
-    debug_assert_eq!(out_rows.len() % n.max(1), 0);
-    for (local, out_row) in out_rows.chunks_mut(n).enumerate() {
-        let i = row0 + local;
-        let a_row = &a[i * k..(i + 1) * k];
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
     }
 }
 

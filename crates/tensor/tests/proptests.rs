@@ -107,4 +107,65 @@ proptest! {
         prop_assert!(t.quantile(0.0) <= t.min() + 1e-6);
         prop_assert!(t.quantile(1.0) >= t.max() - 1e-6);
     }
+
+    /// The blocked, panel-packed GEMM behind `Tensor::matmul` is
+    /// bit-identical to the naive pinned reference on dense inputs, for
+    /// shapes spanning the `MR`-quad remainder, single rows/columns and
+    /// generic rectangles.
+    #[test]
+    fn blocked_gemm_matches_reference_bitwise(
+        pick in 0usize..5,
+        dims in (1usize..9, 1usize..40, 1usize..16),
+        seed in 0u64..u64::MAX,
+    ) {
+        let (m, k, n) = match pick {
+            0 => (1, 1, 1),
+            1 => (1, 19, 7),
+            2 => (5, 3, 1),
+            3 => (7, 33, 12),
+            _ => dims,
+        };
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        // Nonzero magnitudes so no element takes the sparse-row branch.
+        let a = Tensor::rand_uniform(&[m, k], 0.5, 1.5, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -1.5, -0.5, &mut rng);
+        let fast = a.matmul(&b).unwrap();
+        let reference = nebula_tensor::gemm::matmul_reference(&a, &b).unwrap();
+        for (x, y) in fast.data().iter().zip(reference.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// With zeros injected (sparse-row branch eligible), outputs still
+    /// match the reference except possibly in the sign of exact zeros
+    /// (`-0.0 + 0.0` skips), and exact zeros stay exact.
+    #[test]
+    fn sparse_gemm_matches_reference_up_to_zero_signs(
+        m in 1usize..8,
+        k in 1usize..40,
+        n in 1usize..14,
+        density in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::Rng as _;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        for v in a.data_mut() {
+            if rng.gen_bool(1.0 - density) {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let fast = a.matmul(&b).unwrap();
+        let reference = nebula_tensor::gemm::matmul_reference(&a, &b).unwrap();
+        for (x, y) in fast.data().iter().zip(reference.data()) {
+            if *y == 0.0 {
+                prop_assert!(*x == 0.0, "zero drifted: {x} vs {y}");
+            } else {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
 }
