@@ -106,7 +106,7 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let samples = sample_count();
-    let workers = nebula_tensor::par::worker_count();
+    let workers = nebula_tensor::pool::size();
     let t = trained(Workload::Vgg10, 500, 20);
     let q = quantize_network(&t.net, &t.train.take(64), &QuantConfig::default()).unwrap();
     let x = t.test.take(samples).inputs;

@@ -149,7 +149,7 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() {
-    let workers = par::worker_count();
+    let workers = nebula_tensor::pool::size();
     let legs = [suite_leg(workers), matmul_leg(workers), conv2d_leg(workers)];
 
     let total_seq: f64 = legs.iter().map(|l| l.sequential_ms).sum();

@@ -7,9 +7,9 @@
 //! output is identical to a sequential `iter().map()` — only wall-clock
 //! time changes.
 
-/// Maps `f` over `items` on the persistent pool, sized by
-/// [`nebula_tensor::par::worker_count`], returning results in item
-/// order.
+/// Maps `f` over `items` on the persistent pool, split by the pool's
+/// size snapshot ([`nebula_tensor::pool::size`]), returning results in
+/// item order.
 ///
 /// # Panics
 ///
@@ -20,7 +20,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    par_map_with_workers(items, nebula_tensor::par::worker_count(), f)
+    par_map_with_workers(items, nebula_tensor::pool::size(), f)
 }
 
 /// [`par_map`] with an explicit worker count.

@@ -170,14 +170,53 @@ fn per_item_seeded_monte_carlo_is_identical_across_worker_counts() {
     }
 }
 
+/// Subprocess probe for the env-override tests below. Trivially passes
+/// in a normal suite run; when re-invoked by
+/// [`nebula_threads_env_override_controls_worker_count`] with
+/// `NEBULA_TEST_EXPECT_WORKERS` set, it asserts — in a process whose
+/// environment was fixed *before* any thread existed — that both the
+/// per-call configured count and the pool-creation snapshot honor
+/// `NEBULA_THREADS`.
+#[test]
+fn nebula_threads_subprocess_probe() {
+    let Ok(expect) = std::env::var("NEBULA_TEST_EXPECT_WORKERS") else {
+        return;
+    };
+    let expect: usize = expect
+        .parse()
+        .expect("NEBULA_TEST_EXPECT_WORKERS not a usize");
+    assert_eq!(nebula_tensor::par::worker_count(), expect);
+    assert_eq!(nebula_tensor::pool::size(), expect);
+}
+
 #[test]
 fn nebula_threads_env_override_controls_worker_count() {
-    // Other tests in this binary only use the explicit `*_with_workers`
-    // entry points, so mutating the variable here cannot race them.
-    std::env::set_var("NEBULA_THREADS", "1");
-    assert_eq!(nebula_tensor::par::worker_count(), 1);
-    std::env::set_var("NEBULA_THREADS", "4");
-    assert_eq!(nebula_tensor::par::worker_count(), 4);
-    std::env::remove_var("NEBULA_THREADS");
-    assert!(nebula_tensor::par::worker_count() >= 1);
+    // `std::env::set_var` in a multithreaded test binary is unsound
+    // (and racy against the lazily-spawned worker pool), so the
+    // override is probed in spawned subprocesses instead: each child
+    // re-runs this binary filtered to `nebula_threads_subprocess_probe`
+    // with `NEBULA_THREADS` fixed in its environment from birth.
+    let exe = std::env::current_exe().expect("test binary path");
+    for workers in ["1", "3"] {
+        let out = std::process::Command::new(&exe)
+            .args(["nebula_threads_subprocess_probe", "--exact"])
+            .env("NEBULA_THREADS", workers)
+            .env("NEBULA_TEST_EXPECT_WORKERS", workers)
+            .output()
+            .expect("spawn subprocess probe");
+        assert!(
+            out.status.success(),
+            "NEBULA_THREADS={workers} probe failed:\n{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+    }
+    // An unset override falls back to available parallelism (>= 1).
+    let out = std::process::Command::new(&exe)
+        .args(["nebula_threads_subprocess_probe", "--exact"])
+        .env_remove("NEBULA_THREADS")
+        .env_remove("NEBULA_TEST_EXPECT_WORKERS")
+        .output()
+        .expect("spawn subprocess probe");
+    assert!(out.status.success());
 }

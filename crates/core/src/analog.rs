@@ -204,7 +204,7 @@ impl ProgrammedMatrix {
         if n == 0 {
             return Ok(Vec::new());
         }
-        let workers = nebula_tensor::par::worker_count();
+        let workers = nebula_tensor::pool::size();
         // Workers take contiguous item blocks so scratch buffers are
         // reused across a block's items; the per-item values don't depend
         // on the partition, so results are identical for any worker

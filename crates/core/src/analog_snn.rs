@@ -142,7 +142,7 @@ impl SnnMatrix {
         if n == 0 {
             return Ok(Vec::new());
         }
-        let workers = nebula_tensor::par::worker_count();
+        let workers = nebula_tensor::pool::size();
         // Workers take contiguous item blocks so scratch buffers are
         // reused across a block's items; the per-item values don't depend
         // on the partition, so results are identical for any worker
@@ -527,19 +527,62 @@ impl AnalogSpikingNetwork {
         }
     }
 
-    fn encode<R: Rng + ?Sized>(&self, inputs: &Tensor, rng: &mut R) -> Tensor {
-        match self.encoding {
-            InputEncoding::Poisson => {
-                let mut t = Tensor::zeros(inputs.shape());
-                for (d, &p) in t.data_mut().iter_mut().zip(inputs.data()) {
-                    if rng.gen::<f32>() < p.clamp(0.0, 1.0) {
-                        *d = 1.0;
-                    }
-                }
-                t
-            }
-            InputEncoding::Constant => inputs.clamp(0.0, 1.0),
+    /// Output-potential shape this network produces for `input_shape`
+    /// — the shape [`run`](Self::run) returns (before accumulation the
+    /// per-timestep tensors have the same shape). Used by the zero
+    /// timestep corner and by the serving layer to size empty results
+    /// without executing a wave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::BadGeometry`] when `input_shape` cannot
+    /// flow through the compiled stages.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, AnalogError> {
+        let mut shape = input_shape.to_vec();
+        if shape.is_empty() {
+            return Err(AnalogError::BadGeometry {
+                reason: "rank-0 input".into(),
+            });
         }
+        for stage in &self.stages {
+            shape = match stage {
+                SpikingAnalogStage::Dense { matrix, .. } => {
+                    if shape.len() != 2 || shape[1] != matrix.rf {
+                        return Err(AnalogError::BadGeometry {
+                            reason: format!(
+                                "dense stage expects [n, {}], got {shape:?}",
+                                matrix.rf
+                            ),
+                        });
+                    }
+                    vec![shape[0], matrix.cols]
+                }
+                SpikingAnalogStage::Conv {
+                    geom, out_channels, ..
+                } => {
+                    if shape.len() != 4 {
+                        return Err(AnalogError::BadGeometry {
+                            reason: format!("conv stage expects rank-4 input, got {shape:?}"),
+                        });
+                    }
+                    let (oh, ow) = geom.out_hw(shape[2], shape[3])?;
+                    vec![shape[0], *out_channels, oh, ow]
+                }
+                SpikingAnalogStage::IntegrateFire(_) => shape,
+                SpikingAnalogStage::AvgPool { k } => {
+                    if shape.len() != 4 {
+                        return Err(AnalogError::BadGeometry {
+                            reason: format!("avg-pool stage expects rank-4 input, got {shape:?}"),
+                        });
+                    }
+                    vec![shape[0], shape[1], shape[2] / k, shape[3] / k]
+                }
+                SpikingAnalogStage::Flatten => {
+                    vec![shape[0], shape[1..].iter().product()]
+                }
+            };
+        }
+        Ok(shape)
     }
 
     fn reset_state(&mut self) {
@@ -590,6 +633,80 @@ impl AnalogSpikingNetwork {
         self.run_impl(inputs, timesteps, rng, true)
     }
 
+    /// Runs `timesteps` of circuit-backed spiking inference for a batch
+    /// of independently seeded request groups — the serving layer's
+    /// entry point for dynamically batched SNN jobs.
+    ///
+    /// `groups` partitions the batch rows: `(rows, seed)` covers the
+    /// next `rows` samples and encodes them, every timestep, from its
+    /// own [`rand::rngs::StdRng`] stream seeded with `seed`. Because a
+    /// solo run over one group's rows consumes its RNG in exactly the
+    /// same order (row-major per timestep), the output potentials are
+    /// **bit-identical** to concatenating
+    /// `run(group_rows, timesteps, StdRng::seed_from_u64(seed))` per
+    /// group — and hence, by the batched-evaluator contract, to
+    /// [`run_sequential`](Self::run_sequential) per group. Coalescing
+    /// requests into one wave therefore cannot change any tenant's
+    /// answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::BadGeometry`] when the group row counts
+    /// don't sum to the batch size; propagates circuit and tensor
+    /// failures.
+    pub fn run_seeded_groups(
+        &mut self,
+        inputs: &Tensor,
+        timesteps: usize,
+        groups: &[(usize, u64)],
+    ) -> Result<Tensor, AnalogError> {
+        let n = *inputs
+            .shape()
+            .first()
+            .ok_or_else(|| AnalogError::BadGeometry {
+                reason: "rank-0 input".into(),
+            })?;
+        let total: usize = groups.iter().map(|&(rows, _)| rows).sum();
+        if total != n {
+            return Err(AnalogError::BadGeometry {
+                reason: format!("seeded groups cover {total} rows, batch has {n}"),
+            });
+        }
+        let row_elems = inputs.len().checked_div(n).unwrap_or(0);
+        let encoding = self.encoding;
+        let mut rngs: Vec<rand::rngs::StdRng> = groups
+            .iter()
+            .map(|&(_, seed)| rand::SeedableRng::seed_from_u64(seed))
+            .collect();
+        self.run_with_encoder(inputs, timesteps, false, &mut |x: &Tensor| {
+            let mut t = Tensor::zeros(x.shape());
+            let mut offset = 0usize;
+            for (&(rows, _), rng) in groups.iter().zip(rngs.iter_mut()) {
+                let lo = offset * row_elems;
+                let hi = (offset + rows) * row_elems;
+                // Elementwise in row-major order — exactly the draws
+                // (Poisson) or values (Constant) a solo `encode` over
+                // this group's rows would produce.
+                match encoding {
+                    InputEncoding::Poisson => {
+                        for (d, &p) in t.data_mut()[lo..hi].iter_mut().zip(&x.data()[lo..hi]) {
+                            if rng.gen::<f32>() < p.clamp(0.0, 1.0) {
+                                *d = 1.0;
+                            }
+                        }
+                    }
+                    InputEncoding::Constant => {
+                        for (d, &p) in t.data_mut()[lo..hi].iter_mut().zip(&x.data()[lo..hi]) {
+                            *d = p.clamp(0.0, 1.0);
+                        }
+                    }
+                }
+                offset += rows;
+            }
+            t
+        })
+    }
+
     fn run_impl<R: Rng + ?Sized>(
         &mut self,
         inputs: &Tensor,
@@ -597,10 +714,23 @@ impl AnalogSpikingNetwork {
         rng: &mut R,
         reference: bool,
     ) -> Result<Tensor, AnalogError> {
+        let encoding = self.encoding;
+        self.run_with_encoder(inputs, timesteps, reference, &mut |x: &Tensor| {
+            encode_with(encoding, x, rng)
+        })
+    }
+
+    fn run_with_encoder(
+        &mut self,
+        inputs: &Tensor,
+        timesteps: usize,
+        reference: bool,
+        encode: &mut dyn FnMut(&Tensor) -> Tensor,
+    ) -> Result<Tensor, AnalogError> {
         self.reset_state();
         let mut acc: Option<Tensor> = None;
         for _ in 0..timesteps {
-            let mut h = self.encode(inputs, rng);
+            let mut h = encode(inputs);
             let mut stages = std::mem::take(&mut self.stages);
             let step: Result<(), AnalogError> = (|| {
                 for stage in stages.iter_mut() {
@@ -695,7 +825,15 @@ impl AnalogSpikingNetwork {
                 none => *none = Some(h),
             }
         }
-        Ok(acc.unwrap_or_else(|| Tensor::zeros(&[0, 0])))
+        match acc {
+            Some(a) => Ok(a),
+            // Zero timesteps: no wave ran and no energy accrued, but the
+            // result must still have the shape a one-or-more-timestep
+            // run would produce (all-zero potentials), so callers —
+            // the serving layer in particular — can split it per
+            // request. (This used to return a `[0, 0]` placeholder.)
+            None => Ok(Tensor::zeros(&self.output_shape(inputs.shape())?)),
+        }
     }
 
     /// Classification accuracy of the circuit-backed SNN.
@@ -738,6 +876,24 @@ impl AnalogSpikingNetwork {
     /// timestep).
     pub fn waves(&self) -> u64 {
         self.timestep_waves
+    }
+}
+
+/// Encodes one timestep of input under `encoding`, drawing from `rng`
+/// elementwise in row-major order (Poisson consumes exactly one draw
+/// per element; Constant consumes none).
+fn encode_with<R: Rng + ?Sized>(encoding: InputEncoding, inputs: &Tensor, rng: &mut R) -> Tensor {
+    match encoding {
+        InputEncoding::Poisson => {
+            let mut t = Tensor::zeros(inputs.shape());
+            for (d, &p) in t.data_mut().iter_mut().zip(inputs.data()) {
+                if rng.gen::<f32>() < p.clamp(0.0, 1.0) {
+                    *d = 1.0;
+                }
+            }
+            t
+        }
+        InputEncoding::Constant => inputs.clamp(0.0, 1.0),
     }
 }
 
@@ -870,6 +1026,82 @@ mod tests {
             "vectorized energy {e_vec} vs reference {e_ref}"
         );
         assert_eq!(fast.waves(), slow.waves());
+    }
+
+    #[test]
+    fn seeded_groups_match_solo_runs_bitwise() {
+        let mut r = rng();
+        let (net, data) = trained_net(&mut r);
+        let functional = ann_to_snn(&net, &data, &ConversionConfig::default()).unwrap();
+        let compiled = compile_snn_default(&functional).unwrap();
+        let cols = data.inputs.shape()[1];
+        // Three requests of 2, 1 and 3 samples with distinct seeds.
+        let groups = [(2usize, 11u64), (1, 22), (3, 33)];
+        let n: usize = groups.iter().map(|g| g.0).sum();
+        let x = Tensor::from_vec(data.inputs.data()[..n * cols].to_vec(), &[n, cols]).unwrap();
+        let mut batched = compiled.clone();
+        let y = batched.run_seeded_groups(&x, 60, &groups).unwrap();
+        assert_eq!(y.shape(), [n, 2]);
+        let out_cols = y.shape()[1];
+        let mut offset = 0usize;
+        for &(rows, seed) in &groups {
+            let xg = Tensor::from_vec(
+                x.data()[offset * cols..(offset + rows) * cols].to_vec(),
+                &[rows, cols],
+            )
+            .unwrap();
+            // The per-group reference is the *sequential* evaluator with
+            // that group's own RNG stream — the serving bit-identity
+            // contract.
+            let mut solo = compiled.clone();
+            let mut rg: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+            let yg = solo.run_sequential(&xg, 60, &mut rg).unwrap();
+            for (i, (a, b)) in y.data()[offset * out_cols..(offset + rows) * out_cols]
+                .iter()
+                .zip(yg.data())
+                .enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "group seed {seed}, element {i}: batched {a} vs solo {b}"
+                );
+            }
+            offset += rows;
+        }
+    }
+
+    #[test]
+    fn zero_timesteps_yield_shaped_zeros_and_no_energy() {
+        let mut r = rng();
+        let (net, data) = trained_net(&mut r);
+        let functional = ann_to_snn(&net, &data, &ConversionConfig::default()).unwrap();
+        let mut analog = compile_snn_default(&functional).unwrap();
+        let x = Tensor::from_vec(data.inputs.data()[..5 * 2].to_vec(), &[5, 2]).unwrap();
+        let y = analog.run(&x, 0, &mut r).unwrap();
+        assert_eq!(
+            y.shape(),
+            [5, 2],
+            "zero-timestep output keeps the batch shape"
+        );
+        assert!(y.data().iter().all(|&v| v == 0.0));
+        assert_eq!(analog.read_energy(), Joules::ZERO);
+        assert_eq!(analog.waves(), 0);
+        let mut seq = compile_snn_default(&functional).unwrap();
+        let ys = seq.run_sequential(&x, 0, &mut r).unwrap();
+        assert_eq!(ys.shape(), y.shape());
+        assert_eq!(seq.read_energy(), Joules::ZERO);
+    }
+
+    #[test]
+    fn output_shape_walks_every_stage_kind() {
+        let mut r = rng();
+        let (net, data) = trained_net(&mut r);
+        let functional = ann_to_snn(&net, &data, &ConversionConfig::default()).unwrap();
+        let analog = compile_snn_default(&functional).unwrap();
+        assert_eq!(analog.output_shape(&[7, 2]).unwrap(), vec![7, 2]);
+        assert!(analog.output_shape(&[7, 3]).is_err(), "wrong feature width");
+        assert!(analog.output_shape(&[]).is_err(), "rank-0 input");
     }
 
     #[test]

@@ -412,8 +412,8 @@ pub fn evaluate_suite(model: &EnergyModel, jobs: &[SuiteJob]) -> Vec<SuiteReport
 }
 
 /// Evaluates every job across the persistent worker pool
-/// ([`nebula_tensor::pool`]) sized by
-/// [`nebula_tensor::par::worker_count`]. Each job is evaluated by
+/// ([`nebula_tensor::pool`]), split by the pool's size snapshot
+/// ([`nebula_tensor::pool::size`]). Each job is evaluated by
 /// exactly one worker with the same engine [`evaluate_suite`] uses, so
 /// the reports are **identical** to the sequential ones, in job order —
 /// only wall-clock time changes.
@@ -423,7 +423,7 @@ pub fn evaluate_suite(model: &EnergyModel, jobs: &[SuiteJob]) -> Vec<SuiteReport
 /// Panics when a hybrid job has a degenerate split (worker panics are
 /// propagated).
 pub fn par_evaluate_suite(model: &EnergyModel, jobs: &[SuiteJob]) -> Vec<SuiteReport> {
-    par_evaluate_suite_with_workers(model, jobs, nebula_tensor::par::worker_count())
+    par_evaluate_suite_with_workers(model, jobs, nebula_tensor::pool::size())
 }
 
 /// [`par_evaluate_suite`] with an explicit worker count.

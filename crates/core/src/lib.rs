@@ -19,6 +19,9 @@
 //! * [`fault`] — chip-level fault state and the remap-around-faults
 //!   policy (graceful degradation instead of hard failure).
 //! * [`chip`] — chip configuration, mesh placement and NoC traffic.
+//! * [`serve`] — async multi-tenant inference serving: per-model
+//!   request queues, a dynamic batcher coalescing compatible requests
+//!   into single crossbar waves, and pools of programmed chip replicas.
 //!
 //! # Examples
 //!
@@ -51,6 +54,7 @@ pub mod engine;
 pub mod fault;
 pub mod mapper;
 pub mod pipeline;
+pub mod serve;
 pub mod trace;
 
 pub use analog::{compile as compile_analog, AnalogNetwork};
@@ -64,3 +68,7 @@ pub use engine::{
 };
 pub use fault::{remap_network, ChipFaultState, RemapError, RemapPolicy, RemapReport};
 pub use mapper::{map_layer, map_network, Aggregation, LayerMapping};
+pub use serve::{
+    ChipPool, InferenceRequest, InferenceResponse, ModelChip, ModelSpec, ModelStats, RequestKind,
+    ResponseHandle, ServeConfig, ServeError, Server, ServerStats,
+};

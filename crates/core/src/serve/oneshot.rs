@@ -1,0 +1,103 @@
+//! Single-use response slots: the channel between a submitted request
+//! and the worker that eventually answers it.
+//!
+//! A [`OneShot`] is fulfilled exactly once and consumed exactly once.
+//! It is deliberately minimal — a `Mutex<Option<T>>` plus a `Condvar` —
+//! so the serving layer carries no channel dependency and the
+//! exactly-once property is easy to audit: [`OneShot::fulfill`] refuses
+//! a second value, and the concurrency tests count fulfillments.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A slot that is written once by a batch worker and read once by the
+/// submitting tenant.
+pub(crate) struct OneShot<T> {
+    value: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> OneShot<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            value: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Stores `value` and wakes every waiter. Returns `false` (and
+    /// drops the new value) if the slot was already fulfilled — which
+    /// the serving layer treats as a logic error: every request is
+    /// answered exactly once.
+    pub(crate) fn fulfill(&self, value: T) -> bool {
+        let mut slot = self.value.lock().expect("oneshot poisoned");
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(value);
+        drop(slot);
+        self.ready.notify_all();
+        true
+    }
+
+    /// Blocks until the slot is fulfilled, then takes the value.
+    pub(crate) fn wait(&self) -> T {
+        let mut slot = self.value.lock().expect("oneshot poisoned");
+        loop {
+            if let Some(v) = slot.take() {
+                return v;
+            }
+            slot = self.ready.wait(slot).expect("oneshot poisoned");
+        }
+    }
+
+    /// Waits up to `timeout` for the value; `None` on timeout (the
+    /// value, if it arrives later, stays claimable).
+    pub(crate) fn wait_for(&self, timeout: Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.value.lock().expect("oneshot poisoned");
+        loop {
+            if let Some(v) = slot.take() {
+                return Some(v);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .expect("oneshot poisoned");
+            slot = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fulfills_exactly_once() {
+        let s = OneShot::new();
+        assert!(s.fulfill(1));
+        assert!(!s.fulfill(2), "second fulfill must be rejected");
+        assert_eq!(s.wait(), 1);
+    }
+
+    #[test]
+    fn wait_for_times_out_then_claims() {
+        let s = Arc::new(OneShot::new());
+        assert_eq!(s.wait_for(Duration::from_millis(10)), None);
+        let t = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                s.fulfill(7)
+            })
+        };
+        assert_eq!(s.wait_for(Duration::from_secs(5)), Some(7));
+        assert!(t.join().unwrap());
+    }
+}

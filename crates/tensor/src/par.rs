@@ -21,10 +21,12 @@
 //! * no reduction ever crosses a chunk boundary, so chunking cannot
 //!   reassociate floating-point sums.
 //!
-//! The pool size defaults to [`worker_count`]
+//! The pool size is fixed at creation from [`worker_count`]
 //! (`std::thread::available_parallelism`, overridable with the
-//! `NEBULA_THREADS` environment variable); `*_with_workers` variants
-//! take it explicitly.
+//! `NEBULA_THREADS` environment variable) and snapshotted as
+//! [`pool::size`](crate::pool::size); the implicit entry points here
+//! split by that snapshot, and `*_with_workers` variants take the
+//! worker count explicitly.
 
 use std::ops::Range;
 
@@ -38,9 +40,15 @@ use crate::tensor::Tensor;
 /// overhead.
 const PAR_MIN_MACS: usize = 64 * 1024;
 
-/// Number of worker threads parallel kernels use by default: the
-/// `NEBULA_THREADS` environment variable when set to a positive integer,
-/// otherwise [`std::thread::available_parallelism`], and at least 1.
+/// The *configured* worker count: the `NEBULA_THREADS` environment
+/// variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`], and at least 1.
+///
+/// This re-reads the environment on every call. The persistent pool is
+/// sized from it exactly once, at creation; chunking paths must split by
+/// that snapshot — [`pool::size`](crate::pool::size) — not by a fresh
+/// read, or splits and threads can disagree when the environment
+/// changes after pool init.
 pub fn worker_count() -> usize {
     if let Ok(v) = std::env::var("NEBULA_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
@@ -98,14 +106,15 @@ where
     crate::pool::run_scoped(tasks);
 }
 
-/// Parallel rank-2 matrix product `a · b` over [`worker_count`] threads;
+/// Parallel rank-2 matrix product `a · b` over the pool's
+/// [`pool::size`](crate::pool::size) workers;
 /// bit-identical to [`Tensor::matmul`].
 ///
 /// # Errors
 ///
 /// Same conditions as [`Tensor::matmul`].
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    matmul_with_workers(a, b, worker_count())
+    matmul_with_workers(a, b, crate::pool::size())
 }
 
 /// [`matmul`] with an explicit worker count.
@@ -139,14 +148,15 @@ pub fn matmul_with_workers(a: &Tensor, b: &Tensor, workers: usize) -> Result<Ten
     Tensor::from_vec(out, &[m, n])
 }
 
-/// Parallel patch lowering over [`worker_count`] threads; bit-identical
+/// Parallel patch lowering over the pool's
+/// [`pool::size`](crate::pool::size) workers; bit-identical
 /// to [`conv::im2col`].
 ///
 /// # Errors
 ///
 /// Same conditions as [`conv::im2col`].
 pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Result<Tensor, TensorError> {
-    im2col_with_workers(input, geom, worker_count())
+    im2col_with_workers(input, geom, crate::pool::size())
 }
 
 /// [`im2col`] with an explicit worker count.
@@ -186,7 +196,8 @@ pub fn im2col_with_workers(
     Tensor::from_vec(out, &[rows, cols_per_row])
 }
 
-/// Parallel dense 2-D convolution over [`worker_count`] threads;
+/// Parallel dense 2-D convolution over the pool's
+/// [`pool::size`](crate::pool::size) workers;
 /// bit-identical to [`conv::conv2d`]. Both the patch lowering and the
 /// patch-by-weight product are parallelised.
 ///
@@ -199,7 +210,7 @@ pub fn conv2d(
     bias: Option<&Tensor>,
     geom: ConvGeometry,
 ) -> Result<Tensor, TensorError> {
-    conv2d_with_workers(input, weight, bias, geom, worker_count())
+    conv2d_with_workers(input, weight, bias, geom, crate::pool::size())
 }
 
 /// [`conv2d`] with an explicit worker count.

@@ -6,7 +6,11 @@
 //! pool here is created once, on first use, with
 //! [`par::worker_count`](crate::par::worker_count)` − 1` background
 //! threads (the calling thread is the remaining worker), and all
-//! subsequent parallel calls submit closures to it.
+//! subsequent parallel calls submit closures to it. The size chosen at
+//! creation is snapshotted and exposed through [`size`]; every implicit
+//! chunking path in the workspace splits by that snapshot, so the pool
+//! and the splits cannot disagree even if `NEBULA_THREADS` changes
+//! after initialization.
 //!
 //! # Determinism
 //!
@@ -41,22 +45,28 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
     job_ready: Condvar,
+    /// Worker count snapshotted at pool creation: `size - 1` background
+    /// threads exist, and the submitting thread is the remaining worker.
+    /// [`size`] hands this to every chunking path so splits can never
+    /// target a different worker count than the pool actually has.
+    size: usize,
 }
 
 static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
 
 /// The process-wide pool, spawning its background threads on first use.
-/// Sized from [`worker_count`](crate::par::worker_count) at that moment
-/// (so `NEBULA_THREADS` is honored); the submitting thread always helps,
-/// hence the `− 1`.
+/// Sized from [`worker_count`](crate::par::worker_count) **once, at
+/// that moment** (so `NEBULA_THREADS` is honored at first use); the
+/// submitting thread always helps, hence the `− 1`.
 fn shared() -> &'static Arc<Shared> {
     POOL.get_or_init(|| {
+        let size = crate::par::worker_count();
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             job_ready: Condvar::new(),
+            size,
         });
-        let background = crate::par::worker_count().saturating_sub(1);
-        for i in 0..background {
+        for i in 0..size.saturating_sub(1) {
             let s = Arc::clone(&shared);
             thread::Builder::new()
                 .name(format!("nebula-pool-{i}"))
@@ -65,6 +75,21 @@ fn shared() -> &'static Arc<Shared> {
         }
         shared
     })
+}
+
+/// The pool's worker count, snapshotted once at pool creation
+/// (initializing the pool if this is the first touch).
+///
+/// [`par::worker_count`](crate::par::worker_count) re-reads
+/// `NEBULA_THREADS` on every call, but the pool's background threads are
+/// spawned exactly once — so a chunking path sized from a *fresh*
+/// `worker_count()` read could disagree with the number of threads that
+/// actually exist if the environment changed after pool init. Every
+/// implicit fan-out in the workspace therefore sizes its splits from
+/// this snapshot instead; the explicit `*_with_workers` entry points
+/// remain available for worker-count-invariance tests.
+pub fn size() -> usize {
+    shared().size
 }
 
 fn worker_loop(s: &Shared) {
@@ -312,6 +337,16 @@ mod tests {
             })
             .collect();
         run_scoped(outer);
+    }
+
+    #[test]
+    fn pool_size_is_positive_and_stable() {
+        let first = size();
+        assert!(first >= 1);
+        // The snapshot never moves once the pool exists, whatever the
+        // environment does afterwards (regression: splits used to track
+        // a live `worker_count()` read while the thread count did not).
+        assert_eq!(size(), first);
     }
 
     #[test]
