@@ -296,6 +296,20 @@ impl ProgrammedMatrix {
             tile.set_kernel_path(path);
         }
     }
+
+    /// Builds any missing cache layouts and returns the total bytes the
+    /// current kernel path's conductance caches occupy across all tiles
+    /// (see [`SuperTile::kernel_cache_bytes`]).
+    fn kernel_cache_bytes(&mut self) -> usize {
+        for tile in self.tiles.iter_mut().flatten() {
+            tile.prepare();
+        }
+        self.tiles
+            .iter()
+            .flatten()
+            .map(SuperTile::kernel_cache_bytes)
+            .sum()
+    }
 }
 
 /// One compiled stage of an analog network.
@@ -536,15 +550,33 @@ impl AnalogNetwork {
 
     /// Selects the crossbar inner-loop kernel every programmed tile
     /// evaluates through (default [`KernelPath::Vectorized`]). Outputs
-    /// are bit-identical either way; under the vectorized path read
-    /// energy agrees with the scalar/reference path to a relative error
-    /// ≤ 1e-12 instead of bitwise (see [`nebula_crossbar::kernel`]).
+    /// are bit-identical on every path; under the vectorized and
+    /// quantized paths read energy uses the per-row-sum formulation and
+    /// agrees with the scalar/reference path to a relative error ≤ 1e-12
+    /// per dot instead of bitwise (see [`nebula_crossbar::kernel`]).
     pub fn set_kernel_path(&mut self, path: KernelPath) {
         for stage in &mut self.stages {
             if let AnalogStage::Dense { matrix, .. } | AnalogStage::Conv { matrix, .. } = stage {
                 matrix.set_kernel_path(path);
             }
         }
+    }
+
+    /// Bytes the conductance caches backing the current kernel path
+    /// occupy across all programmed tiles (building any missing layouts
+    /// first) — the footprint `bench_hotpath` reports per path. The
+    /// quantized layout packs state indices two per byte, so it lands at
+    /// a fraction of the f64 differential cache.
+    pub fn conductance_cache_bytes(&mut self) -> usize {
+        self.stages
+            .iter_mut()
+            .map(|s| match s {
+                AnalogStage::Dense { matrix, .. } | AnalogStage::Conv { matrix, .. } => {
+                    matrix.kernel_cache_bytes()
+                }
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Crossbar evaluation waves executed so far (each is one 110 ns

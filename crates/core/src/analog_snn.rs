@@ -243,6 +243,20 @@ impl SnnMatrix {
             tile.set_kernel_path(path);
         }
     }
+
+    /// Bytes of the current kernel path's conductance caches across this
+    /// matrix's tiles, building any missing layouts first (see
+    /// [`SuperTile::kernel_cache_bytes`]).
+    fn kernel_cache_bytes(&mut self) -> usize {
+        for tile in self.tiles.iter_mut().flatten() {
+            tile.prepare();
+        }
+        self.tiles
+            .iter()
+            .flatten()
+            .map(SuperTile::kernel_cache_bytes)
+            .sum()
+    }
 }
 
 /// Active-row (spiking) index lists for a batch of crossbar waves, in
@@ -514,9 +528,10 @@ impl AnalogSpikingNetwork {
 
     /// Selects the crossbar inner-loop kernel every programmed tile
     /// evaluates through (default [`KernelPath::Vectorized`]). Outputs
-    /// are bit-identical either way; under the vectorized path read
-    /// energy agrees with the scalar/reference path to a relative error
-    /// ≤ 1e-12 instead of bitwise (see [`nebula_crossbar::kernel`]).
+    /// are bit-identical on every path; under the vectorized and
+    /// quantized paths read energy uses the per-row-sum formulation and
+    /// agrees with the scalar/reference path to a relative error ≤ 1e-12
+    /// per dot instead of bitwise (see [`nebula_crossbar::kernel`]).
     pub fn set_kernel_path(&mut self, path: KernelPath) {
         for stage in &mut self.stages {
             if let SpikingAnalogStage::Dense { matrix, .. }
@@ -525,6 +540,20 @@ impl AnalogSpikingNetwork {
                 matrix.set_kernel_path(path);
             }
         }
+    }
+
+    /// Bytes the conductance caches backing the current kernel path
+    /// occupy across all programmed tiles (building any missing layouts
+    /// first) — the footprint `bench_hotpath` reports per path.
+    pub fn conductance_cache_bytes(&mut self) -> usize {
+        self.stages
+            .iter_mut()
+            .map(|s| match s {
+                SpikingAnalogStage::Dense { matrix, .. }
+                | SpikingAnalogStage::Conv { matrix, .. } => matrix.kernel_cache_bytes(),
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Output-potential shape this network produces for `input_shape`
@@ -930,6 +959,107 @@ mod tests {
         let cfg = TrainConfig::builder().epochs(30).batch_size(20).build();
         train(&mut net, &data, &cfg, r).unwrap();
         (net, data)
+    }
+
+    #[test]
+    fn spike_batch_slicing_handles_empty_and_single_active_items() {
+        // CSR edge cases the fast path relies on implicitly: items with
+        // zero activity produce empty slices, a single active row
+        // produces a one-element slice, and `partition_point` over a
+        // one-element item resolves segment membership exactly.
+        let mut batch = SpikeBatch::with_items(4);
+        batch.push_item(); // item 0: silent
+        batch.idx.push(7);
+        batch.push_item(); // item 1: single active row
+        batch.push_item(); // item 2: silent
+        batch.idx.extend([1u32, 5, 9]);
+        batch.push_item(); // item 3: several rows
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.item(0), &[] as &[u32]);
+        assert_eq!(batch.item(1), &[7]);
+        assert_eq!(batch.item(2), &[] as &[u32]);
+        assert_eq!(batch.item(3), &[1, 5, 9]);
+
+        // partition_point slicing of a single-active-row item: the row
+        // lands in exactly one segment window, empty slices elsewhere.
+        let acts = batch.item(1);
+        for (lo_bound, hi_bound, expect) in [(0usize, 4usize, 0..0), (4, 8, 0..1), (8, 12, 1..1)] {
+            let s_lo = acts.partition_point(|&g| (g as usize) < lo_bound);
+            let s_hi = acts.partition_point(|&g| (g as usize) < hi_bound);
+            assert_eq!(s_lo..s_hi, expect, "window {lo_bound}..{hi_bound}");
+        }
+
+        // The dense gather produces the same CSR structure.
+        let rows: Vec<Vec<f32>> = vec![
+            vec![0.0; 10],
+            {
+                let mut r = vec![0.0; 10];
+                r[7] = 1.0;
+                r
+            },
+            vec![0.0; 10],
+        ];
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        let gathered = gather_spike_rows(&refs);
+        assert_eq!(gathered.len(), 3);
+        assert_eq!(gathered.item(0), &[] as &[u32]);
+        assert_eq!(gathered.item(1), &[7]);
+        assert_eq!(gathered.item(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn quantized_spike_gather_dismisses_silent_items_without_energy() {
+        let weight = Tensor::from_vec(
+            (0..10 * 3).map(|i| (i % 5) as f32 / 4.0 - 0.4).collect(),
+            &[10, 3],
+        )
+        .unwrap();
+        let config = CrossbarConfig::paper_default(Mode::Snn);
+        let mut quant = SnnMatrix::program(&weight, &config).unwrap();
+        quant.set_kernel_path(KernelPath::Quantized);
+
+        // A batch of only silent items must produce zero outputs and
+        // touch neither the LUT nor the energy counters.
+        let silent = SpikeBatch::with_items(3);
+        let mut silent = silent;
+        for _ in 0..3 {
+            silent.push_item();
+        }
+        let out = quant.dot_spikes_batch_active(&silent).unwrap();
+        assert!(out.iter().all(|&v| v == 0.0));
+        assert_eq!(
+            quant.read_energy(),
+            Joules::ZERO,
+            "silent items must not accrue read energy"
+        );
+
+        // Mixed batch (silent / single-row / multi-row): bitwise equal to
+        // the per-item scalar reference; silent item contributes nothing.
+        let mut scalar = SnnMatrix::program(&weight, &config).unwrap();
+        scalar.set_kernel_path(KernelPath::Scalar);
+        let mut batch = SpikeBatch::with_items(3);
+        batch.push_item(); // silent
+        batch.idx.push(4);
+        batch.push_item(); // single active row
+        batch.idx.extend([0u32, 3, 9]);
+        batch.push_item();
+        let out = quant.dot_spikes_batch_active(&batch).unwrap();
+        let mut spikes = vec![vec![0.0f32; 10]; 3];
+        spikes[1][4] = 1.0;
+        for r in [0usize, 3, 9] {
+            spikes[2][r] = 1.0;
+        }
+        for (i, item) in spikes.iter().enumerate() {
+            let reference = scalar.dot_spikes_reference(item).unwrap();
+            for (c, (&q, &s)) in out[i * 3..(i + 1) * 3].iter().zip(&reference).enumerate() {
+                assert_eq!(q.to_bits(), s.to_bits(), "item {i} col {c}");
+            }
+        }
+        // Energy: quantized accrues via per-row sums, bitwise equal to
+        // the vectorized formulation on the same activity.
+        let mut vector = SnnMatrix::program(&weight, &config).unwrap();
+        vector.dot_spikes_batch_active(&batch).unwrap();
+        assert_eq!(quant.read_energy(), vector.read_energy());
     }
 
     #[test]

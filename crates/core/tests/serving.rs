@@ -484,3 +484,94 @@ fn full_queue_applies_backpressure_and_shutdown_drains_in_flight() {
         assert_eq!(resp.batched_with, 2);
     }
 }
+
+#[test]
+fn coalesced_batches_are_bitwise_identical_across_kernel_paths() {
+    // The same coalesced batch — ANN requests of mixed row counts plus
+    // seeded SNN requests — must produce per-tenant answers that do not
+    // depend on which crossbar kernel the replicas evaluate through:
+    // Scalar is the pinned reference, Vectorized the default, Quantized
+    // the bit-packed 4-bit tier. Any kernel-path drift in `serve` shows
+    // up as a bit mismatch here.
+    let mut r = rng();
+    let (net, data) = trained_net(&mut r);
+    let ann_chip = compile_ann(&net).unwrap();
+    let functional = ann_to_snn(&net, &data, &ConversionConfig::default()).unwrap();
+    let snn_chip = compile_snn_default(&functional).unwrap();
+    let ann_inputs: Vec<Tensor> = (0..4).map(|i| input(&mut r, 1 + i % 3)).collect();
+    let snn_inputs: Vec<(Tensor, u64)> = (0..3)
+        .map(|i| (input(&mut r, 2), 4000 + i as u64))
+        .collect();
+
+    let mut per_path: Vec<Vec<(u64, Vec<f32>)>> = Vec::new();
+    for path in [
+        KernelPath::Scalar,
+        KernelPath::Vectorized,
+        KernelPath::Quantized,
+    ] {
+        let mut ann = ann_chip.clone();
+        ann.set_kernel_path(path);
+        let mut snn = snn_chip.clone();
+        snn.set_kernel_path(path);
+        let cfg = ServeConfig {
+            queue_capacity: 16,
+            max_batch: 8,
+            max_wait: Duration::from_secs(5),
+        };
+        let server = Server::start(
+            cfg,
+            vec![ModelSpec::ann("mlp", ann, 1), ModelSpec::snn("snn", snn, 1)],
+        )
+        .unwrap();
+        let mut handles = Vec::new();
+        for (i, x) in ann_inputs.iter().enumerate() {
+            handles.push((
+                i as u64,
+                server
+                    .submit(InferenceRequest {
+                        model: "mlp".into(),
+                        tenant: i as u64,
+                        input: x.clone(),
+                        kind: RequestKind::Ann,
+                    })
+                    .unwrap(),
+            ));
+        }
+        for (x, seed) in &snn_inputs {
+            handles.push((
+                *seed,
+                server
+                    .submit(InferenceRequest {
+                        model: "snn".into(),
+                        tenant: *seed,
+                        input: x.clone(),
+                        kind: RequestKind::Snn {
+                            timesteps: 30,
+                            seed: *seed,
+                        },
+                    })
+                    .unwrap(),
+            ));
+        }
+        per_path.push(
+            handles
+                .into_iter()
+                .map(|(tenant, h)| (tenant, h.wait().unwrap().output.data().to_vec()))
+                .collect(),
+        );
+    }
+    let (scalar, rest) = per_path.split_first().unwrap();
+    for (p, served) in rest.iter().enumerate() {
+        for ((tenant, expect), (t2, got)) in scalar.iter().zip(served) {
+            assert_eq!(tenant, t2);
+            assert_eq!(expect.len(), got.len());
+            for (a, b) in expect.iter().zip(got) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "tenant {tenant} drifted on kernel path {p}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}

@@ -65,30 +65,92 @@ pub struct AtomicCrossbar {
     /// of re-resolving faults per cell per evaluation.
     eff_cache: Option<EffCache>,
     /// Which inner-loop kernel the prepared evaluators dispatch to.
-    /// Switching paths does not invalidate the cache: both layouts are
-    /// always materialized together.
+    /// Switching paths does not invalidate the cache: the next
+    /// `prepare()`/`ensure_cache` materializes the missing layout
+    /// alongside the ones already built.
     kernel: KernelPath,
 }
 
-/// The prepared evaluation cache: the scalar layout (pinned reference)
-/// plus the vectorized differential layout, built together so the kernel
-/// path can be switched without re-preparing.
-#[derive(Debug, Clone)]
+/// The prepared evaluation cache: one lazily built layout per
+/// [`KernelPath`]. State mutations drop the whole cache (`eff_cache =
+/// None`); within a clean cache, each layout is built the first time its
+/// kernel path needs it and kept thereafter, so path switches re-prepare
+/// at most once per layout instead of discarding the others.
+#[derive(Debug, Clone, Default)]
 struct EffCache {
     /// Fault/age-resolved effective conductances, row-major
     /// `rows_used × cols_used` — exactly what the legacy per-cell loop
     /// would compute, consumed by [`KernelPath::Scalar`].
-    eff: Vec<f64>,
+    scalar: Option<Vec<f64>>,
+    /// The column-lane layout consumed by [`KernelPath::Vectorized`]
+    /// (and by a spilled [`KernelPath::Quantized`]).
+    vector: Option<VectorLayout>,
+    /// The bit-packed palette layout consumed by
+    /// [`KernelPath::Quantized`].
+    quant: Option<QuantLayout>,
+}
+
+/// Differential column-lane layout ([`KernelPath::Vectorized`]).
+#[derive(Debug, Clone)]
+struct VectorLayout {
     /// Differential conductances `g_eff − g_mid`, row-major with each row
-    /// zero-padded to `padded_cols` — the column-lane layout consumed by
-    /// [`KernelPath::Vectorized`].
+    /// zero-padded to `padded_cols`.
     dg: Vec<f64>,
     /// Per-row sum of effective conductances (column-ascending), folding
-    /// the energy term of the vectorized path into one multiply per
-    /// active row.
+    /// the energy term into one multiply per active row.
     row_sum: Vec<f64>,
     /// Stride of one `dg` row: `kernel::padded_len(cols_used)`.
     padded_cols: usize,
+}
+
+/// Bit-packed 4-bit layout ([`KernelPath::Quantized`]): either the
+/// nibble-packed palette form, or a marker that the array's
+/// fault-resolved conductances would not fit a [`kernel::PALETTE`]-entry
+/// palette and evaluation goes through the vectorized layout instead.
+#[derive(Debug, Clone)]
+enum QuantLayout {
+    /// Boxed so the un-prepared / spilled states don't carry the full
+    /// inline struct around in the per-array cache slot.
+    Packed(Box<QuantPacked>),
+    /// More than [`kernel::PALETTE`] distinct fault-resolved
+    /// conductances (per-cell TMR factors, drift mixing on/off-grid
+    /// values): evaluate through [`VectorLayout`]. Outputs are bitwise
+    /// identical either way; energy is per-row-sum on both.
+    Spill,
+}
+
+/// Panic message of every `*_prepared` evaluator whose layout is
+/// missing: either `prepare()` never ran, or the kernel path was
+/// switched after it (a `&mut` operation, so it cannot race the
+/// `&self` evaluators) without re-preparing.
+const PREPARE_MSG: &str = "prepare() must run before a *_prepared evaluation";
+
+#[derive(Debug, Clone)]
+struct QuantPacked {
+    /// Palette indices packed two per byte (`kernel::pack_nibbles`
+    /// layout), row-major with stride [`QuantPacked::stride`].
+    packed: Vec<u8>,
+    /// Bytes per packed row: `kernel::packed_row_len(cols_used)`.
+    stride: usize,
+    /// Distinct fault/age-resolved conductances, in first-seen
+    /// (row-major cell) order; ≤ [`kernel::PALETTE`] entries.
+    pal_g: Vec<f64>,
+    /// `pal_g[s] − g_mid`, the same subtraction the scalar loop performs
+    /// per cell visit, done once per palette entry here.
+    pal_dg: Vec<f64>,
+    /// `v_read · pal_dg[s]` for the binary spike drive (`x = 1`), padded
+    /// with zeros to [`kernel::PALETTE`]; the constant-voltage sparse
+    /// path gathers from this without any per-row multiply.
+    vdg_spike: [f64; kernel::PALETTE],
+    /// Byte-pair expansion of `vdg_spike`: entry `b` holds
+    /// `[vdg_spike[b & 15], vdg_spike[b >> 4]]`, so the spike gather
+    /// loads one aligned 16-byte pair per packed byte with no nibble
+    /// arithmetic. 4 KiB per AC, built once per prepare.
+    pair_spike: Vec<[f64; 2]>,
+    /// Per-row conductance sums, identical bits to
+    /// [`VectorLayout::row_sum`] (same values, same column-ascending
+    /// order) — the per-row-sum energy formulation.
+    row_sum: Vec<f64>,
 }
 
 impl AtomicCrossbar {
@@ -120,16 +182,19 @@ impl AtomicCrossbar {
             age: Seconds(0.0),
             dead: false,
             eff_cache: None,
-            kernel: KernelPath::default(),
+            kernel: KernelPath::from_env(),
             config,
         })
     }
 
     /// Selects the inner-loop kernel the noise-free evaluators run
-    /// through (default [`KernelPath::Vectorized`]). Differential
-    /// outputs are bit-identical either way; only the energy term's
-    /// association differs (see [`KernelPath`]). Does not invalidate the
-    /// prepared cache — both layouts are always built together.
+    /// through (default [`KernelPath::Vectorized`], overridable
+    /// process-wide via `NEBULA_KERNEL_PATH` — see
+    /// [`KernelPath::from_env`]). Differential outputs are bit-identical
+    /// on every path; only the energy term's association differs (see
+    /// [`KernelPath`]). Does not invalidate the prepared cache — the
+    /// next `prepare()` builds the newly selected layout if it is not
+    /// materialized yet and keeps the others.
     pub fn set_kernel_path(&mut self, path: KernelPath) {
         self.kernel = path;
     }
@@ -519,46 +584,207 @@ impl AtomicCrossbar {
         }
     }
 
-    /// Rebuilds the effective-conductance cache if a state mutation
-    /// marked it dirty. Each cached `eff` cell is exactly the value the
-    /// legacy loop would compute for it (fault- and age-resolved
-    /// programmed conductance), so cached evaluations are bit-identical
-    /// by construction; the differential layout stores the same
-    /// `g_eff − g_mid` the scalar loop computes per visit, pre-subtracted
-    /// once here instead.
-    fn ensure_cache(&mut self) {
-        if self.eff_cache.is_some() {
-            return;
+    /// The fault/age-resolved effective conductance of cell `(r, j)` —
+    /// exactly the value the legacy per-cell loop computes per visit.
+    fn resolved_g(&self, r: usize, j: usize, faulty: bool) -> f64 {
+        let idx = r * self.m() + j;
+        let g = self.conductance[idx];
+        if faulty {
+            self.fault_adjust(idx, g)
+        } else {
+            g
         }
-        let m = self.m();
+    }
+
+    /// Rebuilds the effective-conductance cache layout(s) the current
+    /// kernel path needs, if a state mutation marked the cache dirty or
+    /// the path was switched to one whose layout is not materialized
+    /// yet. Each cached value is exactly what the legacy loop would
+    /// compute (fault- and age-resolved programmed conductance), so
+    /// cached evaluations are bit-identical by construction; the
+    /// differential layouts store the same `g_eff − g_mid` the scalar
+    /// loop computes per visit, pre-subtracted once here (per cell for
+    /// the vectorized layout, per palette entry for the quantized one).
+    fn ensure_cache(&mut self) {
+        if self.eff_cache.is_none() {
+            self.eff_cache = Some(EffCache::default());
+        }
+        let have = |c: &EffCache| match self.kernel {
+            KernelPath::Scalar => c.scalar.is_some(),
+            KernelPath::Vectorized => c.vector.is_some(),
+            KernelPath::Quantized => c.quant.is_some(),
+        };
+        if !have(self.eff_cache.as_ref().unwrap()) {
+            match self.kernel {
+                KernelPath::Scalar => {
+                    let eff = self.build_scalar();
+                    self.eff_cache.as_mut().unwrap().scalar = Some(eff);
+                }
+                KernelPath::Vectorized => {
+                    let vector = self.build_vector();
+                    self.eff_cache.as_mut().unwrap().vector = Some(vector);
+                }
+                KernelPath::Quantized => {
+                    let quant = self.build_quant();
+                    self.eff_cache.as_mut().unwrap().quant = Some(quant);
+                }
+            }
+        }
+        // A spilled quantized layout evaluates through the vectorized
+        // one, which must then exist too.
+        let cache = self.eff_cache.as_ref().unwrap();
+        if self.kernel == KernelPath::Quantized
+            && matches!(cache.quant, Some(QuantLayout::Spill))
+            && cache.vector.is_none()
+        {
+            let vector = self.build_vector();
+            self.eff_cache.as_mut().unwrap().vector = Some(vector);
+        }
+    }
+
+    /// Scalar layout: the resolved conductances, row-major over the
+    /// programmed block.
+    fn build_scalar(&self) -> Vec<f64> {
+        let faulty = !self.faults.is_empty();
+        let cols = self.cols_used;
+        let mut eff = Vec::with_capacity(self.rows_used * cols);
+        for r in 0..self.rows_used {
+            for j in 0..cols {
+                eff.push(self.resolved_g(r, j, faulty));
+            }
+        }
+        eff
+    }
+
+    /// Vectorized layout: lane-padded differential conductances plus
+    /// per-row sums.
+    fn build_vector(&self) -> VectorLayout {
+        let faulty = !self.faults.is_empty();
         let cols = self.cols_used;
         let padded_cols = kernel::padded_len(cols);
         let g_mid = self.g_mid();
-        let faulty = !self.faults.is_empty();
-        let mut eff = Vec::with_capacity(self.rows_used * cols);
         let mut dg = vec![0.0f64; self.rows_used * padded_cols];
         let mut row_sum = Vec::with_capacity(self.rows_used);
         for r in 0..self.rows_used {
             let mut sum = 0.0f64;
             for j in 0..cols {
-                let g = self.conductance[r * m + j];
-                let g = if faulty {
-                    self.fault_adjust(r * m + j, g)
-                } else {
-                    g
-                };
-                eff.push(g);
+                let g = self.resolved_g(r, j, faulty);
                 dg[r * padded_cols + j] = g - g_mid;
                 sum += g;
             }
             row_sum.push(sum);
         }
-        self.eff_cache = Some(EffCache {
-            eff,
+        VectorLayout {
             dg,
             row_sum,
             padded_cols,
-        });
+        }
+    }
+
+    /// Quantized layout: deduplicates the resolved conductances into a
+    /// first-seen palette and packs per-cell indices two per byte.
+    /// Returns [`QuantLayout::Spill`] when the block holds more than
+    /// [`kernel::PALETTE`] distinct values (only possible under faults
+    /// whose resolved values leave the 16-state device grid, e.g.
+    /// per-cell TMR factors).
+    fn build_quant(&self) -> QuantLayout {
+        let faulty = !self.faults.is_empty();
+        let cols = self.cols_used;
+        let stride = kernel::packed_row_len(cols);
+        let g_mid = self.g_mid();
+        let mut pal_g: Vec<f64> = Vec::with_capacity(kernel::PALETTE);
+        let mut packed = vec![0u8; self.rows_used * stride];
+        let mut row_sum = Vec::with_capacity(self.rows_used);
+        for r in 0..self.rows_used {
+            let mut sum = 0.0f64;
+            for j in 0..cols {
+                let g = self.resolved_g(r, j, faulty);
+                // Bit-level matching: equal inputs through identical ops
+                // yield identical bits, and conductances are never NaN.
+                let idx = match pal_g.iter().position(|p| p.to_bits() == g.to_bits()) {
+                    Some(idx) => idx,
+                    None => {
+                        if pal_g.len() == kernel::PALETTE {
+                            return QuantLayout::Spill;
+                        }
+                        pal_g.push(g);
+                        pal_g.len() - 1
+                    }
+                };
+                packed[r * stride + j / 2] |= (idx as u8) << ((j % 2) * 4);
+                sum += g;
+            }
+            row_sum.push(sum);
+        }
+        let pal_dg: Vec<f64> = pal_g.iter().map(|&g| g - g_mid).collect();
+        let v_read = self.config.mode.read_voltage().0;
+        let mut vdg_spike = [0.0f64; kernel::PALETTE];
+        for (slot, &dg) in vdg_spike.iter_mut().zip(pal_dg.iter()) {
+            *slot = v_read * dg;
+        }
+        // Only arrays that actually hold cells pay for the 4 KiB pair
+        // table (a super-tile's unprogrammed ACs would otherwise dwarf
+        // the packed footprint).
+        let pair_spike = if packed.is_empty() {
+            Vec::new()
+        } else {
+            (0..256)
+                .map(|b| [vdg_spike[b & 0x0F], vdg_spike[b >> 4]])
+                .collect()
+        };
+        QuantLayout::Packed(Box::new(QuantPacked {
+            packed,
+            stride,
+            pal_g,
+            pal_dg,
+            vdg_spike,
+            pair_spike,
+            row_sum,
+        }))
+    }
+
+    /// Bytes the cache layout backing the *current* kernel path occupies
+    /// (0 while the cache is dirty or unbuilt): the quantity
+    /// `bench_hotpath` reports as the conductance-cache footprint. A
+    /// spilled quantized layout is charged the vectorized bytes it
+    /// actually evaluates through.
+    pub fn kernel_cache_bytes(&self) -> usize {
+        let Some(cache) = &self.eff_cache else {
+            return 0;
+        };
+        let f64s = std::mem::size_of::<f64>();
+        let vector_bytes = |v: &Option<VectorLayout>| {
+            v.as_ref()
+                .map_or(0, |v| (v.dg.len() + v.row_sum.len()) * f64s)
+        };
+        match self.kernel {
+            KernelPath::Scalar => cache.scalar.as_ref().map_or(0, |eff| eff.len() * f64s),
+            KernelPath::Vectorized => vector_bytes(&cache.vector),
+            KernelPath::Quantized => match &cache.quant {
+                Some(QuantLayout::Packed(q)) => {
+                    q.packed.len()
+                        + (q.pal_g.len()
+                            + q.pal_dg.len()
+                            + q.vdg_spike.len()
+                            + 2 * q.pair_spike.len()
+                            + q.row_sum.len())
+                            * f64s
+                }
+                Some(QuantLayout::Spill) => vector_bytes(&cache.vector),
+                None => 0,
+            },
+        }
+    }
+
+    /// Whether the prepared quantized layout packed into nibbles
+    /// (`Some(true)`), spilled to the vectorized layout (`Some(false)`),
+    /// or has not been built (`None`). Test/bench introspection.
+    pub fn quantized_is_packed(&self) -> Option<bool> {
+        match &self.eff_cache.as_ref()?.quant {
+            Some(QuantLayout::Packed(_)) => Some(true),
+            Some(QuantLayout::Spill) => Some(false),
+            None => None,
+        }
     }
 
     /// Rebuilds the conductance cache if dirty, so that the `&self`
@@ -600,14 +826,12 @@ impl AtomicCrossbar {
         if self.dead {
             return 0.0;
         }
-        let cache = self
-            .eff_cache
-            .as_ref()
-            .expect("prepare() must run before a *_prepared evaluation");
+        let cache = self.eff_cache.as_ref().expect(PREPARE_MSG);
         let v_read = self.config.mode.read_voltage().0;
         let mut total_current = 0.0f64;
         match self.kernel {
             KernelPath::Scalar => {
+                let eff = cache.scalar.as_ref().expect(PREPARE_MSG);
                 let g_mid = self.g_mid();
                 let cols = self.cols_used;
                 for (r, &x) in inputs.iter().enumerate() {
@@ -615,7 +839,7 @@ impl AtomicCrossbar {
                         continue; // event-driven: silent rows draw no read current
                     }
                     let v = v_read * x;
-                    let row = &cache.eff[r * cols..(r + 1) * cols];
+                    let row = &eff[r * cols..(r + 1) * cols];
                     for (j, &g) in row.iter().enumerate() {
                         diff[j] += v * (g - g_mid);
                         total_current += v * g;
@@ -623,16 +847,49 @@ impl AtomicCrossbar {
                 }
             }
             KernelPath::Vectorized => {
-                let pc = cache.padded_cols;
+                let vl = cache.vector.as_ref().expect(PREPARE_MSG);
+                let pc = vl.padded_cols;
                 for (r, &x) in inputs.iter().enumerate() {
                     if x == 0.0 {
                         continue;
                     }
                     let v = v_read * x;
-                    total_current += v * cache.row_sum[r];
-                    kernel::axpy(v, &cache.dg[r * pc..(r + 1) * pc], diff);
+                    total_current += v * vl.row_sum[r];
+                    kernel::axpy(v, &vl.dg[r * pc..(r + 1) * pc], diff);
                 }
             }
+            KernelPath::Quantized => match cache.quant.as_ref().expect(PREPARE_MSG) {
+                QuantLayout::Packed(q) => {
+                    let cols = self.cols_used;
+                    let mut vdg = [0.0f64; kernel::PALETTE];
+                    for (r, &x) in inputs.iter().enumerate() {
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let v = v_read * x;
+                        total_current += v * q.row_sum[r];
+                        // Per-drive LUT: v · (g_s − g_mid) — the same
+                        // multiply, on the same operands, the scalar
+                        // loop performs per cell visit.
+                        for (slot, &dg) in vdg.iter_mut().zip(q.pal_dg.iter()) {
+                            *slot = v * dg;
+                        }
+                        kernel::gather_add(&vdg, &q.packed[r * q.stride..], cols, diff);
+                    }
+                }
+                QuantLayout::Spill => {
+                    let vl = cache.vector.as_ref().expect(PREPARE_MSG);
+                    let pc = vl.padded_cols;
+                    for (r, &x) in inputs.iter().enumerate() {
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let v = v_read * x;
+                        total_current += v * vl.row_sum[r];
+                        kernel::axpy(v, &vl.dg[r * pc..(r + 1) * pc], diff);
+                    }
+                }
+            },
         }
         total_current
     }
@@ -669,19 +926,17 @@ impl AtomicCrossbar {
         if self.dead {
             return 0.0;
         }
-        let cache = self
-            .eff_cache
-            .as_ref()
-            .expect("prepare() must run before a *_prepared evaluation");
+        let cache = self.eff_cache.as_ref().expect(PREPARE_MSG);
         let v = self.config.mode.read_voltage().0;
         let mut total_current = 0.0f64;
         match self.kernel {
             KernelPath::Scalar => {
+                let eff = cache.scalar.as_ref().expect(PREPARE_MSG);
                 let g_mid = self.g_mid();
                 let cols = self.cols_used;
                 for &r in active_rows {
                     let r = r - base;
-                    let row = &cache.eff[r * cols..(r + 1) * cols];
+                    let row = &eff[r * cols..(r + 1) * cols];
                     for (j, &g) in row.iter().enumerate() {
                         diff[j] += v * (g - g_mid);
                         total_current += v * g;
@@ -689,13 +944,41 @@ impl AtomicCrossbar {
                 }
             }
             KernelPath::Vectorized => {
-                let pc = cache.padded_cols;
+                let vl = cache.vector.as_ref().expect(PREPARE_MSG);
+                let pc = vl.padded_cols;
                 for &r in active_rows {
                     let r = r - base;
-                    total_current += v * cache.row_sum[r];
-                    kernel::axpy(v, &cache.dg[r * pc..(r + 1) * pc], diff);
+                    total_current += v * vl.row_sum[r];
+                    kernel::axpy(v, &vl.dg[r * pc..(r + 1) * pc], diff);
                 }
             }
+            KernelPath::Quantized => match cache.quant.as_ref().expect(PREPARE_MSG) {
+                QuantLayout::Packed(q) => {
+                    // Binary spike drive: v is exactly v_read, so the
+                    // prepare-time byte-pair LUT already holds every
+                    // product — the dot degenerates to one pair load and
+                    // two adds per packed byte, no multiplies or nibble
+                    // arithmetic in the loop.
+                    if !active_rows.is_empty() {
+                        let cols = self.cols_used;
+                        let pair: &[[f64; 2]; 256] = q.pair_spike.as_slice().try_into().unwrap();
+                        for &r in active_rows {
+                            let r = r - base;
+                            total_current += v * q.row_sum[r];
+                            kernel::gather_add_pairs(pair, &q.packed[r * q.stride..], cols, diff);
+                        }
+                    }
+                }
+                QuantLayout::Spill => {
+                    let vl = cache.vector.as_ref().expect(PREPARE_MSG);
+                    let pc = vl.padded_cols;
+                    for &r in active_rows {
+                        let r = r - base;
+                        total_current += v * vl.row_sum[r];
+                        kernel::axpy(v, &vl.dg[r * pc..(r + 1) * pc], diff);
+                    }
+                }
+            },
         }
         total_current
     }

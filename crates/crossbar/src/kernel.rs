@@ -38,11 +38,58 @@
 /// are zero-padded to a multiple of this.
 pub const LANES: usize = 8;
 
+/// Palette capacity of the quantized layout: one nibble indexes at most
+/// 16 distinct effective conductances — exactly the device's 4-bit state
+/// count, so every fault-free array packs. Arrays whose *fault-resolved*
+/// conductances exceed 16 distinct values (per-cell TMR factors,
+/// retention drift mixing on- and off-grid values) spill to the
+/// vectorized layout instead (see `AtomicCrossbar::quantized_is_packed`).
+pub const PALETTE: usize = 16;
+
 /// Smallest multiple of [`LANES`] that holds `cols` values (the stride of
 /// one padded differential-conductance row, and the minimum scratch width
 /// callers of the `*_prepared` evaluators must provide).
 pub fn padded_len(cols: usize) -> usize {
     cols.div_ceil(LANES) * LANES
+}
+
+/// Bytes one packed nibble row occupies: two palette indices per byte,
+/// rounded up (an odd column count leaves the last byte's high nibble as
+/// padding that the kernels never read).
+pub fn packed_row_len(cols: usize) -> usize {
+    cols.div_ceil(2)
+}
+
+/// Packs palette indices (each `< PALETTE`) two per byte: even positions
+/// in the low nibble, odd positions in the high nibble. The inverse is
+/// [`unpack_nibbles`].
+///
+/// # Panics
+///
+/// Panics when an index does not fit a nibble.
+pub fn pack_nibbles(indices: &[u8]) -> Vec<u8> {
+    assert!(
+        indices.iter().all(|&i| (i as usize) < PALETTE),
+        "palette index out of nibble range"
+    );
+    let mut packed = vec![0u8; packed_row_len(indices.len())];
+    for (pos, &idx) in indices.iter().enumerate() {
+        packed[pos / 2] |= idx << ((pos % 2) * 4);
+    }
+    packed
+}
+
+/// Unpacks `len` palette indices from a nibble-packed row (inverse of
+/// [`pack_nibbles`]).
+///
+/// # Panics
+///
+/// Panics when `packed` is shorter than [`packed_row_len`]`(len)`.
+pub fn unpack_nibbles(packed: &[u8], len: usize) -> Vec<u8> {
+    assert!(packed.len() >= packed_row_len(len), "packed row too short");
+    (0..len)
+        .map(|pos| (packed[pos / 2] >> ((pos % 2) * 4)) & 0x0F)
+        .collect()
 }
 
 /// Which inner-loop implementation an [`AtomicCrossbar`](crate::array::AtomicCrossbar)
@@ -59,6 +106,45 @@ pub enum KernelPath {
     /// energy agrees to relative error ≤ 1e-12.
     #[default]
     Vectorized,
+    /// Bit-packed 4-bit tier: per-cell palette indices packed two per
+    /// byte plus a ≤[`PALETTE`]-entry fault/age-resolved conductance LUT.
+    /// The inner loop is a gathered LUT add — `diff[j] += vdg[nibble]`,
+    /// where `vdg[s] = v · (g_s − g_mid)` is precomputed per drive (once
+    /// per prepare on the constant-voltage spike path) — performing the
+    /// *same* multiply-then-add on the *same* operands as the scalar
+    /// loop, per column in row-ascending order. Differential outputs are
+    /// therefore bit-identical to [`KernelPath::Scalar`] on dense *and*
+    /// spike inputs; energy uses the per-row-sum formulation and is
+    /// bit-identical to [`KernelPath::Vectorized`] (≤ 1e-12 relative per
+    /// dot vs the reference). Arrays whose fault-resolved conductances
+    /// exceed [`PALETTE`] distinct values evaluate through the
+    /// vectorized layout instead (same output bits; see DESIGN.md
+    /// "Kernel layer").
+    Quantized,
+}
+
+impl KernelPath {
+    /// The kernel path new crossbars start on: `NEBULA_KERNEL_PATH`
+    /// (`scalar` | `vectorized` | `quantized`, read once per process) or
+    /// the default when unset. Lets subprocess harnesses — the golden
+    /// regression tests re-running recorded experiment binaries under
+    /// `quantized` — pin the path without threading a parameter through
+    /// every binary. Explicit `set_kernel_path` calls still override it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value: a typo silently falling back to
+    /// the default would make an equivalence harness vacuous.
+    pub fn from_env() -> Self {
+        static PATH: std::sync::OnceLock<KernelPath> = std::sync::OnceLock::new();
+        *PATH.get_or_init(|| match std::env::var("NEBULA_KERNEL_PATH") {
+            Ok(v) if v == "scalar" => KernelPath::Scalar,
+            Ok(v) if v == "vectorized" => KernelPath::Vectorized,
+            Ok(v) if v == "quantized" => KernelPath::Quantized,
+            Ok(v) => panic!("NEBULA_KERNEL_PATH must be scalar|vectorized|quantized, got {v:?}"),
+            Err(_) => KernelPath::default(),
+        })
+    }
 }
 
 /// `acc[..dg.len()] += v * dg` over [`LANES`]-wide column chunks.
@@ -80,6 +166,48 @@ pub(crate) fn axpy(v: f64, dg: &[f64], acc: &mut [f64]) {
         for l in 0..LANES {
             accc[l] += v * dgc[l];
         }
+    }
+}
+
+/// Gathered LUT accumulate over one packed nibble row:
+/// `acc[j] += vdg[index_of(j)]` for `j in 0..cols`, ascending. `vdg` must
+/// hold `v · dg_s` for every palette entry (unused slots are never
+/// indexed, since packed nibbles only ever name live palette entries and
+/// odd-`cols` padding nibbles are skipped). Column order matches the
+/// scalar loop's, and each `acc[j]` receives exactly one add of exactly
+/// the value the scalar loop would compute — bitwise identity by
+/// construction.
+#[inline]
+pub(crate) fn gather_add(vdg: &[f64; PALETTE], row: &[u8], cols: usize, acc: &mut [f64]) {
+    let full = cols / 2;
+    let (pairs, tail) = acc[..cols].split_at_mut(full * 2);
+    for (accp, &b) in pairs.chunks_exact_mut(2).zip(row) {
+        accp[0] += vdg[(b & 0x0F) as usize];
+        accp[1] += vdg[(b >> 4) as usize];
+    }
+    if let [t] = tail {
+        *t += vdg[(row[full] & 0x0F) as usize];
+    }
+}
+
+/// Byte-pair variant of [`gather_add`] for the constant-voltage spike
+/// path: `pair[b]` pre-expands both nibbles of byte value `b`
+/// (`[vdg[b & 15], vdg[b >> 4]]`), so each packed byte costs one aligned
+/// 16-byte load and two adds — no nibble arithmetic in the loop. The
+/// adds land on exactly the values [`gather_add`] would produce
+/// (`pair` is built from the same `vdg` table), in the same ascending
+/// column order, so results are bitwise identical.
+#[inline]
+pub(crate) fn gather_add_pairs(pair: &[[f64; 2]; 256], row: &[u8], cols: usize, acc: &mut [f64]) {
+    let full = cols / 2;
+    let (pairs, tail) = acc[..cols].split_at_mut(full * 2);
+    for (accp, &b) in pairs.chunks_exact_mut(2).zip(row) {
+        let p = &pair[b as usize];
+        accp[0] += p[0];
+        accp[1] += p[1];
+    }
+    if let [t] = tail {
+        *t += pair[(row[full] & 0x0F) as usize][0];
     }
 }
 
@@ -114,5 +242,63 @@ mod tests {
     #[test]
     fn default_path_is_vectorized() {
         assert_eq!(KernelPath::default(), KernelPath::Vectorized);
+    }
+
+    #[test]
+    fn nibble_roundtrip_even_and_odd_lengths() {
+        for len in [0usize, 1, 2, 7, 8, 15, 16, 33] {
+            let indices: Vec<u8> = (0..len).map(|i| (i * 7 % PALETTE) as u8).collect();
+            let packed = pack_nibbles(&indices);
+            assert_eq!(packed.len(), packed_row_len(len));
+            assert_eq!(unpack_nibbles(&packed, len), indices, "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nibble range")]
+    fn packing_rejects_out_of_range_indices() {
+        pack_nibbles(&[0, PALETTE as u8]);
+    }
+
+    #[test]
+    fn gather_add_pairs_matches_gather_add_bitwise() {
+        let mut vdg = [0.0f64; PALETTE];
+        for (s, v) in vdg.iter_mut().enumerate() {
+            *v = (s as f64 - 4.1) * 3.3e-8;
+        }
+        let pair: Vec<[f64; 2]> = (0..256).map(|b| [vdg[b & 0x0F], vdg[b >> 4]]).collect();
+        let pair: &[[f64; 2]; 256] = pair.as_slice().try_into().unwrap();
+        for cols in [1usize, 2, 5, 8, 15, 16, 31] {
+            let indices: Vec<u8> = (0..cols).map(|i| (i * 11 % PALETTE) as u8).collect();
+            let packed = pack_nibbles(&indices);
+            let mut a = vec![0.25f64; cols + 2];
+            let mut b = a.clone();
+            gather_add(&vdg, &packed, cols, &mut a);
+            gather_add_pairs(pair, &packed, cols, &mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "cols {cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_add_matches_scalar_lut_walk_bitwise() {
+        let mut vdg = [0.0f64; PALETTE];
+        for (s, v) in vdg.iter_mut().enumerate() {
+            *v = (s as f64 - 7.3) * 1.7e-7;
+        }
+        for cols in [1usize, 2, 5, 8, 15, 16] {
+            let indices: Vec<u8> = (0..cols).map(|i| (i * 5 % PALETTE) as u8).collect();
+            let packed = pack_nibbles(&indices);
+            let mut acc = vec![0.125f64; cols + 3]; // longer: tail untouched
+            let mut expect = acc.clone();
+            for (e, &s) in expect.iter_mut().zip(indices.iter()) {
+                *e += vdg[s as usize];
+            }
+            gather_add(&vdg, &packed, cols, &mut acc);
+            for (a, e) in acc.iter().zip(expect.iter()) {
+                assert_eq!(a.to_bits(), e.to_bits(), "cols {cols}");
+            }
+        }
     }
 }

@@ -14,9 +14,11 @@
 //!   without an ADC.
 //! * [`nu`] — neuron units: arrays of current-driven spin neurons
 //!   (spiking IF or saturating ReLU) terminating crossbar columns.
-//! * [`kernel`] — the column-lane vectorized GEMV kernels beneath the
-//!   evaluation fast path: padded differential-conductance layout,
-//!   per-row energy sums, and the [`KernelPath`] selector.
+//! * [`kernel`] — the GEMV kernels beneath the evaluation fast path:
+//!   the column-lane vectorized differential-conductance layout, the
+//!   bit-packed 4-bit palette layout (nibble-packed state indices +
+//!   conductance LUT, spike dots as pure gathered adds), per-row
+//!   energy sums, and the [`KernelPath`] selector.
 //! * [`converters`] — the multi-level DACs, spike drivers and the
 //!   sparingly used 4-bit ADC.
 //!

@@ -380,6 +380,14 @@ impl SuperTile {
         self.acs[0].kernel_path()
     }
 
+    /// Total bytes of the per-AC cache layouts backing the current kernel
+    /// path (see [`AtomicCrossbar::kernel_cache_bytes`]); 0 for ACs whose
+    /// cache is dirty or unbuilt, so call after [`prepare`](Self::prepare)
+    /// for a meaningful footprint.
+    pub fn kernel_cache_bytes(&self) -> usize {
+        self.acs.iter().map(|ac| ac.kernel_cache_bytes()).sum()
+    }
+
     /// Number of stacked ACs the current programming occupies — the
     /// length of the per-chunk current vector the split-phase evaluators
     /// fill.
@@ -778,6 +786,68 @@ mod tests {
         assert!(
             (e_vec - e_ref).abs() <= 1e-12 * e_ref.abs(),
             "vectorized energy {e_vec} vs reference {e_ref}"
+        );
+    }
+
+    #[test]
+    fn supertile_quantized_matches_scalar_bitwise() {
+        let mut st = SuperTile::new(small_config()).unwrap();
+        let rf = 20;
+        let weights: Vec<Vec<f64>> = (0..rf)
+            .map(|r| vec![(r % 5) as f64 / 4.0 - 0.5, (r % 3) as f64 / 2.0])
+            .collect();
+        st.program(&weights, 1.0).unwrap();
+        st.kill_ac(1); // kill switch must flow through every layout
+        let mut scalar = st.clone();
+        scalar.set_kernel_path(KernelPath::Scalar);
+        let mut vector = st.clone();
+        vector.set_kernel_path(KernelPath::Vectorized);
+        st.set_kernel_path(KernelPath::Quantized);
+
+        let inputs: Vec<f64> = (0..rf).map(|i| (i % 4) as f64 / 3.0 - 0.2).collect();
+        assert_eq!(
+            st.dot(&inputs).unwrap(),
+            scalar.dot(&inputs).unwrap(),
+            "quantized dense outputs must be bitwise scalar"
+        );
+        let active = vec![vec![1usize, 4, 7, 19]];
+        assert_eq!(
+            st.dot_batch_sparse(&active).unwrap(),
+            scalar.dot_batch_sparse(&active).unwrap(),
+            "quantized spike outputs must be bitwise scalar"
+        );
+        // Energy uses the per-row-sum formulation: bitwise vs Vectorized.
+        vector.dot(&inputs).unwrap();
+        vector.dot_batch_sparse(&active).unwrap();
+        assert_eq!(
+            st.accumulated_read_energy(),
+            vector.accumulated_read_energy(),
+            "quantized energy chain must match vectorized bitwise"
+        );
+    }
+
+    #[test]
+    fn quantized_cache_footprint_shrinks_on_wide_tiles() {
+        // The nibble win needs realistic widths: on tiny arrays the fixed
+        // 16-entry LUTs dominate. 64 kernels × 64 rows per AC chunk is
+        // the small end of the workload shapes bench_hotpath runs.
+        let mut st = SuperTile::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
+        let weights: Vec<Vec<f64>> = (0..64)
+            .map(|r| {
+                (0..64)
+                    .map(|c| ((r * 64 + c) % 17) as f64 / 16.0 - 0.5)
+                    .collect()
+            })
+            .collect();
+        st.program(&weights, 1.0).unwrap();
+        let mut quant = st.clone();
+        quant.set_kernel_path(KernelPath::Quantized);
+        st.prepare();
+        quant.prepare();
+        let (qb, vb) = (quant.kernel_cache_bytes(), st.kernel_cache_bytes());
+        assert!(
+            qb > 0 && 3 * qb <= vb,
+            "quantized {qb} B vs vectorized {vb} B: acceptance wants ≤ 1/3"
         );
     }
 

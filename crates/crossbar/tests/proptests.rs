@@ -171,7 +171,7 @@ proptest! {
         reference.program(&w, 1.0).unwrap();
         let inputs = &drives[..rows];
         let expect = reference.dot_reference(inputs).unwrap();
-        for path in [KernelPath::Vectorized, KernelPath::Scalar] {
+        for path in [KernelPath::Vectorized, KernelPath::Scalar, KernelPath::Quantized] {
             let mut x = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
             x.program(&w, 1.0).unwrap();
             x.set_kernel_path(path);
@@ -182,10 +182,15 @@ proptest! {
             let (e_got, e_ref) = (x.accumulated_read_energy().0, reference.accumulated_read_energy().0);
             match path {
                 KernelPath::Scalar => prop_assert_eq!(e_got.to_bits(), e_ref.to_bits()),
-                KernelPath::Vectorized => prop_assert!(
+                // Per-row-sum energy formulation on both.
+                KernelPath::Vectorized | KernelPath::Quantized => prop_assert!(
                     (e_got - e_ref).abs() <= 1e-12 * e_ref.abs(),
                     "energy {} vs {}", e_got, e_ref
                 ),
+            }
+            if path == KernelPath::Quantized {
+                // A clean (fault-free) program always packs: ≤ 16 grid values.
+                prop_assert_eq!(x.quantized_is_packed(), Some(true));
             }
         }
     }
@@ -201,7 +206,7 @@ proptest! {
         let rows = w.len();
         let active: Vec<usize> = (0..rows).filter(|&r| mask[r] == 1).collect();
         let dense: Vec<f64> = (0..rows).map(|r| f64::from(mask[r])).collect();
-        for path in [KernelPath::Vectorized, KernelPath::Scalar] {
+        for path in [KernelPath::Vectorized, KernelPath::Scalar, KernelPath::Quantized] {
             let mut a = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Snn)).unwrap();
             a.program(&w, 1.0).unwrap();
             a.set_kernel_path(path);
@@ -241,7 +246,12 @@ proptest! {
         };
         let inputs = &drives[..rows];
         let mut expect = None;
-        for path in [None, Some(KernelPath::Vectorized), Some(KernelPath::Scalar)] {
+        for path in [
+            None,
+            Some(KernelPath::Vectorized),
+            Some(KernelPath::Scalar),
+            Some(KernelPath::Quantized),
+        ] {
             let mut x = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
             x.program(&w, 1.0).unwrap();
             x.set_cell_fault(fault_row % rows, fault_col % cols, fault);
