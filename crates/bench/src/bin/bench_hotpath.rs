@@ -4,7 +4,7 @@
 //!
 //! Times the quantized VGG/10 workload through [`AnalogNetwork`] (ANN)
 //! and [`AnalogSpikingNetwork`] at 50/150/300 timesteps, running each
-//! leg four times:
+//! leg five times:
 //!
 //! * **sequential** — the uncached per-sample reference
 //!   (`forward_sequential` / `run_sequential`);
@@ -14,18 +14,24 @@
 //! * **kernels** — the same fast path on the default
 //!   [`KernelPath::Vectorized`] column-lane GEMV kernels;
 //! * **quantized** — [`KernelPath::Quantized`], the nibble-packed
-//!   palette layout whose spike inner loop is a pure LUT gather-add.
+//!   palette layout whose spike inner loop is a pure LUT gather-add;
+//! * **auto** — [`KernelPath::Auto`], the per-drive-shape dispatch that
+//!   sends dense GEMV drives through the vectorized layout and spike
+//!   drives through the quantized LUT, fixing the dense-ANN regression
+//!   the explicit quantized leg records (qgain < 1 on the `ann` leg)
+//!   without giving up the quantized win on the SNN legs.
 //!
 //! Differential outputs and wave counts must match bit for bit across
-//! all four; scalar energy must equal the reference exactly; the
-//! vectorized and quantized legs share the per-row-sum energy
+//! all five; scalar energy must equal the reference exactly; the
+//! vectorized, quantized and auto legs share the per-row-sum energy
 //! formulation (asserted bitwise equal to *each other*) and are checked
 //! against a 1e-9 relative tolerance vs the reference (per-dot bound is
 //! 1e-12 — see DESIGN.md "Kernel layer"). The quantized conductance
 //! cache must also come in at ≤ 1/3 of the vectorized f64 differential
-//! cache. The binary aborts on any divergence.
+//! cache (auto is excluded — it deliberately keeps both layouts). The
+//! binary aborts on any divergence.
 //!
-//! Writes `results/BENCH_hotpath.json` (schema `nebula-bench-hotpath/3`,
+//! Writes `results/BENCH_hotpath.json` (schema `nebula-bench-hotpath/4`,
 //! documented in `EXPERIMENTS.md`). `NEBULA_HOTPATH_SAMPLES` overrides
 //! the evaluated sample count (CI smoke runs use a reduced set).
 
@@ -68,8 +74,9 @@ struct Leg {
     fast_ms: f64,
     kernels_ms: f64,
     quantized_ms: f64,
-    /// Outputs + waves bitwise identical across all four paths, scalar
-    /// energy exactly equal to the reference, and quantized energy
+    auto_ms: f64,
+    /// Outputs + waves bitwise identical across all five paths, scalar
+    /// energy exactly equal to the reference, and quantized/auto energy
     /// bitwise equal to vectorized.
     identical: bool,
     /// |per-row-sum − reference| / |reference| on accumulated read
@@ -95,6 +102,13 @@ impl Leg {
     /// kernels it competes with.
     fn quantized_gain(&self) -> f64 {
         self.kernels_ms / self.quantized_ms.max(1e-9)
+    }
+
+    /// Auto-dispatch gain: per-drive-shape dispatch vs the *better* of
+    /// the two explicit layouts on this leg — ≥ ~1 everywhere means the
+    /// heuristic never picks the losing inner loop.
+    fn auto_gain(&self) -> f64 {
+        self.kernels_ms.min(self.quantized_ms) / self.auto_ms.max(1e-9)
     }
 
     fn cache_ratio(&self) -> f64 {
@@ -147,6 +161,8 @@ fn main() {
         fast.set_kernel_path(KernelPath::Scalar);
         let mut quant = kernels.clone();
         quant.set_kernel_path(KernelPath::Quantized);
+        let mut auto = kernels.clone();
+        auto.set_kernel_path(KernelPath::Auto);
         let tm = Instant::now();
         let ys = slow.forward_sequential(&x).unwrap();
         let sequential_ms = ms(tm);
@@ -159,6 +175,9 @@ fn main() {
         let tm = Instant::now();
         let yq = quant.forward(&x).unwrap();
         let quantized_ms = ms(tm);
+        let tm = Instant::now();
+        let ya = auto.forward(&x).unwrap();
+        let auto_ms = ms(tm);
         legs.push(Leg {
             name: "ann".into(),
             detail: format!("VGG/10 quantized, {samples} samples"),
@@ -166,14 +185,18 @@ fn main() {
             fast_ms,
             kernels_ms,
             quantized_ms,
+            auto_ms,
             identical: bits_equal(&yf, &ys)
                 && bits_equal(&yk, &ys)
                 && bits_equal(&yq, &ys)
+                && bits_equal(&ya, &ys)
                 && fast.read_energy() == slow.read_energy()
                 && quant.read_energy() == kernels.read_energy()
+                && auto.read_energy() == kernels.read_energy()
                 && fast.waves() == slow.waves()
                 && kernels.waves() == slow.waves()
-                && quant.waves() == slow.waves(),
+                && quant.waves() == slow.waves()
+                && auto.waves() == slow.waves(),
             energy_rel_err: rel_err(kernels.read_energy().0, slow.read_energy().0),
             cache_bytes_vectorized: kernels.conductance_cache_bytes(),
             cache_bytes_quantized: quant.conductance_cache_bytes(),
@@ -189,12 +212,15 @@ fn main() {
         fast.set_kernel_path(KernelPath::Scalar);
         let mut quant = kernels.clone();
         quant.set_kernel_path(KernelPath::Quantized);
+        let mut auto = kernels.clone();
+        auto.set_kernel_path(KernelPath::Auto);
         // Same seed on every leg: the Poisson encoder draws per timestep
         // for the whole batch, so RNG consumption is identical.
         let mut r_slow = ChaCha8Rng::seed_from_u64(7);
         let mut r_fast = ChaCha8Rng::seed_from_u64(7);
         let mut r_kern = ChaCha8Rng::seed_from_u64(7);
         let mut r_quant = ChaCha8Rng::seed_from_u64(7);
+        let mut r_auto = ChaCha8Rng::seed_from_u64(7);
         let tm = Instant::now();
         let ys = slow.run_sequential(&x, timesteps, &mut r_slow).unwrap();
         let sequential_ms = ms(tm);
@@ -207,6 +233,9 @@ fn main() {
         let tm = Instant::now();
         let yq = quant.run(&x, timesteps, &mut r_quant).unwrap();
         let quantized_ms = ms(tm);
+        let tm = Instant::now();
+        let ya = auto.run(&x, timesteps, &mut r_auto).unwrap();
+        let auto_ms = ms(tm);
         legs.push(Leg {
             name: format!("snn@{timesteps}"),
             detail: format!("VGG/10 spiking, {samples} samples, {timesteps} timesteps"),
@@ -214,14 +243,18 @@ fn main() {
             fast_ms,
             kernels_ms,
             quantized_ms,
+            auto_ms,
             identical: bits_equal(&yf, &ys)
                 && bits_equal(&yk, &ys)
                 && bits_equal(&yq, &ys)
+                && bits_equal(&ya, &ys)
                 && fast.read_energy() == slow.read_energy()
                 && quant.read_energy() == kernels.read_energy()
+                && auto.read_energy() == kernels.read_energy()
                 && fast.waves() == slow.waves()
                 && kernels.waves() == slow.waves()
-                && quant.waves() == slow.waves(),
+                && quant.waves() == slow.waves()
+                && auto.waves() == slow.waves(),
             energy_rel_err: rel_err(kernels.read_energy().0, slow.read_energy().0),
             cache_bytes_vectorized: kernels.conductance_cache_bytes(),
             cache_bytes_quantized: quant.conductance_cache_bytes(),
@@ -232,28 +265,31 @@ fn main() {
     let total_fast: f64 = legs.iter().map(|l| l.fast_ms).sum();
     let total_kernels: f64 = legs.iter().map(|l| l.kernels_ms).sum();
     let total_quantized: f64 = legs.iter().map(|l| l.quantized_ms).sum();
+    let total_auto: f64 = legs.iter().map(|l| l.auto_ms).sum();
     let all_identical = legs.iter().all(|l| l.identical);
     let max_energy_err = legs.iter().map(|l| l.energy_rel_err).fold(0.0, f64::max);
     let max_cache_ratio = legs.iter().map(Leg::cache_ratio).fold(0.0, f64::max);
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"nebula-bench-hotpath/3\",\n");
+    json.push_str("  \"schema\": \"nebula-bench-hotpath/4\",\n");
     json.push_str("  \"workload\": \"VGG/10\",\n");
     json.push_str(&format!("  \"samples\": {samples},\n"));
     json.push_str(&format!("  \"workers\": {workers},\n"));
     json.push_str("  \"legs\": [\n");
     for (i, l) in legs.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"sequential_ms\": {:.3}, \"fast_ms\": {:.3}, \"kernels_ms\": {:.3}, \"quantized_ms\": {:.3}, \"speedup\": {:.3}, \"kernel_gain\": {:.3}, \"quantized_gain\": {:.3}, \"identical\": {}, \"energy_rel_err\": {:.3e}, \"cache_bytes_vectorized\": {}, \"cache_bytes_quantized\": {}, \"cache_ratio\": {:.4}}}{}\n",
+            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"sequential_ms\": {:.3}, \"fast_ms\": {:.3}, \"kernels_ms\": {:.3}, \"quantized_ms\": {:.3}, \"auto_ms\": {:.3}, \"speedup\": {:.3}, \"kernel_gain\": {:.3}, \"quantized_gain\": {:.3}, \"auto_gain\": {:.3}, \"identical\": {}, \"energy_rel_err\": {:.3e}, \"cache_bytes_vectorized\": {}, \"cache_bytes_quantized\": {}, \"cache_ratio\": {:.4}}}{}\n",
             json_escape(&l.name),
             json_escape(&l.detail),
             l.sequential_ms,
             l.fast_ms,
             l.kernels_ms,
             l.quantized_ms,
+            l.auto_ms,
             l.speedup(),
             l.kernel_gain(),
             l.quantized_gain(),
+            l.auto_gain(),
             l.identical,
             l.energy_rel_err,
             l.cache_bytes_vectorized,
@@ -264,14 +300,16 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"total\": {{\"sequential_ms\": {:.3}, \"fast_ms\": {:.3}, \"kernels_ms\": {:.3}, \"quantized_ms\": {:.3}, \"speedup\": {:.3}, \"kernel_gain\": {:.3}, \"quantized_gain\": {:.3}, \"identical\": {}, \"max_energy_rel_err\": {:.3e}, \"max_cache_ratio\": {:.4}}}\n",
+        "  \"total\": {{\"sequential_ms\": {:.3}, \"fast_ms\": {:.3}, \"kernels_ms\": {:.3}, \"quantized_ms\": {:.3}, \"auto_ms\": {:.3}, \"speedup\": {:.3}, \"kernel_gain\": {:.3}, \"quantized_gain\": {:.3}, \"auto_gain\": {:.3}, \"identical\": {}, \"max_energy_rel_err\": {:.3e}, \"max_cache_ratio\": {:.4}}}\n",
         total_seq,
         total_fast,
         total_kernels,
         total_quantized,
+        total_auto,
         total_seq / total_kernels.max(1e-9),
         total_fast / total_kernels.max(1e-9),
         total_kernels / total_quantized.max(1e-9),
+        total_kernels.min(total_quantized) / total_auto.max(1e-9),
         all_identical,
         max_energy_err,
         max_cache_ratio
@@ -288,26 +326,29 @@ fn main() {
     println!("BENCH hotpath (VGG/10, {samples} samples), written to {path}\n");
     for l in &legs {
         println!(
-            "  {:<8} {:<44} seq {:>9.1} ms   fast {:>9.1} ms   kernels {:>9.1} ms   quant {:>9.1} ms   {:>5.2}x (gain {:>4.2}x, qgain {:>4.2}x)   identical: {}   energy err {:.1e}   cache {:.3}",
+            "  {:<8} {:<44} seq {:>9.1} ms   fast {:>9.1} ms   kernels {:>9.1} ms   quant {:>9.1} ms   auto {:>9.1} ms   {:>5.2}x (gain {:>4.2}x, qgain {:>4.2}x, again {:>4.2}x)   identical: {}   energy err {:.1e}   cache {:.3}",
             l.name,
             l.detail,
             l.sequential_ms,
             l.fast_ms,
             l.kernels_ms,
             l.quantized_ms,
+            l.auto_ms,
             l.speedup(),
             l.kernel_gain(),
             l.quantized_gain(),
+            l.auto_gain(),
             l.identical,
             l.energy_rel_err,
             l.cache_ratio()
         );
     }
     println!(
-        "\n  total: seq {total_seq:.1} ms, fast {total_fast:.1} ms, kernels {total_kernels:.1} ms, quantized {total_quantized:.1} ms, speedup {:.2}x, kernel gain {:.2}x, quantized gain {:.2}x",
+        "\n  total: seq {total_seq:.1} ms, fast {total_fast:.1} ms, kernels {total_kernels:.1} ms, quantized {total_quantized:.1} ms, auto {total_auto:.1} ms, speedup {:.2}x, kernel gain {:.2}x, quantized gain {:.2}x, auto gain {:.2}x",
         total_seq / total_kernels.max(1e-9),
         total_fast / total_kernels.max(1e-9),
-        total_kernels / total_quantized.max(1e-9)
+        total_kernels / total_quantized.max(1e-9),
+        total_kernels.min(total_quantized) / total_auto.max(1e-9)
     );
     assert!(all_identical, "fast path diverged from the reference");
     assert!(

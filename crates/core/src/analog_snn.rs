@@ -12,7 +12,8 @@
 use crate::analog::AnalogError;
 use crate::components::{M, MAX_RF_IN_CORE};
 use nebula_crossbar::{kernel, CrossbarConfig, KernelPath, Mode, SuperTile};
-use nebula_device::units::{Amps, Joules};
+use nebula_device::units::{Amps, Joules, Seconds};
+use nebula_device::FaultModel;
 use nebula_nn::layer::Layer;
 use nebula_nn::snn::{IfPopulation, InputEncoding, SnnStage, SpikingNetwork};
 use nebula_tensor::{avg_pool2d, im2col, ConvGeometry, Tensor};
@@ -72,8 +73,8 @@ impl SnnMatrix {
     /// loop ([`SuperTile::dot_reference`]): binary spike vector in,
     /// real-valued membrane increments (`Wᵀs + b` handled by caller)
     /// out. Bit-identical to one item of
-    /// [`dot_spikes_batch`](Self::dot_spikes_batch); kept as the
-    /// reference for equivalence tests and the `bench_hotpath`
+    /// [`dot_spikes_batch_active`](Self::dot_spikes_batch_active); kept
+    /// as the reference for equivalence tests and the `bench_hotpath`
     /// sequential leg.
     fn dot_spikes_reference(&mut self, spikes: &[f32]) -> Result<Vec<f32>, AnalogError> {
         debug_assert_eq!(spikes.len(), self.rf);
@@ -96,39 +97,42 @@ impl SnnMatrix {
         Ok(out)
     }
 
-    /// One timestep for a whole batch of spike vectors through the
-    /// split-phase, spike-sparse fast path: every tile's conductance
-    /// caches are prepared once, then the persistent worker pool
-    /// evaluates items concurrently against the shared tiles — each
-    /// item's active (spiking) rows are gathered into an ascending index
-    /// list and evaluated with [`SuperTile::eval_sparse_prepared`], so
-    /// silent rows are never scanned inside the crossbar loop — and read
-    /// energy is accrued sequentially in ascending item order per atomic
-    /// crossbar. Outputs are **bit-identical** to calling
-    /// [`dot_spikes_reference`](Self::dot_spikes_reference) on each item
-    /// in turn, for any worker count: a spiking row drives exactly full
-    /// read voltage in both paths, each item's floating-point work is
-    /// per-item pure, and the accrual order matches the sequential path.
-    /// Energy counters are bit-identical too under
-    /// [`KernelPath::Scalar`]; the default vectorized kernel re-associates
-    /// the total-current sum per row and tracks the reference to a
-    /// relative error ≤ 1e-12.
-    fn dot_spikes_batch(&mut self, rows: &[&[f32]]) -> Result<Vec<f32>, AnalogError> {
-        for (i, spikes) in rows.iter().enumerate() {
-            debug_assert_eq!(spikes.len(), self.rf, "item {i} spike length");
-        }
-        let batch = gather_spike_rows(rows);
-        self.dot_spikes_batch_active(&batch)
-    }
-
-    /// [`dot_spikes_batch`](Self::dot_spikes_batch) taking each item's
-    /// active (spiking) receptive-field indices directly instead of a
-    /// dense spike vector — the convolution path builds these straight
-    /// from the sparse feature map without ever materializing `im2col`
-    /// patches. Indices must be strictly ascending per item; the result
-    /// is bit-identical to the dense entry point on a spike vector whose
-    /// `> 0.5` positions are exactly `batch`.
+    /// One timestep for a whole batch through the split-phase,
+    /// spike-sparse fast path, taking each item's active (spiking)
+    /// receptive-field indices as a [`SpikeBatch`] — the dense path
+    /// builds these with [`SpikeBatch::gather_dense`], the convolution
+    /// path straight from the sparse feature map without ever
+    /// materializing `im2col` patches ([`gather_conv_patches`]). Every
+    /// tile's conductance caches are prepared once, then the persistent
+    /// worker pool evaluates items concurrently against the shared
+    /// tiles — each item's active rows are evaluated with
+    /// [`SuperTile::eval_sparse_prepared`], so silent rows are never
+    /// scanned inside the crossbar loop — and read energy is accrued
+    /// sequentially in ascending item order per atomic crossbar.
+    /// Indices must be strictly ascending per item. Outputs are
+    /// **bit-identical** to calling
+    /// [`dot_spikes_reference`](Self::dot_spikes_reference) on the
+    /// matching dense spike vectors in turn, for any worker count: a
+    /// spiking row drives exactly full read voltage in both paths, each
+    /// item's floating-point work is per-item pure, and the accrual
+    /// order matches the sequential path. Energy counters are
+    /// bit-identical too under [`KernelPath::Scalar`]; the default
+    /// vectorized kernel re-associates the total-current sum per row
+    /// and tracks the reference to a relative error ≤ 1e-12.
+    ///
+    /// A fully silent batch returns its all-zero outputs immediately —
+    /// no tile preparation, no pool dispatch, no accrual walk. The
+    /// short-circuit cannot change a bit: silent items produce exactly
+    /// the pre-zeroed `out` buffer on the long path too, and accruing a
+    /// zero current adds `+0.0 J` (see [`SuperTile::accrue_batch`]).
     fn dot_spikes_batch_active(&mut self, batch: &SpikeBatch) -> Result<Vec<f32>, AnalogError> {
+        let n = batch.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        if batch.is_silent() {
+            return Ok(vec![0.0f32; n * self.cols]);
+        }
         for tile in self.tiles.iter_mut().flatten() {
             tile.prepare();
         }
@@ -138,10 +142,6 @@ impl SnnMatrix {
         // Per-AC total currents for one item live in a single flat
         // buffer, sliced per tile in (segment, group) order.
         let total_chunks: usize = tiles.iter().flatten().map(SuperTile::chunk_count).sum();
-        let n = batch.len();
-        if n == 0 {
-            return Ok(Vec::new());
-        }
         let workers = nebula_tensor::pool::size();
         // Workers take contiguous item blocks so scratch buffers are
         // reused across a block's items; the per-item values don't depend
@@ -262,13 +262,19 @@ impl SnnMatrix {
 /// Active-row (spiking) index lists for a batch of crossbar waves, in
 /// CSR form: `starts` has `len() + 1` entries and item `i`'s strictly
 /// ascending receptive-field indices are `idx[starts[i]..starts[i+1]]`.
-#[derive(Debug, Default)]
+///
+/// Batches live inside their stage's [`EventScratch`] and are rebuilt
+/// in place every timestep ([`clear`](Self::clear) +
+/// [`gather_dense`](Self::gather_dense) / [`gather_conv_patches`]), so the
+/// index vectors amortize to zero allocations per step once warm.
+#[derive(Debug, Clone, Default)]
 struct SpikeBatch {
     idx: Vec<u32>,
     starts: Vec<usize>,
 }
 
 impl SpikeBatch {
+    #[cfg(test)]
     fn with_items(n: usize) -> Self {
         let mut starts = Vec::with_capacity(n + 1);
         starts.push(0);
@@ -276,6 +282,13 @@ impl SpikeBatch {
             idx: Vec::new(),
             starts,
         }
+    }
+
+    /// Empties the batch, retaining both vectors' capacity for reuse.
+    fn clear(&mut self) {
+        self.idx.clear();
+        self.starts.clear();
+        self.starts.push(0);
     }
 
     /// Seals the current item: everything appended to `idx` since the
@@ -288,40 +301,62 @@ impl SpikeBatch {
         self.starts.len() - 1
     }
 
+    /// `true` when no item has any active row — the whole wave is
+    /// silent and every downstream crossbar evaluation can be skipped.
+    fn is_silent(&self) -> bool {
+        self.idx.is_empty()
+    }
+
     fn item(&self, i: usize) -> &[u32] {
         &self.idx[self.starts[i]..self.starts[i + 1]]
     }
+
+    /// Rebuilds the batch in place from dense spike vectors — `data` is
+    /// `n` rows of `row_len` values and row `i`'s active (`v > 0.5`)
+    /// indices are gathered in ascending order. A branch-free counting
+    /// pass over 64-wide blocks (which the compiler vectorizes) decides
+    /// whether the index-building scan runs at all; spike trains after
+    /// the first IF layer are mostly silent, so most blocks are
+    /// dismissed with ~1 op/element. Retained capacity makes this
+    /// allocation-free once the batch has seen its peak activity.
+    fn gather_dense(&mut self, data: &[f32], row_len: usize) {
+        self.clear();
+        for spikes in data.chunks(row_len.max(1)) {
+            let mut base = 0u32;
+            for blk in spikes.chunks(64) {
+                let hits: u32 = blk.iter().map(|&v| u32::from(v > 0.5)).sum();
+                if hits > 0 {
+                    self.idx.extend(
+                        blk.iter()
+                            .enumerate()
+                            .filter(|(_, &v)| v > 0.5)
+                            .map(|(r, _)| base + r as u32),
+                    );
+                }
+                base += blk.len() as u32;
+            }
+            self.push_item();
+        }
+    }
 }
 
-/// Gathers each dense spike vector's active (`v > 0.5`) indices into a
-/// [`SpikeBatch`]. A branch-free counting pass over 64-wide blocks
-/// (which the compiler vectorizes) decides whether the index-building
-/// scan runs at all; spike trains after the first IF layer are mostly
-/// silent, so most blocks are dismissed with ~1 op/element.
-fn gather_spike_rows(rows: &[&[f32]]) -> SpikeBatch {
-    let mut batch = SpikeBatch::with_items(rows.len());
-    for spikes in rows {
-        let mut base = 0u32;
-        for blk in spikes.chunks(64) {
-            let hits: u32 = blk.iter().map(|&v| u32::from(v > 0.5)).sum();
-            if hits > 0 {
-                batch.idx.extend(
-                    blk.iter()
-                        .enumerate()
-                        .filter(|(_, &v)| v > 0.5)
-                        .map(|(r, _)| base + r as u32),
-                );
-            }
-            base += blk.len() as u32;
-        }
-        batch.push_item();
-    }
-    batch
+/// Per-stage gather scratch, owned by each synaptic stage and reused
+/// across timesteps: the active-index [`SpikeBatch`] handed to the
+/// crossbars plus the convolution gather's feature-map CSR and write
+/// cursors. All vectors are rebuilt in place each step, so steady-state
+/// timesteps perform no gather-side allocations (asserted by
+/// `event_gather_scratch_does_not_grow_across_timesteps`).
+#[derive(Debug, Clone, Default)]
+struct EventScratch {
+    batch: SpikeBatch,
+    fm_idx: Vec<u32>,
+    fm_starts: Vec<usize>,
+    cursor: Vec<usize>,
 }
 
 /// Builds the per-patch active-index lists for a convolution directly
 /// from the sparse spiking feature map — the fused twin of
-/// [`im2col`] + [`gather_spike_rows`] that never materializes the
+/// [`im2col`] + [`SpikeBatch::gather_dense`] that never materializes the
 /// `[N·OH·OW, C·KH·KW]` patch matrix. Produces exactly the indices the
 /// unfused pipeline would: for patch `(img, oy, ox)`, column
 /// `ch·kh·kw + ky·kw + kx` is active iff input pixel
@@ -331,16 +366,21 @@ fn gather_spike_rows(rows: &[&[f32]]) -> SpikeBatch {
 /// `(ch, ky, kx)` order, so the downstream crossbar evaluation is
 /// bit-identical.
 fn gather_conv_patches(
+    scratch: &mut EventScratch,
     data: &[f32],
     [n, c, h, w]: [usize; 4],
     [oh, ow]: [usize; 2],
     geom: ConvGeometry,
-) -> SpikeBatch {
+) {
     // Feature-map CSR over the n·c·h input scanlines: ascending spiking
     // x positions per scanline, found with the same blocked counting
-    // pass as `gather_spike_rows`.
-    let mut fm_idx: Vec<u32> = Vec::new();
-    let mut fm_starts: Vec<usize> = Vec::with_capacity(n * c * h + 1);
+    // pass as `SpikeBatch::gather_dense`. All scratch vectors are rebuilt
+    // in place so steady-state timesteps allocate nothing here.
+    let fm_idx = &mut scratch.fm_idx;
+    let fm_starts = &mut scratch.fm_starts;
+    fm_idx.clear();
+    fm_starts.clear();
+    fm_starts.reserve(n * c * h + 1);
     fm_starts.push(0);
     for line in data.chunks(w.max(1)) {
         let mut base = 0u32;
@@ -360,11 +400,12 @@ fn gather_conv_patches(
     }
     let (kh, kw, stride, pad) = (geom.kh, geom.kw, geom.stride, geom.pad);
     let patches = n * oh * ow;
+    let batch = &mut scratch.batch;
     if data.is_empty() {
-        return SpikeBatch {
-            idx: Vec::new(),
-            starts: vec![0; patches + 1],
-        };
+        batch.idx.clear();
+        batch.starts.clear();
+        batch.starts.resize(patches + 1, 0);
+        return;
     }
     // Scatter, not gather: each spiking pixel `(img, ch, y, x)` lands in
     // at most `kh·kw` patches — those `(oy, ox)` with
@@ -420,18 +461,23 @@ fn gather_conv_patches(
             }
         }
     };
-    let mut starts = vec![0usize; patches + 1];
+    let starts = &mut batch.starts;
+    starts.clear();
+    starts.resize(patches + 1, 0);
     for_each(&mut |p, _| starts[p + 1] += 1);
     for p in 0..patches {
         starts[p + 1] += starts[p];
     }
-    let mut cursor: Vec<usize> = starts[..patches].to_vec();
-    let mut idx = vec![0u32; starts[patches]];
+    let cursor = &mut scratch.cursor;
+    cursor.clear();
+    cursor.extend_from_slice(&starts[..patches]);
+    let idx = &mut batch.idx;
+    idx.clear();
+    idx.resize(starts[patches], 0);
     for_each(&mut |p, col| {
         idx[cursor[p]] = col;
         cursor[p] += 1;
     });
-    SpikeBatch { idx, starts }
 }
 
 #[derive(Debug, Clone)]
@@ -440,6 +486,7 @@ enum SpikingAnalogStage {
     Dense {
         matrix: SnnMatrix,
         bias: Vec<f32>,
+        scratch: EventScratch,
     },
     /// Crossbar-backed convolution (im2col streaming) + bias.
     Conv {
@@ -447,6 +494,7 @@ enum SpikingAnalogStage {
         bias: Vec<f32>,
         geom: ConvGeometry,
         out_channels: usize,
+        scratch: EventScratch,
     },
     /// IF population on the column outputs.
     IntegrateFire(IfPopulation),
@@ -487,6 +535,7 @@ pub fn compile_snn(
             SnnStage::Synaptic(Layer::Dense(d)) => stages.push(SpikingAnalogStage::Dense {
                 matrix: SnnMatrix::program(&d.weight.value, config)?,
                 bias: d.bias.value.data().to_vec(),
+                scratch: EventScratch::default(),
             }),
             SnnStage::Synaptic(Layer::Conv2d(c)) => {
                 let s = c.weight.value.shape();
@@ -497,6 +546,7 @@ pub fn compile_snn(
                     bias: c.bias.value.data().to_vec(),
                     geom: c.geom,
                     out_channels: oc,
+                    scratch: EventScratch::default(),
                 });
             }
             SnnStage::Synaptic(Layer::AvgPool(p)) => {
@@ -540,6 +590,81 @@ impl AnalogSpikingNetwork {
                 matrix.set_kernel_path(path);
             }
         }
+    }
+
+    /// Number of programmed super-tiles across all synaptic stages —
+    /// the address space [`kill_ac`](Self::kill_ac) indexes.
+    pub fn supertile_count(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                SpikingAnalogStage::Dense { matrix, .. }
+                | SpikingAnalogStage::Conv { matrix, .. } => {
+                    matrix.tiles.iter().map(Vec::len).sum()
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Samples hard faults into every programmed super-tile, in stage
+    /// then tile order (the draw sequence is reproducible for a fixed
+    /// seed). Returns the total number of faulty cells. The event-driven
+    /// engine must stay bit-identical to the sequential reference under
+    /// any fault map — faults perturb conductances, not the active-set
+    /// bookkeeping.
+    pub fn inject_faults<R: Rng + ?Sized>(&mut self, model: &FaultModel, rng: &mut R) -> usize {
+        let mut faulty = 0;
+        for stage in &mut self.stages {
+            if let SpikingAnalogStage::Dense { matrix, .. }
+            | SpikingAnalogStage::Conv { matrix, .. } = stage
+            {
+                for tile in matrix.tiles.iter_mut().flatten() {
+                    faulty += tile.inject_faults(model, rng);
+                }
+            }
+        }
+        faulty
+    }
+
+    /// Advances every programmed crossbar's age by `dt`, driving
+    /// retention-drift faults (see [`SuperTile::advance_age`]).
+    pub fn advance_age(&mut self, dt: Seconds) {
+        for stage in &mut self.stages {
+            if let SpikingAnalogStage::Dense { matrix, .. }
+            | SpikingAnalogStage::Conv { matrix, .. } = stage
+            {
+                for tile in matrix.tiles.iter_mut().flatten() {
+                    tile.advance_age(dt);
+                }
+            }
+        }
+    }
+
+    /// Power-gates one atomic crossbar: `tile` counts super-tiles in
+    /// stage-then-tile compile order (see
+    /// [`supertile_count`](Self::supertile_count)), `ac` is the AC index
+    /// within it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tile` or `ac` is out of range.
+    pub fn kill_ac(&mut self, tile: usize, ac: usize) {
+        let mut idx = 0;
+        for stage in &mut self.stages {
+            if let SpikingAnalogStage::Dense { matrix, .. }
+            | SpikingAnalogStage::Conv { matrix, .. } = stage
+            {
+                for t in matrix.tiles.iter_mut().flatten() {
+                    if idx == tile {
+                        t.kill_ac(ac);
+                        return;
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        panic!("super-tile {tile} outside the {idx} programmed tiles");
     }
 
     /// Bytes the conductance caches backing the current kernel path
@@ -764,30 +889,56 @@ impl AnalogSpikingNetwork {
             let step: Result<(), AnalogError> = (|| {
                 for stage in stages.iter_mut() {
                     h = match stage {
-                        SpikingAnalogStage::Dense { matrix, bias } => {
+                        SpikingAnalogStage::Dense {
+                            matrix,
+                            bias,
+                            scratch,
+                        } => {
                             let n = h.shape()[0];
-                            let ys: Vec<f32> = if reference {
+                            let ys: Option<Vec<f32>> = if reference {
                                 let mut ys = Vec::with_capacity(n * matrix.cols);
                                 for i in 0..n {
                                     let row = &h.data()[i * matrix.rf..(i + 1) * matrix.rf];
                                     ys.extend_from_slice(&matrix.dot_spikes_reference(row)?);
                                 }
-                                ys
+                                Some(ys)
                             } else {
-                                let rows: Vec<&[f32]> = (0..n)
-                                    .map(|i| &h.data()[i * matrix.rf..(i + 1) * matrix.rf])
-                                    .collect();
-                                matrix.dot_spikes_batch(&rows)?
+                                scratch.batch.gather_dense(h.data(), matrix.rf);
+                                if scratch.batch.is_silent() {
+                                    // Whole-layer skip: a silent wave never
+                                    // reaches the crossbars (no prepare, no
+                                    // pool dispatch, no accrual).
+                                    None
+                                } else {
+                                    Some(matrix.dot_spikes_batch_active(&scratch.batch)?)
+                                }
                             };
                             self.timestep_waves += n as u64;
                             let mut out = Tensor::zeros(&[n, matrix.cols]);
-                            for (dst, y) in out
-                                .data_mut()
-                                .chunks_mut(bias.len())
-                                .zip(ys.chunks(matrix.cols))
-                            {
-                                for (d, (v, b)) in dst.iter_mut().zip(y.iter().zip(bias.iter())) {
-                                    *d = v + b;
+                            match ys {
+                                Some(ys) => {
+                                    for (dst, y) in out
+                                        .data_mut()
+                                        .chunks_mut(bias.len())
+                                        .zip(ys.chunks(matrix.cols))
+                                    {
+                                        for (d, (v, b)) in
+                                            dst.iter_mut().zip(y.iter().zip(bias.iter()))
+                                        {
+                                            *d = v + b;
+                                        }
+                                    }
+                                }
+                                // Bias-only output: the crossbar term is
+                                // exactly `0.0`, and `0.0 + b` (not a bare
+                                // `b`) keeps the bits identical to the long
+                                // path even for `b == -0.0`.
+                                None => {
+                                    for dst in out.data_mut().chunks_mut(bias.len()) {
+                                        for (d, &b) in dst.iter_mut().zip(bias.iter()) {
+                                            *d = 0.0 + b;
+                                        }
+                                    }
                                 }
                             }
                             out
@@ -797,40 +948,69 @@ impl AnalogSpikingNetwork {
                             bias,
                             geom,
                             out_channels,
+                            scratch,
                         } => {
                             let (n, cc, hh, ww) =
                                 (h.shape()[0], h.shape()[1], h.shape()[2], h.shape()[3]);
                             let (oh, ow) = geom.out_hw(hh, ww)?;
                             let spatial = oh * ow;
                             let total_rows = n * spatial;
-                            let ys: Vec<f32> = if reference {
+                            let ys: Option<Vec<f32>> = if reference {
                                 let cols = im2col(&h, *geom)?;
                                 let mut ys = Vec::with_capacity(total_rows * matrix.cols);
                                 for ri in 0..total_rows {
                                     let row = &cols.data()[ri * matrix.rf..(ri + 1) * matrix.rf];
                                     ys.extend_from_slice(&matrix.dot_spikes_reference(row)?);
                                 }
-                                ys
+                                Some(ys)
                             } else {
                                 // Fused sparse lowering: build each patch's
                                 // active-index list straight from the
                                 // spiking feature map — no im2col matrix,
                                 // no dense patch rows. Bit-identical to the
                                 // unfused path (see `gather_conv_patches`).
-                                let batch =
-                                    gather_conv_patches(h.data(), [n, cc, hh, ww], [oh, ow], *geom);
-                                matrix.dot_spikes_batch_active(&batch)?
+                                gather_conv_patches(
+                                    scratch,
+                                    h.data(),
+                                    [n, cc, hh, ww],
+                                    [oh, ow],
+                                    *geom,
+                                );
+                                if scratch.batch.is_silent() {
+                                    // Whole-layer skip, as in the dense arm.
+                                    None
+                                } else {
+                                    Some(matrix.dot_spikes_batch_active(&scratch.batch)?)
+                                }
                             };
                             self.timestep_waves += total_rows as u64;
                             let mc = matrix.cols;
                             let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);
-                            for img in 0..n {
-                                for s in 0..spatial {
-                                    let y = &ys[(img * spatial + s) * mc..][..mc];
-                                    for (o, (&v, &b)) in y.iter().zip(bias.iter()).enumerate() {
-                                        out.data_mut()
-                                            [img * *out_channels * spatial + o * spatial + s] =
-                                            v + b;
+                            match ys {
+                                Some(ys) => {
+                                    for img in 0..n {
+                                        for s in 0..spatial {
+                                            let y = &ys[(img * spatial + s) * mc..][..mc];
+                                            for (o, (&v, &b)) in
+                                                y.iter().zip(bias.iter()).enumerate()
+                                            {
+                                                out.data_mut()[img * *out_channels * spatial
+                                                    + o * spatial
+                                                    + s] = v + b;
+                                            }
+                                        }
+                                    }
+                                }
+                                // Bias-only planes; `0.0 + b` for the same
+                                // `-0.0` reason as the dense arm.
+                                None => {
+                                    for img in 0..n {
+                                        for (o, &b) in bias.iter().enumerate() {
+                                            let base = img * *out_channels * spatial + o * spatial;
+                                            for d in &mut out.data_mut()[base..base + spatial] {
+                                                *d = 0.0 + b;
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -941,6 +1121,7 @@ mod tests {
     use super::*;
     use nebula_nn::convert::{ann_to_snn, ConversionConfig};
     use nebula_nn::optim::{train, Dataset, TrainConfig};
+    use nebula_nn::snn::ResetMode;
     use nebula_nn::{Layer as L, Network};
     use rand::SeedableRng;
 
@@ -989,22 +1170,23 @@ mod tests {
             assert_eq!(s_lo..s_hi, expect, "window {lo_bound}..{hi_bound}");
         }
 
-        // The dense gather produces the same CSR structure.
-        let rows: Vec<Vec<f32>> = vec![
-            vec![0.0; 10],
-            {
-                let mut r = vec![0.0; 10];
-                r[7] = 1.0;
-                r
-            },
-            vec![0.0; 10],
-        ];
-        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
-        let gathered = gather_spike_rows(&refs);
+        // The dense gather produces the same CSR structure, and reusing
+        // the batch keeps its capacity while replacing its contents.
+        let mut data = vec![0.0f32; 30];
+        data[10 + 7] = 1.0;
+        let mut gathered = SpikeBatch::default();
+        gathered.gather_dense(&data, 10);
         assert_eq!(gathered.len(), 3);
         assert_eq!(gathered.item(0), &[] as &[u32]);
         assert_eq!(gathered.item(1), &[7]);
         assert_eq!(gathered.item(2), &[] as &[u32]);
+        assert!(!gathered.is_silent());
+        let (idx_cap, starts_cap) = (gathered.idx.capacity(), gathered.starts.capacity());
+        gathered.gather_dense(&[0.0f32; 20], 10);
+        assert_eq!(gathered.len(), 2);
+        assert!(gathered.is_silent());
+        assert_eq!(gathered.idx.capacity(), idx_cap);
+        assert_eq!(gathered.starts.capacity(), starts_cap);
     }
 
     #[test]
@@ -1104,6 +1286,152 @@ mod tests {
             Joules::ZERO,
             "all-silent input must dissipate nothing in the arrays"
         );
+    }
+
+    /// A small conv + dense spiking stack exercising both gather paths.
+    fn conv_snn(r: &mut rand::rngs::StdRng) -> AnalogSpikingNetwork {
+        let snn = SpikingNetwork::new(
+            vec![
+                SnnStage::Synaptic(L::conv2d(1, 2, 3, 1, 1, r)),
+                SnnStage::IntegrateFire(IfPopulation::new(0.6, ResetMode::Subtract)),
+                SnnStage::Synaptic(L::flatten()),
+                SnnStage::Synaptic(L::dense(2 * 8 * 8, 3, r)),
+                SnnStage::IntegrateFire(IfPopulation::new(0.6, ResetMode::Subtract)),
+            ],
+            InputEncoding::Poisson,
+        );
+        compile_snn_default(&snn).unwrap()
+    }
+
+    /// Capacities of every gather-scratch vector, per synaptic stage.
+    fn scratch_caps(net: &AnalogSpikingNetwork) -> Vec<[usize; 5]> {
+        net.stages
+            .iter()
+            .filter_map(|s| match s {
+                SpikingAnalogStage::Dense { scratch, .. }
+                | SpikingAnalogStage::Conv { scratch, .. } => Some([
+                    scratch.batch.idx.capacity(),
+                    scratch.batch.starts.capacity(),
+                    scratch.fm_idx.capacity(),
+                    scratch.fm_starts.capacity(),
+                    scratch.cursor.capacity(),
+                ]),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn event_gather_scratch_does_not_grow_across_timesteps() {
+        // The per-stage gather scratch must amortize to zero allocations
+        // per timestep: a second identically seeded run replays exactly
+        // the same activity, so if the vectors are truly rebuilt in
+        // place their capacities cannot move.
+        let mut r = rng();
+        let mut analog = conv_snn(&mut r);
+        let x = Tensor::rand_uniform(&[3, 1, 8, 8], 0.0, 1.0, &mut r);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(41);
+        analog.run(&x, 25, &mut r1).unwrap();
+        let caps = scratch_caps(&analog);
+        assert_eq!(caps.len(), 2, "one scratch per synaptic stage");
+        assert!(
+            caps.iter().flatten().any(|&c| c > 0),
+            "warm scratch should hold capacity"
+        );
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(41);
+        analog.run(&x, 25, &mut r2).unwrap();
+        assert_eq!(
+            scratch_caps(&analog),
+            caps,
+            "steady-state timesteps must not grow the gather scratch"
+        );
+    }
+
+    #[test]
+    fn all_silent_timesteps_skip_crossbars_and_match_sequential() {
+        // Constant-encoded zeros never spike, so every timestep takes the
+        // whole-layer skip in every synaptic stage: no crossbar energy,
+        // and outputs bitwise identical to the sequential reference
+        // (which walks the full dense machinery).
+        let mut r = rng();
+        let (mut net, data) = trained_net(&mut r);
+        for layer in net.layers_mut() {
+            if let nebula_nn::layer::Layer::Dense(d) = layer {
+                for b in d.bias.value.data_mut() {
+                    *b = 0.0;
+                }
+            }
+        }
+        let functional = ann_to_snn(&net, &data, &ConversionConfig::default()).unwrap();
+        let mut fast = compile_snn_default(&functional).unwrap();
+        let mut slow = compile_snn_default(&functional).unwrap();
+        fast.set_encoding(InputEncoding::Constant);
+        slow.set_encoding(InputEncoding::Constant);
+        let zeros = Tensor::zeros(&[4, 2]);
+        let yf = fast.run(&zeros, 12, &mut r).unwrap();
+        let ys = slow.run_sequential(&zeros, 12, &mut r).unwrap();
+        for (a, b) in yf.data().iter().zip(ys.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(fast.read_energy(), Joules::ZERO);
+        assert_eq!(slow.read_energy(), Joules::ZERO);
+        assert_eq!(fast.waves(), slow.waves(), "waves still tick when silent");
+    }
+
+    #[test]
+    fn silent_first_layer_with_bias_matches_sequential_bitwise() {
+        // All-silent input into a *biased* first layer: the skip path
+        // must still inject the bias (as `0.0 + b`, so even a `-0.0`
+        // bias keeps identical bits), which can fire downstream neurons
+        // whose spikes then drive the later crossbars for real. Scalar
+        // kernels make even the energy comparison bitwise.
+        let mut r = rng();
+        let (mut net, data) = trained_net(&mut r);
+        let mut biased = false;
+        for layer in net.layers_mut() {
+            if let nebula_nn::layer::Layer::Dense(d) = layer {
+                if !biased {
+                    for (i, b) in d.bias.value.data_mut().iter_mut().enumerate() {
+                        *b = 0.3 + 0.05 * i as f32;
+                    }
+                    biased = true;
+                }
+            }
+        }
+        let functional = ann_to_snn(&net, &data, &ConversionConfig::default()).unwrap();
+        let mut fast = compile_snn_default(&functional).unwrap();
+        fast.set_kernel_path(KernelPath::Scalar);
+        let mut slow = fast.clone();
+        fast.set_encoding(InputEncoding::Constant);
+        slow.set_encoding(InputEncoding::Constant);
+        let zeros = Tensor::zeros(&[3, 2]);
+        let yf = fast.run(&zeros, 30, &mut r).unwrap();
+        let ys = slow.run_sequential(&zeros, 30, &mut r).unwrap();
+        for (a, b) in yf.data().iter().zip(ys.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(fast.read_energy(), slow.read_energy());
+        assert!(
+            fast.read_energy() > Joules::ZERO,
+            "bias-driven downstream spikes should reach the crossbars"
+        );
+    }
+
+    #[test]
+    fn conv_event_path_matches_sequential_bitwise() {
+        let mut r = rng();
+        let mut fast = conv_snn(&mut r);
+        let mut slow = fast.clone();
+        let x = Tensor::rand_uniform(&[2, 1, 8, 8], 0.0, 0.6, &mut r);
+        let mut rf = rand::rngs::StdRng::seed_from_u64(77);
+        let mut rs = rand::rngs::StdRng::seed_from_u64(77);
+        let yf = fast.run(&x, 20, &mut rf).unwrap();
+        let ys = slow.run_sequential(&x, 20, &mut rs).unwrap();
+        assert_eq!(yf.shape(), ys.shape());
+        for (a, b) in yf.data().iter().zip(ys.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(fast.waves(), slow.waves());
     }
 
     #[test]

@@ -613,6 +613,9 @@ impl AtomicCrossbar {
             KernelPath::Scalar => c.scalar.is_some(),
             KernelPath::Vectorized => c.vector.is_some(),
             KernelPath::Quantized => c.quant.is_some(),
+            // Auto dispatches per drive shape, so both target layouts
+            // must be materialized.
+            KernelPath::Auto => c.vector.is_some() && c.quant.is_some(),
         };
         if !have(self.eff_cache.as_ref().unwrap()) {
             match self.kernel {
@@ -628,12 +631,22 @@ impl AtomicCrossbar {
                     let quant = self.build_quant();
                     self.eff_cache.as_mut().unwrap().quant = Some(quant);
                 }
+                KernelPath::Auto => {
+                    if self.eff_cache.as_ref().unwrap().vector.is_none() {
+                        let vector = self.build_vector();
+                        self.eff_cache.as_mut().unwrap().vector = Some(vector);
+                    }
+                    if self.eff_cache.as_ref().unwrap().quant.is_none() {
+                        let quant = self.build_quant();
+                        self.eff_cache.as_mut().unwrap().quant = Some(quant);
+                    }
+                }
             }
         }
         // A spilled quantized layout evaluates through the vectorized
         // one, which must then exist too.
         let cache = self.eff_cache.as_ref().unwrap();
-        if self.kernel == KernelPath::Quantized
+        if matches!(self.kernel, KernelPath::Quantized | KernelPath::Auto)
             && matches!(cache.quant, Some(QuantLayout::Spill))
             && cache.vector.is_none()
         {
@@ -757,22 +770,33 @@ impl AtomicCrossbar {
             v.as_ref()
                 .map_or(0, |v| (v.dg.len() + v.row_sum.len()) * f64s)
         };
+        let quant_bytes = |c: &EffCache| match &c.quant {
+            Some(QuantLayout::Packed(q)) => {
+                q.packed.len()
+                    + (q.pal_g.len()
+                        + q.pal_dg.len()
+                        + q.vdg_spike.len()
+                        + 2 * q.pair_spike.len()
+                        + q.row_sum.len())
+                        * f64s
+            }
+            Some(QuantLayout::Spill) => vector_bytes(&c.vector),
+            None => 0,
+        };
         match self.kernel {
             KernelPath::Scalar => cache.scalar.as_ref().map_or(0, |eff| eff.len() * f64s),
             KernelPath::Vectorized => vector_bytes(&cache.vector),
-            KernelPath::Quantized => match &cache.quant {
-                Some(QuantLayout::Packed(q)) => {
-                    q.packed.len()
-                        + (q.pal_g.len()
-                            + q.pal_dg.len()
-                            + q.vdg_spike.len()
-                            + 2 * q.pair_spike.len()
-                            + q.row_sum.len())
-                            * f64s
+            KernelPath::Quantized => quant_bytes(cache),
+            // Auto keeps both layouts around; a spilled quantized layout
+            // shares the vectorized one, so it is charged only once.
+            KernelPath::Auto => {
+                let v = vector_bytes(&cache.vector);
+                if matches!(cache.quant, Some(QuantLayout::Spill)) {
+                    v
+                } else {
+                    v + quant_bytes(cache)
                 }
-                Some(QuantLayout::Spill) => vector_bytes(&cache.vector),
-                None => 0,
-            },
+            }
         }
     }
 
@@ -809,6 +833,24 @@ impl AtomicCrossbar {
         self.eval_dense_prepared(inputs, diff)
     }
 
+    /// The concrete layout one evaluation dispatches to:
+    /// [`KernelPath::Auto`] resolves per drive shape (dense GEMV →
+    /// vectorized, constant-voltage spike → quantized — both produce
+    /// identical bits, see [`KernelPath::Auto`]); explicit paths resolve
+    /// to themselves.
+    fn effective_path(&self, spike_drive: bool) -> KernelPath {
+        match self.kernel {
+            KernelPath::Auto => {
+                if spike_drive {
+                    KernelPath::Quantized
+                } else {
+                    KernelPath::Vectorized
+                }
+            }
+            p => p,
+        }
+    }
+
     /// `&self` core of [`eval_cached`](Self::eval_cached), for callers
     /// that already ran [`prepare`](Self::prepare) — parallel batch
     /// workers evaluate through this without mutating the array; energy
@@ -829,7 +871,7 @@ impl AtomicCrossbar {
         let cache = self.eff_cache.as_ref().expect(PREPARE_MSG);
         let v_read = self.config.mode.read_voltage().0;
         let mut total_current = 0.0f64;
-        match self.kernel {
+        match self.effective_path(false) {
             KernelPath::Scalar => {
                 let eff = cache.scalar.as_ref().expect(PREPARE_MSG);
                 let g_mid = self.g_mid();
@@ -890,6 +932,7 @@ impl AtomicCrossbar {
                     }
                 }
             },
+            KernelPath::Auto => unreachable!("Auto resolves to a concrete layout"),
         }
         total_current
     }
@@ -929,7 +972,7 @@ impl AtomicCrossbar {
         let cache = self.eff_cache.as_ref().expect(PREPARE_MSG);
         let v = self.config.mode.read_voltage().0;
         let mut total_current = 0.0f64;
-        match self.kernel {
+        match self.effective_path(true) {
             KernelPath::Scalar => {
                 let eff = cache.scalar.as_ref().expect(PREPARE_MSG);
                 let g_mid = self.g_mid();
@@ -979,6 +1022,7 @@ impl AtomicCrossbar {
                     }
                 }
             },
+            KernelPath::Auto => unreachable!("Auto resolves to a concrete layout"),
         }
         total_current
     }

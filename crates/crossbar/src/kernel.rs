@@ -121,12 +121,23 @@ pub enum KernelPath {
     /// vectorized layout instead (same output bits; see DESIGN.md
     /// "Kernel layer").
     Quantized,
+    /// Per-drive-shape dispatch: dense GEMV drives evaluate through the
+    /// [`KernelPath::Vectorized`] layout (where the axpy beats the
+    /// per-drive LUT fill the quantized dense loop pays — the qgain
+    /// 0.73× regression BENCH_hotpath recorded) and constant-voltage
+    /// spike drives evaluate through the [`KernelPath::Quantized`]
+    /// byte-pair gather (where the LUT wins). Both layouts produce
+    /// bit-identical differential outputs and bit-identical per-row-sum
+    /// energy, so the dispatch can never change a bit — it only picks
+    /// the faster inner loop per call. Costs both layouts' cache
+    /// footprint.
+    Auto,
 }
 
 impl KernelPath {
     /// The kernel path new crossbars start on: `NEBULA_KERNEL_PATH`
-    /// (`scalar` | `vectorized` | `quantized`, read once per process) or
-    /// the default when unset. Lets subprocess harnesses — the golden
+    /// (`scalar` | `vectorized` | `quantized` | `auto`, read once per
+    /// process) or the default when unset. Lets subprocess harnesses — the golden
     /// regression tests re-running recorded experiment binaries under
     /// `quantized` — pin the path without threading a parameter through
     /// every binary. Explicit `set_kernel_path` calls still override it.
@@ -141,7 +152,10 @@ impl KernelPath {
             Ok(v) if v == "scalar" => KernelPath::Scalar,
             Ok(v) if v == "vectorized" => KernelPath::Vectorized,
             Ok(v) if v == "quantized" => KernelPath::Quantized,
-            Ok(v) => panic!("NEBULA_KERNEL_PATH must be scalar|vectorized|quantized, got {v:?}"),
+            Ok(v) if v == "auto" => KernelPath::Auto,
+            Ok(v) => {
+                panic!("NEBULA_KERNEL_PATH must be scalar|vectorized|quantized|auto, got {v:?}")
+            }
             Err(_) => KernelPath::default(),
         })
     }

@@ -484,11 +484,23 @@ impl SuperTile {
     /// `eval_*_prepared` call returned. Each AC accrues its items in
     /// ascending item order — the exact floating-point sequence the
     /// sequential batch path produces.
+    ///
+    /// Items that drew no current from an AC (silent spike items, or
+    /// chunks the sparse evaluator dismissed) are skipped outright:
+    /// accruing them would add exactly `+0.0 J` (conductances are
+    /// positive and drives non-negative, so a total current is `0.0`
+    /// only when no row fired; the energy counter is never `-0.0`), so
+    /// skipping the add leaves the energy bits unchanged while the
+    /// accrual loop scales with *activity* rather than batch size.
     pub fn accrue_batch(&mut self, per_item: &[&[f64]]) {
         let chunks = self.rf.div_ceil(self.m.max(1));
         for (chunk_idx, ac) in self.acs.iter_mut().take(chunks).enumerate() {
             for item in per_item {
-                ac.accrue_read(item[chunk_idx], 1);
+                let current = item[chunk_idx];
+                if current == 0.0 {
+                    continue;
+                }
+                ac.accrue_read(current, 1);
             }
         }
     }

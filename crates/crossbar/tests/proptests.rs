@@ -171,7 +171,12 @@ proptest! {
         reference.program(&w, 1.0).unwrap();
         let inputs = &drives[..rows];
         let expect = reference.dot_reference(inputs).unwrap();
-        for path in [KernelPath::Vectorized, KernelPath::Scalar, KernelPath::Quantized] {
+        for path in [
+            KernelPath::Vectorized,
+            KernelPath::Scalar,
+            KernelPath::Quantized,
+            KernelPath::Auto,
+        ] {
             let mut x = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
             x.program(&w, 1.0).unwrap();
             x.set_kernel_path(path);
@@ -182,8 +187,9 @@ proptest! {
             let (e_got, e_ref) = (x.accumulated_read_energy().0, reference.accumulated_read_energy().0);
             match path {
                 KernelPath::Scalar => prop_assert_eq!(e_got.to_bits(), e_ref.to_bits()),
-                // Per-row-sum energy formulation on both.
-                KernelPath::Vectorized | KernelPath::Quantized => prop_assert!(
+                // Per-row-sum energy formulation on all three (Auto
+                // resolves dense GEMV drives to the vectorized layout).
+                KernelPath::Vectorized | KernelPath::Quantized | KernelPath::Auto => prop_assert!(
                     (e_got - e_ref).abs() <= 1e-12 * e_ref.abs(),
                     "energy {} vs {}", e_got, e_ref
                 ),
@@ -206,7 +212,12 @@ proptest! {
         let rows = w.len();
         let active: Vec<usize> = (0..rows).filter(|&r| mask[r] == 1).collect();
         let dense: Vec<f64> = (0..rows).map(|r| f64::from(mask[r])).collect();
-        for path in [KernelPath::Vectorized, KernelPath::Scalar, KernelPath::Quantized] {
+        for path in [
+            KernelPath::Vectorized,
+            KernelPath::Scalar,
+            KernelPath::Quantized,
+            KernelPath::Auto,
+        ] {
             let mut a = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Snn)).unwrap();
             a.program(&w, 1.0).unwrap();
             a.set_kernel_path(path);
@@ -251,6 +262,7 @@ proptest! {
             Some(KernelPath::Vectorized),
             Some(KernelPath::Scalar),
             Some(KernelPath::Quantized),
+            Some(KernelPath::Auto),
         ] {
             let mut x = AtomicCrossbar::new(CrossbarConfig::paper_default(Mode::Ann)).unwrap();
             x.program(&w, 1.0).unwrap();

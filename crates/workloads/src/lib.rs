@@ -2,8 +2,10 @@
 //!
 //! Workloads for the NEBULA evaluation: the paper's model zoo as cheap
 //! layer descriptors ([`zoo`]), CPU-trainable scaled variants of the same
-//! topologies ([`scaled`]), and seeded synthetic datasets standing in for
-//! MNIST / CIFAR / SVHN / ImageNet ([`synthetic`]).
+//! topologies ([`scaled`]), seeded synthetic datasets standing in for
+//! MNIST / CIFAR / SVHN / ImageNet ([`synthetic`]), and DVS-style
+//! event-stream frames with input sparsity as an exact knob
+//! ([`events`]).
 //!
 //! # Examples
 //!
@@ -18,9 +20,11 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod scaled;
 pub mod synthetic;
 pub mod zoo;
 
+pub use events::{generate_events, EventStreamConfig};
 pub use synthetic::{generate, split, SyntheticConfig, SyntheticKind};
 pub use zoo::{all_models, paper_table1, PaperBenchmark};
