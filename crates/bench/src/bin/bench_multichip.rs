@@ -1,0 +1,406 @@
+//! Multi-chip scaling: throughput, capacity and inter-chip NoC energy
+//! across cluster sizes N ∈ {1, 2, 4, 8}.
+//!
+//! Three studies per run:
+//!
+//! * **Plan** — VGG/13 in SNN mode planned layer-pipelined onto each
+//!   cluster size ([`plan_cluster`]): stages used, bottleneck cycles
+//!   and the analytic throughput speedup at batch depth 64. The
+//!   partitioner may use fewer chips than offered once one stage
+//!   dominates — the honest saturation point is part of the result.
+//! * **Execution** — a wide 9-segment MLP (ANN and SNN) actually runs
+//!   on every cluster size under both strategies, through the same
+//!   circuit-level executors the single-chip engine uses. Outputs,
+//!   wave counts and (scalar-path) read energy must be **bitwise
+//!   identical** to the single-chip run; the cluster's measured mesh +
+//!   ring traffic prices the inter-chip overhead
+//!   ([`EnergyModel::noc_traffic_energy`]) and `noc_energy_share`
+//!   reports it as a fraction of total (read + transport) energy.
+//! * **Over-capacity** — a 16384-wide dense layer needs 16 ANN cores,
+//!   two more than one chip's pool: [`fits_chip`] rejects it with a
+//!   typed [`CapacityExceeded`], the tensor-sharded executor runs it
+//!   on 4 chips, and the output still matches the (hypothetical)
+//!   single-chip computation bit for bit. Sharding buys capacity, the
+//!   pipeline buys throughput.
+//!
+//! Writes `results/BENCH_multichip.json` (schema
+//! `nebula-bench-multichip/1`, documented in `EXPERIMENTS.md`).
+//! `NEBULA_MULTICHIP_SAMPLES` overrides the batch rows (CI smoke
+//! runs 2). The binary aborts on any divergence.
+
+use std::time::Instant;
+
+use nebula_core::analog::{compile_ann, AnalogNetwork};
+use nebula_core::analog_snn::{compile_snn_default, AnalogSpikingNetwork};
+use nebula_core::capacity::fits_chip;
+use nebula_core::chip::ChipConfig;
+use nebula_core::energy::{EnergyModel, ExecMode};
+use nebula_core::multichip::{
+    plan_cluster, ClusterConfig, ShardStrategy, ShardedAnalogNetwork, ShardedSpikingNetwork,
+};
+use nebula_nn::layer::Layer;
+use nebula_nn::network::Network;
+use nebula_nn::snn::{IfPopulation, InputEncoding, ResetMode, SnnStage, SpikingNetwork};
+use nebula_nn::stats::LayerDescriptor;
+use nebula_tensor::Tensor;
+use nebula_workloads::zoo;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Accumulated per-row-sum energy tolerance vs the reference.
+const ENERGY_RTOL: f64 = 1e-9;
+
+/// Cluster sizes swept everywhere.
+const CHIPS: [usize; 4] = [1, 2, 4, 8];
+
+/// Batch depth the analytic pipeline speedup is quoted at.
+const PLAN_BATCHES: u64 = 64;
+
+/// SNN timesteps for the execution legs.
+const TIMESTEPS: usize = 12;
+
+/// Segments in the wide execution MLP's first layer (2048 rows each).
+const WIDE_SEGMENTS: usize = 9;
+
+fn sample_count() -> usize {
+    std::env::var("NEBULA_MULTICHIP_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn rel_err(value: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if value == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((value - reference) / reference).abs()
+    }
+}
+
+/// The wide execution MLP: first layer spans [`WIDE_SEGMENTS`] crossbar
+/// segments, so tensor sharding splits real state on every cluster
+/// size in the sweep.
+fn wide_input() -> usize {
+    WIDE_SEGMENTS * 2048 - 1835 // 16597 → 9 segments, last one ragged
+}
+
+fn wide_ann(seed: u64) -> AnalogNetwork {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    let net = Network::new(vec![
+        Layer::dense(wide_input(), 48, &mut r),
+        Layer::relu(),
+        Layer::dense(48, 10, &mut r),
+    ]);
+    compile_ann(&net).unwrap()
+}
+
+fn wide_snn(seed: u64) -> AnalogSpikingNetwork {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    let snn = SpikingNetwork::new(
+        vec![
+            SnnStage::Synaptic(Layer::dense(wide_input(), 48, &mut r)),
+            SnnStage::IntegrateFire(IfPopulation::new(0.7, ResetMode::Subtract)),
+            SnnStage::Synaptic(Layer::dense(48, 10, &mut r)),
+            SnnStage::IntegrateFire(IfPopulation::new(0.7, ResetMode::Zero)),
+        ],
+        InputEncoding::Poisson,
+    );
+    compile_snn_default(&snn).unwrap()
+}
+
+struct PlanPoint {
+    chips: usize,
+    stages: usize,
+    bottleneck_cycles: u64,
+    single_pass_cycles: u64,
+    speedup: f64,
+    max_chip_cores: usize,
+}
+
+struct ExecPoint {
+    mode: &'static str,
+    strategy: ShardStrategy,
+    chips: usize,
+    single_ms: f64,
+    sharded_ms: f64,
+    read_energy_j: f64,
+    noc_energy_j: f64,
+    noc_energy_share: f64,
+    link_flit_hops: u64,
+    identical: bool,
+    energy_rel_err: f64,
+}
+
+fn run_exec_point(
+    mode: &'static str,
+    strategy: ShardStrategy,
+    chips: usize,
+    ann: &AnalogNetwork,
+    snn: &AnalogSpikingNetwork,
+    x: &Tensor,
+    energy_model: &EnergyModel,
+) -> ExecPoint {
+    let (single_ms, sharded_ms, want, got, e_single, e_sharded, waves_ok, stats) = if mode == "ann"
+    {
+        let mut single = ann.clone();
+        let tm = Instant::now();
+        let want = single.forward(x).unwrap();
+        let single_ms = ms(tm);
+        let mut sharded = ShardedAnalogNetwork::new(ann.clone(), chips, strategy).unwrap();
+        let tm = Instant::now();
+        let got = sharded.forward(x).unwrap();
+        let sharded_ms = ms(tm);
+        let waves_ok = single.waves() == sharded.waves();
+        (
+            single_ms,
+            sharded_ms,
+            want,
+            got,
+            single.read_energy().0,
+            sharded.read_energy().0,
+            waves_ok,
+            sharded.traffic(),
+        )
+    } else {
+        let mut single = snn.clone();
+        let mut r1 = ChaCha8Rng::seed_from_u64(7);
+        let tm = Instant::now();
+        let want = single.run(x, TIMESTEPS, &mut r1).unwrap();
+        let single_ms = ms(tm);
+        let mut sharded = ShardedSpikingNetwork::new(snn.clone(), chips, strategy).unwrap();
+        let mut r2 = ChaCha8Rng::seed_from_u64(7);
+        let tm = Instant::now();
+        let got = sharded.run(x, TIMESTEPS, &mut r2).unwrap();
+        let sharded_ms = ms(tm);
+        let waves_ok = single.waves() == sharded.waves();
+        (
+            single_ms,
+            sharded_ms,
+            want,
+            got,
+            single.read_energy().0,
+            sharded.read_energy().0,
+            waves_ok,
+            sharded.traffic(),
+        )
+    };
+    let energy_rel_err = rel_err(e_sharded, e_single);
+    let identical = bits_equal(&want, &got) && waves_ok && energy_rel_err <= ENERGY_RTOL;
+    let noc_energy_j = energy_model.noc_traffic_energy(&stats).0;
+    ExecPoint {
+        mode,
+        strategy,
+        chips,
+        single_ms,
+        sharded_ms,
+        read_energy_j: e_sharded,
+        noc_energy_j,
+        noc_energy_share: noc_energy_j / (noc_energy_j + e_sharded).max(1e-300),
+        link_flit_hops: stats.link_flit_hops,
+        identical,
+        energy_rel_err,
+    }
+}
+
+fn main() {
+    let samples = sample_count();
+    let workers = nebula_tensor::pool::size();
+    let energy_model = EnergyModel::default();
+
+    // --- Plan study: VGG/13 SNN layer-pipelined across cluster sizes --
+    let vgg = zoo::vgg13(10);
+    let mut plan_points = Vec::new();
+    for &chips in &CHIPS {
+        let plan = plan_cluster(
+            &vgg,
+            &ClusterConfig::new(chips, ShardStrategy::LayerPipelined),
+            ExecMode::Snn { timesteps: 1 },
+        )
+        .unwrap();
+        plan_points.push(PlanPoint {
+            chips,
+            stages: plan.stage_count,
+            bottleneck_cycles: plan.bottleneck_cycles,
+            single_pass_cycles: plan.single_pass_cycles,
+            speedup: plan.speedup(PLAN_BATCHES),
+            max_chip_cores: plan.per_chip_cores.iter().copied().max().unwrap_or(0),
+        });
+    }
+
+    // --- Execution study: wide MLP, both modes × strategies × N -------
+    let ann = wide_ann(2026);
+    let snn = wide_snn(2027);
+    let mut r = ChaCha8Rng::seed_from_u64(99);
+    let x = Tensor::rand_uniform(&[samples, wide_input()], 0.0, 1.0, &mut r);
+    let mut exec_points = Vec::new();
+    for mode in ["ann", "snn"] {
+        for strategy in [ShardStrategy::LayerPipelined, ShardStrategy::TensorSharded] {
+            for &chips in &CHIPS {
+                exec_points.push(run_exec_point(
+                    mode,
+                    strategy,
+                    chips,
+                    &ann,
+                    &snn,
+                    &x,
+                    &energy_model,
+                ));
+            }
+        }
+    }
+
+    // --- Over-capacity study ------------------------------------------
+    // 16384×256 dense: 16 ANN cores > the 14-core pool. One chip rejects
+    // it with a typed error; 4 tensor-sharded chips run it.
+    let oc_desc = vec![LayerDescriptor::dense(0, "wide_fc", 16384, 256)];
+    let oc_err = fits_chip(&oc_desc, &ChipConfig::default(), ExecMode::Ann)
+        .expect_err("wide_fc must overflow one chip's ANN pool");
+    let oc_plan = plan_cluster(
+        &oc_desc,
+        &ClusterConfig::new(4, ShardStrategy::TensorSharded),
+        ExecMode::Ann,
+    )
+    .unwrap();
+    let mut r_oc = ChaCha8Rng::seed_from_u64(5150);
+    let oc_net = compile_ann(&Network::new(vec![Layer::dense(16384, 256, &mut r_oc)])).unwrap();
+    let x_oc = Tensor::rand_uniform(&[2, 16384], 0.0, 1.0, &mut r_oc);
+    let oc_want = oc_net.clone().forward(&x_oc).unwrap();
+    let mut oc_sharded =
+        ShardedAnalogNetwork::new(oc_net, 4, ShardStrategy::TensorSharded).unwrap();
+    let oc_got = oc_sharded.forward(&x_oc).unwrap();
+    let oc_identical = bits_equal(&oc_want, &oc_got);
+    let oc_max_chip_cores = oc_plan.per_chip_cores.iter().copied().max().unwrap_or(0);
+
+    // --- JSON ----------------------------------------------------------
+    let all_identical = exec_points.iter().all(|p| p.identical) && oc_identical;
+    let max_energy_err = exec_points
+        .iter()
+        .map(|p| p.energy_rel_err)
+        .fold(0.0, f64::max);
+    let speedup_at_4 = plan_points
+        .iter()
+        .find(|p| p.chips == 4)
+        .map(|p| p.speedup)
+        .unwrap_or(f64::NAN);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"nebula-bench-multichip/1\",\n");
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str(&format!("  \"plan_batches\": {PLAN_BATCHES},\n"));
+    json.push_str("  \"plan\": [\n");
+    for (i, p) in plan_points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"vgg13\", \"mode\": \"snn\", \"strategy\": \"layer_pipelined\", \"chips\": {}, \"stages\": {}, \"bottleneck_cycles\": {}, \"single_pass_cycles\": {}, \"speedup\": {:.4}, \"max_chip_cores\": {}}}{}\n",
+            p.chips,
+            p.stages,
+            p.bottleneck_cycles,
+            p.single_pass_cycles,
+            p.speedup,
+            p.max_chip_cores,
+            if i + 1 < plan_points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"execution\": [\n");
+    for (i, p) in exec_points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"wide_mlp\", \"mode\": \"{}\", \"strategy\": \"{}\", \"chips\": {}, \"single_ms\": {:.3}, \"sharded_ms\": {:.3}, \"read_energy_j\": {:.6e}, \"noc_energy_j\": {:.6e}, \"noc_energy_share\": {:.6}, \"link_flit_hops\": {}, \"identical\": {}, \"energy_rel_err\": {:.3e}}}{}\n",
+            p.mode,
+            p.strategy.name(),
+            p.chips,
+            p.single_ms,
+            p.sharded_ms,
+            p.read_energy_j,
+            p.noc_energy_j,
+            p.noc_energy_share,
+            p.link_flit_hops,
+            p.identical,
+            p.energy_rel_err,
+            if i + 1 < exec_points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"over_capacity\": {{\"model\": \"wide_fc 16384x256\", \"mode\": \"ann\", \"unsharded_error\": \"{}\", \"demanded\": {}, \"available\": {}, \"sharded_chips\": 4, \"max_chip_cores\": {}, \"ran_sharded\": true, \"identical\": {}}},\n",
+        oc_err.to_string().replace('"', "\\\""),
+        oc_err.demanded,
+        oc_err.available,
+        oc_max_chip_cores,
+        oc_identical
+    ));
+    json.push_str(&format!(
+        "  \"summary\": {{\"identical\": {}, \"max_energy_rel_err\": {:.3e}, \"pipeline_speedup_at_4_chips\": {:.4}}}\n",
+        all_identical, max_energy_err, speedup_at_4
+    ));
+    json.push_str("}\n");
+
+    let path = if std::path::Path::new("results").is_dir() {
+        "results/BENCH_multichip.json"
+    } else {
+        "BENCH_multichip.json"
+    };
+    std::fs::write(path, &json).expect("write BENCH_multichip.json");
+
+    println!("BENCH multichip ({samples} samples), written to {path}\n");
+    println!("  plan: VGG/13 SNN layer-pipelined, batch depth {PLAN_BATCHES}");
+    for p in &plan_points {
+        println!(
+            "    chips {:>2}  stages {:>2}  bottleneck {:>12} cyc  speedup {:>6.3}  max cores/chip {:>3}",
+            p.chips, p.stages, p.bottleneck_cycles, p.speedup, p.max_chip_cores
+        );
+    }
+    println!("\n  execution: wide 9-segment MLP, {samples} samples");
+    for p in &exec_points {
+        println!(
+            "    {:>3} {:<15} chips {:>2}  single {:>8.1} ms  sharded {:>8.1} ms  noc share {:>9.2e}  link flit-hops {:>9}  identical: {}",
+            p.mode,
+            p.strategy.name(),
+            p.chips,
+            p.single_ms,
+            p.sharded_ms,
+            p.noc_energy_share,
+            p.link_flit_hops,
+            p.identical,
+        );
+    }
+    println!(
+        "\n  over-capacity: wide_fc demanded {} > {} available → \"{}\"; ran tensor-sharded on 4 chips (max {}/chip), identical: {}",
+        oc_err.demanded, oc_err.available, oc_err, oc_max_chip_cores, oc_identical
+    );
+
+    assert!(all_identical, "sharded execution diverged from single-chip");
+    assert!(
+        max_energy_err <= ENERGY_RTOL,
+        "sharded energy deviated {max_energy_err:.3e} > {ENERGY_RTOL:.0e} relative"
+    );
+    assert!(
+        speedup_at_4 > 1.5,
+        "4-chip pipeline speedup {speedup_at_4:.3} ≤ 1.5 at depth {PLAN_BATCHES}"
+    );
+    let remote_traffic = exec_points
+        .iter()
+        .any(|p| p.chips > 1 && p.link_flit_hops > 0);
+    assert!(remote_traffic, "no leg ever crossed a chip-to-chip link");
+    assert!(
+        oc_err.demanded > oc_err.available,
+        "over-capacity model unexpectedly fits one chip"
+    );
+}

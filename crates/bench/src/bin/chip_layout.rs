@@ -12,8 +12,11 @@ fn main() {
     for (name, ds) in zoo::all_models() {
         let mut chip = Chip::new(ChipConfig::default()).unwrap();
         let mappings = map_network(&ds);
-        let snn_place = chip.place(&mappings, true);
-        let ann_place = chip.place(&mappings, false);
+        // Folded placement: over-capacity models wrap around the pool
+        // (time multiplexing) instead of erroring — this study wants a
+        // row for every model. `Chip::place` is the checked variant.
+        let snn_place = chip.place_folded(&mappings, true);
+        let ann_place = chip.place_folded(&mappings, false);
         let flit_hops = chip
             .route_interlayer_traffic(&snn_place, &mappings, 1)
             .unwrap();

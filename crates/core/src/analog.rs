@@ -43,6 +43,8 @@ pub enum AnalogError {
     },
     /// Circuit-level failure.
     Crossbar(CrossbarError),
+    /// Inter-chip fabric failure (multi-chip sharded execution).
+    Noc(nebula_noc::NocError),
     /// Tensor failure.
     Tensor(TensorError),
 }
@@ -55,12 +57,19 @@ impl std::fmt::Display for AnalogError {
             }
             AnalogError::BadGeometry { reason } => write!(f, "bad analog geometry: {reason}"),
             AnalogError::Crossbar(e) => write!(f, "crossbar failure: {e}"),
+            AnalogError::Noc(e) => write!(f, "inter-chip fabric failure: {e}"),
             AnalogError::Tensor(e) => write!(f, "tensor failure: {e}"),
         }
     }
 }
 
 impl std::error::Error for AnalogError {}
+
+impl From<nebula_noc::NocError> for AnalogError {
+    fn from(e: nebula_noc::NocError) -> Self {
+        AnalogError::Noc(e)
+    }
+}
 
 impl From<CrossbarError> for AnalogError {
     fn from(e: CrossbarError) -> Self {
@@ -88,20 +97,20 @@ impl From<NnError> for AnalogError {
 /// One weight matrix programmed across super-tiles: rows are split into
 /// `R_f ≤ 16M` segments (multi-core spill), columns into groups of `M`.
 #[derive(Debug, Clone)]
-struct ProgrammedMatrix {
+pub(crate) struct ProgrammedMatrix {
     /// `tiles[segment][group]`.
-    tiles: Vec<Vec<SuperTile>>,
-    segment_rows: Vec<usize>,
-    cols: usize,
-    rf: usize,
+    pub(crate) tiles: Vec<Vec<SuperTile>>,
+    pub(crate) segment_rows: Vec<usize>,
+    pub(crate) cols: usize,
+    pub(crate) rf: usize,
     /// Input normalization: activations are divided by this before
     /// driving the bit-lines (so drives stay in `[0, 1]`).
-    x_scale: f32,
+    pub(crate) x_scale: f32,
 }
 
 impl ProgrammedMatrix {
     /// Programs `weight[rf][cols]` (row-major `Tensor` `[rf, cols]`).
-    fn program(
+    pub(crate) fn program(
         weight: &Tensor,
         x_scale: f32,
         config: &CrossbarConfig,
@@ -152,7 +161,7 @@ impl ProgrammedMatrix {
     /// real-valued products `Wᵀx` per column. Bit-identical to one item
     /// of [`dot_batch`](Self::dot_batch); kept as the reference for
     /// equivalence tests and the `bench_hotpath` sequential leg.
-    fn dot_reference(&mut self, x: &[f32]) -> Result<Vec<f32>, AnalogError> {
+    pub(crate) fn dot_reference(&mut self, x: &[f32]) -> Result<Vec<f32>, AnalogError> {
         debug_assert_eq!(x.len(), self.rf);
         let mut out = vec![0.0f32; self.cols];
         let mut offset = 0usize;
@@ -188,7 +197,7 @@ impl ProgrammedMatrix {
     /// [`KernelPath::Scalar`]; the default vectorized kernel re-associates
     /// the total-current sum per row and tracks the reference to a
     /// relative error ≤ 1e-12.
-    fn dot_batch(&mut self, rows: &[&[f32]]) -> Result<Vec<Vec<f32>>, AnalogError> {
+    pub(crate) fn dot_batch(&mut self, rows: &[&[f32]]) -> Result<Vec<Vec<f32>>, AnalogError> {
         for tile in self.tiles.iter_mut().flatten() {
             tile.prepare();
         }
@@ -271,7 +280,7 @@ impl ProgrammedMatrix {
         Ok(per_item.into_iter().map(|(out_row, _)| out_row).collect())
     }
 
-    fn read_energy(&self) -> Joules {
+    pub(crate) fn read_energy(&self) -> Joules {
         self.tiles
             .iter()
             .flatten()
@@ -279,7 +288,7 @@ impl ProgrammedMatrix {
             .sum()
     }
 
-    fn program_energy(&self) -> Joules {
+    pub(crate) fn program_energy(&self) -> Joules {
         self.tiles
             .iter()
             .flatten()
@@ -287,11 +296,11 @@ impl ProgrammedMatrix {
             .sum()
     }
 
-    fn supertile_count(&self) -> usize {
+    pub(crate) fn supertile_count(&self) -> usize {
         self.tiles.iter().map(Vec::len).sum()
     }
 
-    fn set_kernel_path(&mut self, path: KernelPath) {
+    pub(crate) fn set_kernel_path(&mut self, path: KernelPath) {
         for tile in self.tiles.iter_mut().flatten() {
             tile.set_kernel_path(path);
         }
@@ -300,7 +309,7 @@ impl ProgrammedMatrix {
     /// Builds any missing cache layouts and returns the total bytes the
     /// current kernel path's conductance caches occupy across all tiles
     /// (see [`SuperTile::kernel_cache_bytes`]).
-    fn kernel_cache_bytes(&mut self) -> usize {
+    pub(crate) fn kernel_cache_bytes(&mut self) -> usize {
         for tile in self.tiles.iter_mut().flatten() {
             tile.prepare();
         }
@@ -310,11 +319,40 @@ impl ProgrammedMatrix {
             .map(SuperTile::kernel_cache_bytes)
             .sum()
     }
+
+    /// Splits an already-programmed matrix into one single-segment
+    /// matrix per `16M`-row segment, **moving** the programmed tiles
+    /// (never re-programming): the weight clip is computed from the
+    /// whole matrix, so a shard evaluated in isolation produces exactly
+    /// the per-segment partial sums the unified matrix accumulates
+    /// internally. This is how tensor sharding distributes one wide
+    /// layer across chips while keeping every bit and every accrued
+    /// joule attributable to the same physical tile.
+    pub(crate) fn split_segments(self) -> Vec<ProgrammedMatrix> {
+        let Self {
+            tiles,
+            segment_rows,
+            cols,
+            x_scale,
+            ..
+        } = self;
+        tiles
+            .into_iter()
+            .zip(segment_rows)
+            .map(|(groups, rows)| ProgrammedMatrix {
+                tiles: vec![groups],
+                segment_rows: vec![rows],
+                cols,
+                rf: rows,
+                x_scale,
+            })
+            .collect()
+    }
 }
 
 /// One compiled stage of an analog network.
 #[derive(Debug, Clone)]
-enum AnalogStage {
+pub(crate) enum AnalogStage {
     Dense {
         matrix: ProgrammedMatrix,
         bias: Vec<f32>,
@@ -341,8 +379,8 @@ enum AnalogStage {
 /// Build with [`compile`]; run with [`AnalogNetwork::forward`].
 #[derive(Debug, Clone)]
 pub struct AnalogNetwork {
-    stages: Vec<AnalogStage>,
-    waves: u64,
+    pub(crate) stages: Vec<AnalogStage>,
+    pub(crate) waves: u64,
 }
 
 /// Compiles a (preferably 4-bit-quantized, BN-folded) network for analog

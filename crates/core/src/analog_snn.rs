@@ -21,15 +21,15 @@ use rand::Rng;
 
 /// A programmed spiking synaptic stage: crossbars in SNN mode.
 #[derive(Debug, Clone)]
-struct SnnMatrix {
-    tiles: Vec<Vec<SuperTile>>,
-    segment_rows: Vec<usize>,
-    cols: usize,
-    rf: usize,
+pub(crate) struct SnnMatrix {
+    pub(crate) tiles: Vec<Vec<SuperTile>>,
+    pub(crate) segment_rows: Vec<usize>,
+    pub(crate) cols: usize,
+    pub(crate) rf: usize,
 }
 
 impl SnnMatrix {
-    fn program(weight: &Tensor, config: &CrossbarConfig) -> Result<Self, AnalogError> {
+    pub(crate) fn program(weight: &Tensor, config: &CrossbarConfig) -> Result<Self, AnalogError> {
         let (rf, cols) = (weight.shape()[0], weight.shape()[1]);
         if rf == 0 || cols == 0 {
             return Err(AnalogError::BadGeometry {
@@ -76,7 +76,7 @@ impl SnnMatrix {
     /// [`dot_spikes_batch_active`](Self::dot_spikes_batch_active); kept
     /// as the reference for equivalence tests and the `bench_hotpath`
     /// sequential leg.
-    fn dot_spikes_reference(&mut self, spikes: &[f32]) -> Result<Vec<f32>, AnalogError> {
+    pub(crate) fn dot_spikes_reference(&mut self, spikes: &[f32]) -> Result<Vec<f32>, AnalogError> {
         debug_assert_eq!(spikes.len(), self.rf);
         let mut out = vec![0.0f32; self.cols];
         let mut offset = 0usize;
@@ -125,7 +125,10 @@ impl SnnMatrix {
     /// short-circuit cannot change a bit: silent items produce exactly
     /// the pre-zeroed `out` buffer on the long path too, and accruing a
     /// zero current adds `+0.0 J` (see [`SuperTile::accrue_batch`]).
-    fn dot_spikes_batch_active(&mut self, batch: &SpikeBatch) -> Result<Vec<f32>, AnalogError> {
+    pub(crate) fn dot_spikes_batch_active(
+        &mut self,
+        batch: &SpikeBatch,
+    ) -> Result<Vec<f32>, AnalogError> {
         let n = batch.len();
         if n == 0 {
             return Ok(Vec::new());
@@ -230,7 +233,7 @@ impl SnnMatrix {
         Ok(out)
     }
 
-    fn read_energy(&self) -> Joules {
+    pub(crate) fn read_energy(&self) -> Joules {
         self.tiles
             .iter()
             .flatten()
@@ -238,7 +241,7 @@ impl SnnMatrix {
             .sum()
     }
 
-    fn set_kernel_path(&mut self, path: KernelPath) {
+    pub(crate) fn set_kernel_path(&mut self, path: KernelPath) {
         for tile in self.tiles.iter_mut().flatten() {
             tile.set_kernel_path(path);
         }
@@ -257,6 +260,33 @@ impl SnnMatrix {
             .map(SuperTile::kernel_cache_bytes)
             .sum()
     }
+
+    /// Splits a programmed matrix into one single-segment matrix per
+    /// R_f segment, *moving* the already-programmed [`SuperTile`]s — no
+    /// reprogramming, so every cell keeps the exact conductances (the
+    /// clip was computed over the whole weight matrix before the split).
+    /// Shard `s` computes exactly the per-segment partial the unsplit
+    /// matrix adds for segment `s`, which is what makes the multi-chip
+    /// tensor-sharded reduction bit-identical (see
+    /// [`crate::multichip`]).
+    pub(crate) fn split_segments(self) -> Vec<SnnMatrix> {
+        let SnnMatrix {
+            tiles,
+            segment_rows,
+            cols,
+            ..
+        } = self;
+        tiles
+            .into_iter()
+            .zip(segment_rows)
+            .map(|(groups, rows)| SnnMatrix {
+                tiles: vec![groups],
+                segment_rows: vec![rows],
+                cols,
+                rf: rows,
+            })
+            .collect()
+    }
 }
 
 /// Active-row (spiking) index lists for a batch of crossbar waves, in
@@ -268,7 +298,7 @@ impl SnnMatrix {
 /// [`gather_dense`](Self::gather_dense) / [`gather_conv_patches`]), so the
 /// index vectors amortize to zero allocations per step once warm.
 #[derive(Debug, Clone, Default)]
-struct SpikeBatch {
+pub(crate) struct SpikeBatch {
     idx: Vec<u32>,
     starts: Vec<usize>,
 }
@@ -297,18 +327,38 @@ impl SpikeBatch {
         self.starts.push(self.idx.len());
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.starts.len() - 1
     }
 
     /// `true` when no item has any active row — the whole wave is
     /// silent and every downstream crossbar evaluation can be skipped.
-    fn is_silent(&self) -> bool {
+    pub(crate) fn is_silent(&self) -> bool {
         self.idx.is_empty()
     }
 
     fn item(&self, i: usize) -> &[u32] {
         &self.idx[self.starts[i]..self.starts[i + 1]]
+    }
+
+    /// Rebuilds `out` as the restriction of this batch to receptive-field
+    /// window `[lo, hi)`, rebasing every surviving index by `-lo` — the
+    /// gather a tensor-sharded chip performs on the full spike wave
+    /// before driving its own R_f segment. Because indices are strictly
+    /// ascending per item, the window is located with two binary
+    /// searches per item, exactly like the per-segment slicing inside
+    /// [`SnnMatrix::dot_spikes_batch_active`] — so a shard sees exactly
+    /// the active set the unsplit matrix's segment would.
+    pub(crate) fn slice_window(&self, lo: usize, hi: usize, out: &mut SpikeBatch) {
+        out.clear();
+        for i in 0..self.len() {
+            let acts = self.item(i);
+            let s_lo = acts.partition_point(|&g| (g as usize) < lo);
+            let s_hi = acts.partition_point(|&g| (g as usize) < hi);
+            out.idx
+                .extend(acts[s_lo..s_hi].iter().map(|&g| g - lo as u32));
+            out.push_item();
+        }
     }
 
     /// Rebuilds the batch in place from dense spike vectors — `data` is
@@ -319,7 +369,7 @@ impl SpikeBatch {
     /// the first IF layer are mostly silent, so most blocks are
     /// dismissed with ~1 op/element. Retained capacity makes this
     /// allocation-free once the batch has seen its peak activity.
-    fn gather_dense(&mut self, data: &[f32], row_len: usize) {
+    pub(crate) fn gather_dense(&mut self, data: &[f32], row_len: usize) {
         self.clear();
         for spikes in data.chunks(row_len.max(1)) {
             let mut base = 0u32;
@@ -347,8 +397,8 @@ impl SpikeBatch {
 /// timesteps perform no gather-side allocations (asserted by
 /// `event_gather_scratch_does_not_grow_across_timesteps`).
 #[derive(Debug, Clone, Default)]
-struct EventScratch {
-    batch: SpikeBatch,
+pub(crate) struct EventScratch {
+    pub(crate) batch: SpikeBatch,
     fm_idx: Vec<u32>,
     fm_starts: Vec<usize>,
     cursor: Vec<usize>,
@@ -365,7 +415,7 @@ struct EventScratch {
 /// in `im2col`, hence inactive) emitted in the identical ascending
 /// `(ch, ky, kx)` order, so the downstream crossbar evaluation is
 /// bit-identical.
-fn gather_conv_patches(
+pub(crate) fn gather_conv_patches(
     scratch: &mut EventScratch,
     data: &[f32],
     [n, c, h, w]: [usize; 4],
@@ -481,7 +531,7 @@ fn gather_conv_patches(
 }
 
 #[derive(Debug, Clone)]
-enum SpikingAnalogStage {
+pub(crate) enum SpikingAnalogStage {
     /// Crossbar-backed dense synapses + digital bias injection.
     Dense {
         matrix: SnnMatrix,
@@ -513,9 +563,9 @@ enum SpikingAnalogStage {
 /// carries over unchanged.
 #[derive(Debug, Clone)]
 pub struct AnalogSpikingNetwork {
-    stages: Vec<SpikingAnalogStage>,
-    encoding: InputEncoding,
-    timestep_waves: u64,
+    pub(crate) stages: Vec<SpikingAnalogStage>,
+    pub(crate) encoding: InputEncoding,
+    pub(crate) timestep_waves: u64,
 }
 
 /// Compiles a converted spiking network onto SNN-mode crossbars.
@@ -739,7 +789,7 @@ impl AnalogSpikingNetwork {
         Ok(shape)
     }
 
-    fn reset_state(&mut self) {
+    pub(crate) fn reset_state(&mut self) {
         for stage in &mut self.stages {
             if let SpikingAnalogStage::IntegrateFire(p) = stage {
                 p.reset_state();
@@ -833,31 +883,7 @@ impl AnalogSpikingNetwork {
             .map(|&(_, seed)| rand::SeedableRng::seed_from_u64(seed))
             .collect();
         self.run_with_encoder(inputs, timesteps, false, &mut |x: &Tensor| {
-            let mut t = Tensor::zeros(x.shape());
-            let mut offset = 0usize;
-            for (&(rows, _), rng) in groups.iter().zip(rngs.iter_mut()) {
-                let lo = offset * row_elems;
-                let hi = (offset + rows) * row_elems;
-                // Elementwise in row-major order — exactly the draws
-                // (Poisson) or values (Constant) a solo `encode` over
-                // this group's rows would produce.
-                match encoding {
-                    InputEncoding::Poisson => {
-                        for (d, &p) in t.data_mut()[lo..hi].iter_mut().zip(&x.data()[lo..hi]) {
-                            if rng.gen::<f32>() < p.clamp(0.0, 1.0) {
-                                *d = 1.0;
-                            }
-                        }
-                    }
-                    InputEncoding::Constant => {
-                        for (d, &p) in t.data_mut()[lo..hi].iter_mut().zip(&x.data()[lo..hi]) {
-                            *d = p.clamp(0.0, 1.0);
-                        }
-                    }
-                }
-                offset += rows;
-            }
-            t
+            encode_groups(encoding, x, row_elems, groups, &mut rngs)
         })
     }
 
@@ -883,152 +909,9 @@ impl AnalogSpikingNetwork {
     ) -> Result<Tensor, AnalogError> {
         self.reset_state();
         let mut acc: Option<Tensor> = None;
+        let stage_count = self.stages.len();
         for _ in 0..timesteps {
-            let mut h = encode(inputs);
-            let mut stages = std::mem::take(&mut self.stages);
-            let step: Result<(), AnalogError> = (|| {
-                for stage in stages.iter_mut() {
-                    h = match stage {
-                        SpikingAnalogStage::Dense {
-                            matrix,
-                            bias,
-                            scratch,
-                        } => {
-                            let n = h.shape()[0];
-                            let ys: Option<Vec<f32>> = if reference {
-                                let mut ys = Vec::with_capacity(n * matrix.cols);
-                                for i in 0..n {
-                                    let row = &h.data()[i * matrix.rf..(i + 1) * matrix.rf];
-                                    ys.extend_from_slice(&matrix.dot_spikes_reference(row)?);
-                                }
-                                Some(ys)
-                            } else {
-                                scratch.batch.gather_dense(h.data(), matrix.rf);
-                                if scratch.batch.is_silent() {
-                                    // Whole-layer skip: a silent wave never
-                                    // reaches the crossbars (no prepare, no
-                                    // pool dispatch, no accrual).
-                                    None
-                                } else {
-                                    Some(matrix.dot_spikes_batch_active(&scratch.batch)?)
-                                }
-                            };
-                            self.timestep_waves += n as u64;
-                            let mut out = Tensor::zeros(&[n, matrix.cols]);
-                            match ys {
-                                Some(ys) => {
-                                    for (dst, y) in out
-                                        .data_mut()
-                                        .chunks_mut(bias.len())
-                                        .zip(ys.chunks(matrix.cols))
-                                    {
-                                        for (d, (v, b)) in
-                                            dst.iter_mut().zip(y.iter().zip(bias.iter()))
-                                        {
-                                            *d = v + b;
-                                        }
-                                    }
-                                }
-                                // Bias-only output: the crossbar term is
-                                // exactly `0.0`, and `0.0 + b` (not a bare
-                                // `b`) keeps the bits identical to the long
-                                // path even for `b == -0.0`.
-                                None => {
-                                    for dst in out.data_mut().chunks_mut(bias.len()) {
-                                        for (d, &b) in dst.iter_mut().zip(bias.iter()) {
-                                            *d = 0.0 + b;
-                                        }
-                                    }
-                                }
-                            }
-                            out
-                        }
-                        SpikingAnalogStage::Conv {
-                            matrix,
-                            bias,
-                            geom,
-                            out_channels,
-                            scratch,
-                        } => {
-                            let (n, cc, hh, ww) =
-                                (h.shape()[0], h.shape()[1], h.shape()[2], h.shape()[3]);
-                            let (oh, ow) = geom.out_hw(hh, ww)?;
-                            let spatial = oh * ow;
-                            let total_rows = n * spatial;
-                            let ys: Option<Vec<f32>> = if reference {
-                                let cols = im2col(&h, *geom)?;
-                                let mut ys = Vec::with_capacity(total_rows * matrix.cols);
-                                for ri in 0..total_rows {
-                                    let row = &cols.data()[ri * matrix.rf..(ri + 1) * matrix.rf];
-                                    ys.extend_from_slice(&matrix.dot_spikes_reference(row)?);
-                                }
-                                Some(ys)
-                            } else {
-                                // Fused sparse lowering: build each patch's
-                                // active-index list straight from the
-                                // spiking feature map — no im2col matrix,
-                                // no dense patch rows. Bit-identical to the
-                                // unfused path (see `gather_conv_patches`).
-                                gather_conv_patches(
-                                    scratch,
-                                    h.data(),
-                                    [n, cc, hh, ww],
-                                    [oh, ow],
-                                    *geom,
-                                );
-                                if scratch.batch.is_silent() {
-                                    // Whole-layer skip, as in the dense arm.
-                                    None
-                                } else {
-                                    Some(matrix.dot_spikes_batch_active(&scratch.batch)?)
-                                }
-                            };
-                            self.timestep_waves += total_rows as u64;
-                            let mc = matrix.cols;
-                            let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);
-                            match ys {
-                                Some(ys) => {
-                                    for img in 0..n {
-                                        for s in 0..spatial {
-                                            let y = &ys[(img * spatial + s) * mc..][..mc];
-                                            for (o, (&v, &b)) in
-                                                y.iter().zip(bias.iter()).enumerate()
-                                            {
-                                                out.data_mut()[img * *out_channels * spatial
-                                                    + o * spatial
-                                                    + s] = v + b;
-                                            }
-                                        }
-                                    }
-                                }
-                                // Bias-only planes; `0.0 + b` for the same
-                                // `-0.0` reason as the dense arm.
-                                None => {
-                                    for img in 0..n {
-                                        for (o, &b) in bias.iter().enumerate() {
-                                            let base = img * *out_channels * spatial + o * spatial;
-                                            for d in &mut out.data_mut()[base..base + spatial] {
-                                                *d = 0.0 + b;
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                            out
-                        }
-                        SpikingAnalogStage::IntegrateFire(pop) => pop.step(&h)?,
-                        SpikingAnalogStage::AvgPool { k } => avg_pool2d(&h, *k)?,
-                        SpikingAnalogStage::Flatten => {
-                            let n = h.shape()[0];
-                            let rest: usize = h.shape()[1..].iter().product();
-                            h.reshape(&[n, rest])?
-                        }
-                    };
-                }
-                Ok(())
-            })();
-            self.stages = stages;
-            step?;
+            let h = self.step_range(encode(inputs), 0..stage_count, reference)?;
             match &mut acc {
                 Some(a) => a.add_assign(&h)?,
                 none => *none = Some(h),
@@ -1043,6 +926,165 @@ impl AnalogSpikingNetwork {
             // request. (This used to return a `[0, 0]` placeholder.)
             None => Ok(Tensor::zeros(&self.output_shape(inputs.shape())?)),
         }
+    }
+
+    /// Advances one already-encoded spike wave `h` through stages
+    /// `range`, mutating IF state and accruing crossbar energy exactly
+    /// as the matching slice of a full timestep would. Extracted from
+    /// the timestep loop so the multi-chip pipelined executor
+    /// ([`crate::multichip`]) can advance each chip's contiguous stage
+    /// span independently while staying bit-identical to
+    /// [`run_sequential`](Self::run_sequential): for a fixed wave the
+    /// stage loop is a left-to-right fold, so splitting it at any
+    /// boundary changes nothing.
+    pub(crate) fn step_range(
+        &mut self,
+        mut h: Tensor,
+        range: std::ops::Range<usize>,
+        reference: bool,
+    ) -> Result<Tensor, AnalogError> {
+        let mut stages = std::mem::take(&mut self.stages);
+        let step: Result<(), AnalogError> = (|| {
+            for stage in stages[range].iter_mut() {
+                h = match stage {
+                    SpikingAnalogStage::Dense {
+                        matrix,
+                        bias,
+                        scratch,
+                    } => {
+                        let n = h.shape()[0];
+                        let ys: Option<Vec<f32>> = if reference {
+                            let mut ys = Vec::with_capacity(n * matrix.cols);
+                            for i in 0..n {
+                                let row = &h.data()[i * matrix.rf..(i + 1) * matrix.rf];
+                                ys.extend_from_slice(&matrix.dot_spikes_reference(row)?);
+                            }
+                            Some(ys)
+                        } else {
+                            scratch.batch.gather_dense(h.data(), matrix.rf);
+                            if scratch.batch.is_silent() {
+                                // Whole-layer skip: a silent wave never
+                                // reaches the crossbars (no prepare, no
+                                // pool dispatch, no accrual).
+                                None
+                            } else {
+                                Some(matrix.dot_spikes_batch_active(&scratch.batch)?)
+                            }
+                        };
+                        self.timestep_waves += n as u64;
+                        let mut out = Tensor::zeros(&[n, matrix.cols]);
+                        match ys {
+                            Some(ys) => {
+                                for (dst, y) in out
+                                    .data_mut()
+                                    .chunks_mut(bias.len())
+                                    .zip(ys.chunks(matrix.cols))
+                                {
+                                    for (d, (v, b)) in dst.iter_mut().zip(y.iter().zip(bias.iter()))
+                                    {
+                                        *d = v + b;
+                                    }
+                                }
+                            }
+                            // Bias-only output: the crossbar term is
+                            // exactly `0.0`, and `0.0 + b` (not a bare
+                            // `b`) keeps the bits identical to the long
+                            // path even for `b == -0.0`.
+                            None => {
+                                for dst in out.data_mut().chunks_mut(bias.len()) {
+                                    for (d, &b) in dst.iter_mut().zip(bias.iter()) {
+                                        *d = 0.0 + b;
+                                    }
+                                }
+                            }
+                        }
+                        out
+                    }
+                    SpikingAnalogStage::Conv {
+                        matrix,
+                        bias,
+                        geom,
+                        out_channels,
+                        scratch,
+                    } => {
+                        let (n, cc, hh, ww) =
+                            (h.shape()[0], h.shape()[1], h.shape()[2], h.shape()[3]);
+                        let (oh, ow) = geom.out_hw(hh, ww)?;
+                        let spatial = oh * ow;
+                        let total_rows = n * spatial;
+                        let ys: Option<Vec<f32>> = if reference {
+                            let cols = im2col(&h, *geom)?;
+                            let mut ys = Vec::with_capacity(total_rows * matrix.cols);
+                            for ri in 0..total_rows {
+                                let row = &cols.data()[ri * matrix.rf..(ri + 1) * matrix.rf];
+                                ys.extend_from_slice(&matrix.dot_spikes_reference(row)?);
+                            }
+                            Some(ys)
+                        } else {
+                            // Fused sparse lowering: build each patch's
+                            // active-index list straight from the
+                            // spiking feature map — no im2col matrix,
+                            // no dense patch rows. Bit-identical to the
+                            // unfused path (see `gather_conv_patches`).
+                            gather_conv_patches(
+                                scratch,
+                                h.data(),
+                                [n, cc, hh, ww],
+                                [oh, ow],
+                                *geom,
+                            );
+                            if scratch.batch.is_silent() {
+                                // Whole-layer skip, as in the dense arm.
+                                None
+                            } else {
+                                Some(matrix.dot_spikes_batch_active(&scratch.batch)?)
+                            }
+                        };
+                        self.timestep_waves += total_rows as u64;
+                        let mc = matrix.cols;
+                        let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);
+                        match ys {
+                            Some(ys) => {
+                                for img in 0..n {
+                                    for s in 0..spatial {
+                                        let y = &ys[(img * spatial + s) * mc..][..mc];
+                                        for (o, (&v, &b)) in y.iter().zip(bias.iter()).enumerate() {
+                                            out.data_mut()
+                                                [img * *out_channels * spatial + o * spatial + s] =
+                                                v + b;
+                                        }
+                                    }
+                                }
+                            }
+                            // Bias-only planes; `0.0 + b` for the same
+                            // `-0.0` reason as the dense arm.
+                            None => {
+                                for img in 0..n {
+                                    for (o, &b) in bias.iter().enumerate() {
+                                        let base = img * *out_channels * spatial + o * spatial;
+                                        for d in &mut out.data_mut()[base..base + spatial] {
+                                            *d = 0.0 + b;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        out
+                    }
+                    SpikingAnalogStage::IntegrateFire(pop) => pop.step(&h)?,
+                    SpikingAnalogStage::AvgPool { k } => avg_pool2d(&h, *k)?,
+                    SpikingAnalogStage::Flatten => {
+                        let n = h.shape()[0];
+                        let rest: usize = h.shape()[1..].iter().product();
+                        h.reshape(&[n, rest])?
+                    }
+                };
+            }
+            Ok(())
+        })();
+        self.stages = stages;
+        step?;
+        Ok(h)
     }
 
     /// Classification accuracy of the circuit-backed SNN.
@@ -1088,10 +1130,53 @@ impl AnalogSpikingNetwork {
     }
 }
 
+/// Encodes one timestep for independently seeded request groups:
+/// group `(rows, _)` covers the next `rows` batch rows and draws from
+/// its own RNG stream, elementwise in row-major order — exactly the
+/// draws (Poisson) or values (Constant) a solo [`encode_with`] over
+/// that group's rows would produce. Shared by
+/// [`AnalogSpikingNetwork::run_seeded_groups`] and the multi-chip
+/// executor's seeded-group entry point, which is what keeps the two
+/// serving paths bit-identical.
+pub(crate) fn encode_groups(
+    encoding: InputEncoding,
+    x: &Tensor,
+    row_elems: usize,
+    groups: &[(usize, u64)],
+    rngs: &mut [rand::rngs::StdRng],
+) -> Tensor {
+    let mut t = Tensor::zeros(x.shape());
+    let mut offset = 0usize;
+    for (&(rows, _), rng) in groups.iter().zip(rngs.iter_mut()) {
+        let lo = offset * row_elems;
+        let hi = (offset + rows) * row_elems;
+        match encoding {
+            InputEncoding::Poisson => {
+                for (d, &p) in t.data_mut()[lo..hi].iter_mut().zip(&x.data()[lo..hi]) {
+                    if rng.gen::<f32>() < p.clamp(0.0, 1.0) {
+                        *d = 1.0;
+                    }
+                }
+            }
+            InputEncoding::Constant => {
+                for (d, &p) in t.data_mut()[lo..hi].iter_mut().zip(&x.data()[lo..hi]) {
+                    *d = p.clamp(0.0, 1.0);
+                }
+            }
+        }
+        offset += rows;
+    }
+    t
+}
+
 /// Encodes one timestep of input under `encoding`, drawing from `rng`
 /// elementwise in row-major order (Poisson consumes exactly one draw
 /// per element; Constant consumes none).
-fn encode_with<R: Rng + ?Sized>(encoding: InputEncoding, inputs: &Tensor, rng: &mut R) -> Tensor {
+pub(crate) fn encode_with<R: Rng + ?Sized>(
+    encoding: InputEncoding,
+    inputs: &Tensor,
+    rng: &mut R,
+) -> Tensor {
     match encoding {
         InputEncoding::Poisson => {
             let mut t = Tensor::zeros(inputs.shape());

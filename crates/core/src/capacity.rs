@@ -8,8 +8,92 @@
 //! accepting a layer, and the reason large layers must stream through
 //! the eDRAM in tiles.
 
+use crate::chip::ChipConfig;
 use crate::energy::ExecMode;
 use nebula_nn::stats::LayerDescriptor;
+use std::error::Error;
+use std::fmt;
+
+/// A workload demands more neural cores than a chip provides.
+///
+/// Carries enough context to act on: the first layer whose cumulative
+/// demand crossed the pool boundary, and how many cores the whole
+/// workload is short — the multi-chip planner uses the shortfall to
+/// size a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityExceeded {
+    /// Index of the first layer that no longer fits.
+    pub layer_index: usize,
+    /// Name of that layer.
+    pub layer: String,
+    /// Cores the whole workload demands.
+    pub demanded: usize,
+    /// Cores the chip provides for this mode.
+    pub available: usize,
+    /// `demanded - available`.
+    pub shortfall: usize,
+}
+
+impl fmt::Display for CapacityExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "workload demands {} cores but the chip provides {} ({} short); \
+             layer {} ({:?}) is the first that no longer fits",
+            self.demanded, self.available, self.shortfall, self.layer_index, self.layer
+        )
+    }
+}
+
+impl Error for CapacityExceeded {}
+
+/// Checks whether a whole network fits one chip's core pool for the
+/// given mode, returning the total cores demanded on success.
+///
+/// This is the crossbar-capacity side of fit checking (the memory side
+/// is [`audit_network`]); the multi-chip planner reuses it per stage.
+///
+/// # Errors
+///
+/// Returns [`CapacityExceeded`] naming the first layer whose cumulative
+/// core demand crosses the pool boundary.
+pub fn fits_chip(
+    descriptors: &[LayerDescriptor],
+    config: &ChipConfig,
+    mode: ExecMode,
+) -> Result<usize, CapacityExceeded> {
+    let pool = match mode {
+        ExecMode::Ann => config.ann_cores,
+        ExecMode::Snn { .. } => config.snn_cores,
+    };
+    let demands: Vec<usize> = descriptors
+        .iter()
+        .map(|d| crate::mapper::map_layer(d).cores)
+        .collect();
+    let demanded: usize = demands.iter().sum();
+    if demanded <= pool {
+        return Ok(demanded);
+    }
+    let mut running = 0usize;
+    let mut offender = descriptors.len().saturating_sub(1);
+    for (i, &cores) in demands.iter().enumerate() {
+        running += cores;
+        if running > pool {
+            offender = i;
+            break;
+        }
+    }
+    Err(CapacityExceeded {
+        layer_index: offender,
+        layer: descriptors
+            .get(offender)
+            .map(|d| d.name.clone())
+            .unwrap_or_default(),
+        demanded,
+        available: pool,
+        shortfall: demanded - pool,
+    })
+}
 
 /// Neural-core memory sizes in bytes (Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,6 +289,29 @@ mod tests {
         assert_eq!(rep.wave_input_bytes, 784 / 2); // 4 bits each
         assert_eq!(rep.wave_output_bytes, 512 / 2);
         assert_eq!(rep.feature_map_bytes, 784 / 2);
+    }
+
+    #[test]
+    fn fits_chip_accepts_small_nets_and_names_the_offender() {
+        use crate::chip::ChipConfig;
+        let cfg = ChipConfig::default();
+        let small = zoo::lenet5();
+        let cores = fits_chip(&small, &cfg, ExecMode::Snn { timesteps: 1 }).unwrap();
+        assert!(cores > 0 && cores <= cfg.snn_cores);
+
+        // AlexNet's fc6 (160 cores) dwarfs the 14-core ANN pool.
+        let big = zoo::alexnet();
+        let err = fits_chip(&big, &cfg, ExecMode::Ann).unwrap_err();
+        assert_eq!(err.available, cfg.ann_cores);
+        assert_eq!(err.shortfall, err.demanded - err.available);
+        assert!(
+            err.layer_index < big.len(),
+            "offender must be a real layer: {err}"
+        );
+        assert_eq!(big[err.layer_index].name, err.layer);
+        // Display names the layer and the shortfall.
+        let msg = err.to_string();
+        assert!(msg.contains(&err.layer) && msg.contains("short"));
     }
 
     #[test]

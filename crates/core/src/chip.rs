@@ -1,6 +1,7 @@
 //! Chip-level model: core placement on the 14×14 mesh and NoC traffic
 //! accounting (paper Fig. 6b).
 
+use crate::capacity::CapacityExceeded;
 use crate::components as parts;
 use crate::mapper::LayerMapping;
 use nebula_device::units::{SquareMillimeters, Watts};
@@ -141,9 +142,49 @@ impl Chip {
     /// round-robin over the cores available to the mode).
     ///
     /// `snn_mode` selects the SNN core pool (182 cores) or the ANN pool
-    /// (14 cores). Workloads larger than the pool still get a placement
-    /// (wrapping around — time multiplexing), with `fits = false`.
-    pub fn place(&self, mappings: &[LayerMapping], snn_mode: bool) -> Placement {
+    /// (14 cores).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityExceeded`] when the workload demands more
+    /// cores than the pool provides, naming the first layer that no
+    /// longer fits. Callers that want the old wrap-around placement
+    /// (time multiplexing) use [`Chip::place_folded`].
+    pub fn place(
+        &self,
+        mappings: &[LayerMapping],
+        snn_mode: bool,
+    ) -> Result<Placement, CapacityExceeded> {
+        let placement = self.place_folded(mappings, snn_mode);
+        if placement.fits {
+            return Ok(placement);
+        }
+        let pool = placement.cores_available;
+        let mut running = 0usize;
+        let mut offender = mappings.len().saturating_sub(1);
+        for (i, m) in mappings.iter().enumerate() {
+            running += m.cores;
+            if running > pool {
+                offender = i;
+                break;
+            }
+        }
+        Err(CapacityExceeded {
+            layer_index: mappings.get(offender).map(|m| m.layer_index).unwrap_or(0),
+            layer: mappings
+                .get(offender)
+                .map(|m| m.name.clone())
+                .unwrap_or_default(),
+            demanded: placement.cores_demanded,
+            available: pool,
+            shortfall: placement.cores_demanded - pool,
+        })
+    }
+
+    /// Places mapped layers like [`Chip::place`], but workloads larger
+    /// than the pool still get a placement — node assignment wraps
+    /// around the pool (time multiplexing) and `fits` is `false`.
+    pub fn place_folded(&self, mappings: &[LayerMapping], snn_mode: bool) -> Placement {
         let pool = if snn_mode {
             self.config.snn_cores
         } else {
@@ -237,7 +278,7 @@ mod tests {
     fn placement_tracks_fit() {
         let chip = Chip::new(ChipConfig::default()).unwrap();
         let mappings = small_net();
-        let snn = chip.place(&mappings, true);
+        let snn = chip.place(&mappings, true).unwrap();
         assert!(snn.fits, "3 small layers fit 182 SNN cores");
         assert_eq!(snn.layer_nodes.len(), 3);
         let demanded: usize = mappings.iter().map(|m| m.cores).sum();
@@ -247,16 +288,33 @@ mod tests {
     #[test]
     fn ann_pool_is_much_smaller() {
         let chip = Chip::new(ChipConfig::default()).unwrap();
-        let p_ann = chip.place(&small_net(), false);
-        let p_snn = chip.place(&small_net(), true);
+        let p_ann = chip.place_folded(&small_net(), false);
+        let p_snn = chip.place(&small_net(), true).unwrap();
         assert!(p_ann.cores_available < p_snn.cores_available);
+    }
+
+    #[test]
+    fn overflowing_placement_is_a_typed_error_naming_the_layer() {
+        let chip = Chip::new(ChipConfig::default()).unwrap();
+        let mappings = map_network(&[
+            LayerDescriptor::conv(0, "conv1", 3, 64, 3, 1, 1, (16, 16)),
+            LayerDescriptor::dense(1, "fc6", 9216, 4096), // 160 cores
+        ]);
+        let err = chip.place(&mappings, false).unwrap_err();
+        assert_eq!(err.layer, "fc6");
+        assert_eq!(err.available, chip.config().ann_cores);
+        assert_eq!(err.shortfall, err.demanded - err.available);
+        // The folded fallback still produces a wrap-around placement.
+        let folded = chip.place_folded(&mappings, false);
+        assert!(!folded.fits);
+        assert_eq!(folded.layer_nodes.len(), 2);
     }
 
     #[test]
     fn traffic_routes_between_consecutive_layers() {
         let mut chip = Chip::new(ChipConfig::default()).unwrap();
         let mappings = small_net();
-        let placement = chip.place(&mappings, true);
+        let placement = chip.place(&mappings, true).unwrap();
         let flit_hops = chip
             .route_interlayer_traffic(&placement, &mappings, 1)
             .unwrap();

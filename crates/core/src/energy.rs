@@ -138,6 +138,9 @@ pub struct EnergyModel {
     pub mean_hops: f64,
     /// NoC transport energy per bit per hop (32 nm mesh estimate).
     pub pj_per_bit_hop: f64,
+    /// Chip-to-chip link energy per bit (serdes + board trace — roughly
+    /// an order of magnitude above an on-die mesh hop).
+    pub pj_per_bit_link: f64,
     /// ANN-core pool on the chip (Table III: 14).
     pub ann_core_pool: usize,
     /// SNN-core pool on the chip (Table III: 182). The 13× larger SNN
@@ -156,6 +159,7 @@ impl Default for EnergyModel {
             edram_duty: 0.10,
             mean_hops: 2.0,
             pj_per_bit_hop: 0.1,
+            pj_per_bit_link: 0.8,
             ann_core_pool: parts::ANN_CORES,
             snn_core_pool: parts::SNN_CORES,
             max_replication: 8.0,
@@ -164,6 +168,20 @@ impl Default for EnergyModel {
 }
 
 impl EnergyModel {
+    /// Transport energy for measured NoC traffic: on-die mesh flit·hops
+    /// at [`pj_per_bit_hop`](Self::pj_per_bit_hop) and chip-to-chip
+    /// link crossings at the ~8× more expensive
+    /// [`pj_per_bit_link`](Self::pj_per_bit_link). Feed it a
+    /// [`TrafficStats`] from a [`ChipCluster`](nebula_noc::ChipCluster)
+    /// (or a single mesh, where the link term is zero).
+    pub fn noc_traffic_energy(&self, stats: &nebula_noc::TrafficStats) -> Joules {
+        let flit_bits = nebula_noc::FLIT_BITS as f64;
+        Joules(
+            stats.flit_hops as f64 * flit_bits * self.pj_per_bit_hop * 1e-12
+                + stats.link_flit_hops as f64 * flit_bits * self.pj_per_bit_link * 1e-12,
+        )
+    }
+
     /// Computes the energy/power report for one mapped layer.
     ///
     /// `input_activity` is the average input spikes per neuron per

@@ -53,12 +53,14 @@ pub mod energy;
 pub mod engine;
 pub mod fault;
 pub mod mapper;
+pub mod multichip;
 pub mod pipeline;
 pub mod serve;
 pub mod trace;
 
 pub use analog::{compile as compile_analog, AnalogNetwork};
 pub use analog_snn::{compile_snn, AnalogSpikingNetwork};
+pub use capacity::{fits_chip, CapacityExceeded};
 pub use chip::{Chip, ChipConfig, Placement};
 pub use energy::{ComponentEnergy, EnergyModel, ExecMode, LayerEnergy};
 pub use engine::{
@@ -67,7 +69,13 @@ pub use engine::{
     HybridReport, InferenceReport, SuiteJob, SuiteMode, SuiteOutcome, SuiteReport,
 };
 pub use fault::{remap_network, ChipFaultState, RemapError, RemapPolicy, RemapReport};
-pub use mapper::{map_layer, map_network, Aggregation, LayerMapping};
+pub use mapper::{
+    map_layer, map_network, partition_balanced, plan_stages, Aggregation, LayerMapping,
+};
+pub use multichip::{
+    plan_cluster, ClusterConfig, ClusterPlan, ShardStrategy, ShardedAnalogNetwork,
+    ShardedSpikingNetwork,
+};
 pub use serve::{
     ChipPool, InferenceRequest, InferenceResponse, ModelChip, ModelSpec, ModelStats, RequestKind,
     ResponseHandle, ServeConfig, ServeError, Server, ServerStats,

@@ -48,6 +48,10 @@ pub struct LayerMapping {
     /// Activations (×4 bits) leaving this layer toward the next one per
     /// pass — the NoC payload.
     pub output_elements: u64,
+    /// Pipeline stage (= chip) the layer is assigned to. `map_layer`
+    /// leaves it 0 (single-chip); the multi-chip planner
+    /// ([`plan_stages`]) overwrites it.
+    pub stage: usize,
 }
 
 impl LayerMapping {
@@ -86,6 +90,7 @@ pub fn map_layer(desc: &LayerDescriptor) -> LayerMapping {
             cycles,
             adc_conversions: 0,
             output_elements: desc.output_elements as u64,
+            stage: 0,
         };
     }
 
@@ -108,6 +113,7 @@ pub fn map_layer(desc: &LayerDescriptor) -> LayerMapping {
                 cycles,
                 adc_conversions: 0,
                 output_elements: desc.output_elements as u64,
+                stage: 0,
             }
         }
         None => {
@@ -128,6 +134,7 @@ pub fn map_layer(desc: &LayerDescriptor) -> LayerMapping {
                 cycles,
                 adc_conversions: segments as u64 * desc.kernels as u64 * cycles,
                 output_elements: desc.output_elements as u64,
+                stage: 0,
             }
         }
     }
@@ -136,6 +143,182 @@ pub fn map_layer(desc: &LayerDescriptor) -> LayerMapping {
 /// Maps a whole workload (one descriptor per weight layer).
 pub fn map_network(descriptors: &[LayerDescriptor]) -> Vec<LayerMapping> {
     descriptors.iter().map(map_layer).collect()
+}
+
+/// Maps a whole workload after verifying it fits one chip's core pool.
+///
+/// The unchecked [`map_network`] is the right tool for analytical
+/// sweeps that deliberately overload a chip; this is the right tool
+/// when the mapping will actually be placed.
+///
+/// # Errors
+///
+/// Returns [`CapacityExceeded`] (from [`crate::capacity::fits_chip`])
+/// naming the first layer whose cumulative demand crosses the pool.
+pub fn try_map_network(
+    descriptors: &[LayerDescriptor],
+    config: &crate::chip::ChipConfig,
+    mode: crate::energy::ExecMode,
+) -> Result<Vec<LayerMapping>, crate::capacity::CapacityExceeded> {
+    crate::capacity::fits_chip(descriptors, config, mode)?;
+    Ok(map_network(descriptors))
+}
+
+/// Contiguous partition of `costs` into at most `parts` runs minimizing
+/// the maximum run sum (the classic linear-partition DP). Returns the
+/// run index per item, nondecreasing from 0.
+///
+/// This is the balance objective of the pipeline planner: run sums are
+/// per-stage latencies, and the bottleneck stage sets the pipeline's
+/// steady-state initiation interval.
+pub fn partition_balanced(costs: &[u64], parts: usize) -> Vec<usize> {
+    let n = costs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let mut prefix = vec![0u64; n + 1];
+    for (i, &c) in costs.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + c;
+    }
+    let run = |j: usize, i: usize| prefix[i] - prefix[j];
+    // best[k][i]: minimal max-run-sum splitting the first i items into
+    // exactly k runs; cut[k][i] the last cut that achieves it.
+    let inf = u64::MAX;
+    let mut best = vec![vec![inf; n + 1]; parts + 1];
+    let mut cut = vec![vec![0usize; n + 1]; parts + 1];
+    best[0][0] = 0;
+    for k in 1..=parts {
+        for i in k..=n {
+            for j in (k - 1)..i {
+                if best[k - 1][j] == inf {
+                    continue;
+                }
+                let cand = best[k - 1][j].max(run(j, i));
+                if cand < best[k][i] {
+                    best[k][i] = cand;
+                    cut[k][i] = j;
+                }
+            }
+        }
+    }
+    let k = (1..=parts).min_by_key(|&k| best[k][n]).unwrap_or(1);
+    let mut bounds = vec![n; k + 1];
+    bounds[0] = 0;
+    let mut i = n;
+    for kk in (1..=k).rev() {
+        bounds[kk] = i;
+        i = cut[kk][i];
+    }
+    let mut out = vec![0usize; n];
+    for r in 0..k {
+        for item in out.iter_mut().take(bounds[r + 1]).skip(bounds[r]) {
+            *item = r;
+        }
+    }
+    out
+}
+
+/// Assigns layers to at most `chips` contiguous pipeline stages,
+/// balancing per-stage latency (Σ cycles) subject to each stage's core
+/// demand fitting `pool`. Writes the assignment into each mapping's
+/// `stage` field and returns the number of stages used.
+///
+/// # Errors
+///
+/// Returns [`CapacityExceeded`] when a single layer exceeds the pool
+/// (no amount of pipelining shards one layer — that is tensor
+/// sharding's job) or when no contiguous split into `chips` stages
+/// satisfies the per-stage pool.
+pub fn plan_stages(
+    mappings: &mut [LayerMapping],
+    chips: usize,
+    pool: usize,
+) -> Result<usize, crate::capacity::CapacityExceeded> {
+    use crate::capacity::CapacityExceeded;
+    let n = mappings.len();
+    if n == 0 {
+        return Ok(0);
+    }
+    let chips = chips.max(1);
+    let total: usize = mappings.iter().map(|m| m.cores).sum();
+    for m in mappings.iter() {
+        if m.cores > pool {
+            return Err(CapacityExceeded {
+                layer_index: m.layer_index,
+                layer: m.name.clone(),
+                demanded: m.cores,
+                available: pool,
+                shortfall: m.cores - pool,
+            });
+        }
+    }
+    // Greedy left-to-right packing yields the minimal contiguous stage
+    // count; if even that exceeds the chip budget the workload cannot
+    // pipeline onto this cluster.
+    let mut greedy_stages = 1usize;
+    let mut stage_cores = 0usize;
+    for m in mappings.iter() {
+        if stage_cores + m.cores > pool {
+            greedy_stages += 1;
+            stage_cores = 0;
+            if greedy_stages > chips {
+                return Err(CapacityExceeded {
+                    layer_index: m.layer_index,
+                    layer: m.name.clone(),
+                    demanded: total,
+                    available: chips * pool,
+                    shortfall: total.saturating_sub(chips * pool).max(1),
+                });
+            }
+        }
+        stage_cores += m.cores;
+    }
+    // Balance latency among the feasible splits: same DP as
+    // `partition_balanced` with the per-stage core constraint.
+    let mut cost_prefix = vec![0u64; n + 1];
+    let mut core_prefix = vec![0usize; n + 1];
+    for (i, m) in mappings.iter().enumerate() {
+        cost_prefix[i + 1] = cost_prefix[i] + m.cycles.max(1);
+        core_prefix[i + 1] = core_prefix[i] + m.cores;
+    }
+    let parts = chips.min(n);
+    let inf = u64::MAX;
+    let mut best = vec![vec![inf; n + 1]; parts + 1];
+    let mut cut = vec![vec![0usize; n + 1]; parts + 1];
+    best[0][0] = 0;
+    for k in 1..=parts {
+        for i in k..=n {
+            for j in (k - 1)..i {
+                if best[k - 1][j] == inf || core_prefix[i] - core_prefix[j] > pool {
+                    continue;
+                }
+                let cand = best[k - 1][j].max(cost_prefix[i] - cost_prefix[j]);
+                if cand < best[k][i] {
+                    best[k][i] = cand;
+                    cut[k][i] = j;
+                }
+            }
+        }
+    }
+    let k = (1..=parts)
+        .filter(|&k| best[k][n] != inf)
+        .min_by_key(|&k| best[k][n])
+        .expect("greedy feasibility check guarantees a DP solution");
+    let mut i = n;
+    let mut stages = Vec::with_capacity(k);
+    for kk in (1..=k).rev() {
+        let j = cut[kk][i];
+        stages.push((j, i));
+        i = j;
+    }
+    stages.reverse();
+    for (s, &(lo, hi)) in stages.iter().enumerate() {
+        for m in mappings.iter_mut().take(hi).skip(lo) {
+            m.stage = s;
+        }
+    }
+    Ok(k)
 }
 
 #[cfg(test)]
@@ -216,6 +399,63 @@ mod tests {
         assert_eq!(ms[0].name, "conv1");
         assert_eq!(ms[1].name, "fc");
         assert_eq!(ms[1].cycles, 1);
+    }
+
+    #[test]
+    fn partition_balanced_minimizes_the_bottleneck() {
+        // Costs 8,1,1,8 into 2 runs: [8,1,1][8] (max 10) beats
+        // [8][1,1,8] (also 10) and [8,1][1,8] (max 9) wins.
+        let parts = partition_balanced(&[8, 1, 1, 8], 2);
+        assert_eq!(parts, vec![0, 0, 1, 1]);
+        // More parts than items degenerates to one item per run.
+        assert_eq!(partition_balanced(&[5, 5], 8), vec![0, 1]);
+        assert!(partition_balanced(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn plan_stages_balances_and_respects_the_pool() {
+        let ds = vec![
+            LayerDescriptor::conv(0, "conv1", 3, 64, 3, 1, 1, (32, 32)),
+            LayerDescriptor::conv(1, "conv2", 64, 128, 3, 1, 1, (16, 16)),
+            LayerDescriptor::conv(2, "conv3", 128, 256, 3, 1, 1, (8, 8)),
+            LayerDescriptor::dense(3, "fc", 4096, 10),
+        ];
+        let mut ms = map_network(&ds);
+        let stages = plan_stages(&mut ms, 2, 14).unwrap();
+        assert!(stages <= 2);
+        // Assignment is nondecreasing and every stage fits the pool.
+        let mut per_stage = vec![0usize; stages];
+        let mut last = 0;
+        for m in &ms {
+            assert!(m.stage >= last);
+            last = m.stage;
+            per_stage[m.stage] += m.cores;
+        }
+        assert!(per_stage.iter().all(|&c| c <= 14));
+    }
+
+    #[test]
+    fn plan_stages_rejects_a_layer_wider_than_the_pool() {
+        // fc6: 160 cores > any sensible pool.
+        let ds = vec![LayerDescriptor::dense(0, "fc6", 9216, 4096)];
+        let mut ms = map_network(&ds);
+        let err = plan_stages(&mut ms, 8, 14).unwrap_err();
+        assert_eq!(err.layer, "fc6");
+        assert_eq!(err.available, 14);
+        assert_eq!(err.shortfall, err.demanded - 14);
+    }
+
+    #[test]
+    fn plan_stages_rejects_too_few_chips() {
+        // Four 8-core layers cannot fit 2 × 14-core stages.
+        let ds: Vec<_> = (0..4)
+            .map(|i| LayerDescriptor::dense(i, format!("fc{i}"), 1024, 2048))
+            .collect();
+        let mut ms = map_network(&ds);
+        let per: usize = ms[0].cores;
+        assert!(2 * per > 14, "each pair must overflow one stage");
+        assert!(plan_stages(&mut ms, 2, 14).is_err());
+        assert!(plan_stages(&mut ms, 4, 14).is_ok());
     }
 
     #[test]

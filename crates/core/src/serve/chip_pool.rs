@@ -14,25 +14,34 @@
 
 use crate::analog::AnalogNetwork;
 use crate::analog_snn::AnalogSpikingNetwork;
+use crate::multichip::{ShardedAnalogNetwork, ShardedSpikingNetwork};
 use nebula_device::units::Joules;
 use std::sync::{Condvar, Mutex};
 
 /// One programmed chip instance: the ANN or SNN analog executor with
-/// weights already written.
+/// weights already written. The `Sharded*` variants are whole chip
+/// *clusters* checked out as one unit — a model too wide for a single
+/// chip serves exactly like any other, the pool seam hides the
+/// difference.
 #[derive(Debug, Clone)]
 pub enum ModelChip {
     /// ANN-mode chip ([`AnalogNetwork`]).
     Ann(AnalogNetwork),
     /// SNN-mode chip ([`AnalogSpikingNetwork`]).
     Snn(AnalogSpikingNetwork),
+    /// ANN distributed over a chip cluster ([`ShardedAnalogNetwork`]).
+    ShardedAnn(ShardedAnalogNetwork),
+    /// SNN distributed over a chip cluster ([`ShardedSpikingNetwork`]).
+    ShardedSnn(ShardedSpikingNetwork),
 }
 
 impl ModelChip {
-    /// `"ann"` or `"snn"` — the request kind this chip serves.
+    /// `"ann"` or `"snn"` — the request kind this chip serves (sharded
+    /// clusters serve the same request kinds as single chips).
     pub fn kind_name(&self) -> &'static str {
         match self {
-            ModelChip::Ann(_) => "ann",
-            ModelChip::Snn(_) => "snn",
+            ModelChip::Ann(_) | ModelChip::ShardedAnn(_) => "ann",
+            ModelChip::Snn(_) | ModelChip::ShardedSnn(_) => "snn",
         }
     }
 
@@ -41,6 +50,8 @@ impl ModelChip {
         match self {
             ModelChip::Ann(n) => n.read_energy(),
             ModelChip::Snn(n) => n.read_energy(),
+            ModelChip::ShardedAnn(n) => n.read_energy(),
+            ModelChip::ShardedSnn(n) => n.read_energy(),
         }
     }
 
@@ -49,6 +60,8 @@ impl ModelChip {
         match self {
             ModelChip::Ann(n) => n.waves(),
             ModelChip::Snn(n) => n.waves(),
+            ModelChip::ShardedAnn(n) => n.waves(),
+            ModelChip::ShardedSnn(n) => n.waves(),
         }
     }
 }

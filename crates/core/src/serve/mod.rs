@@ -244,6 +244,34 @@ impl ModelSpec {
             replicas,
         }
     }
+
+    /// An ANN model sharded across a chip cluster — models too wide for
+    /// one chip serve through the same request path; each replica is a
+    /// whole cluster.
+    pub fn sharded_ann(
+        name: &str,
+        cluster: crate::multichip::ShardedAnalogNetwork,
+        replicas: usize,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            chip: ModelChip::ShardedAnn(cluster),
+            replicas,
+        }
+    }
+
+    /// An SNN model sharded across a chip cluster.
+    pub fn sharded_snn(
+        name: &str,
+        cluster: crate::multichip::ShardedSpikingNetwork,
+        replicas: usize,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            chip: ModelChip::ShardedSnn(cluster),
+            replicas,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -564,20 +592,26 @@ fn evaluate_batch(chip: &mut ModelChip, batch: &[Pending]) -> Result<Vec<Tensor>
     }
     let x =
         Tensor::from_vec(data, &shape).map_err(|e| ServeError::Analog(AnalogError::Tensor(e)))?;
+    let snn_groups = |batch: &[Pending]| -> Vec<(usize, u64)> {
+        batch
+            .iter()
+            .zip(&rows)
+            .map(|(p, &r)| match p.kind {
+                RequestKind::Snn { seed, .. } => (r, seed),
+                // Submit validates kind-vs-model and the batch key
+                // pins the kind, so this cannot happen.
+                RequestKind::Ann => (r, 0),
+            })
+            .collect()
+    };
     let y = match (chip, &batch[0].kind) {
         (ModelChip::Ann(net), RequestKind::Ann) => net.forward(&x)?,
+        (ModelChip::ShardedAnn(cluster), RequestKind::Ann) => cluster.forward(&x)?,
         (ModelChip::Snn(net), RequestKind::Snn { timesteps, .. }) => {
-            let groups: Vec<(usize, u64)> = batch
-                .iter()
-                .zip(&rows)
-                .map(|(p, &r)| match p.kind {
-                    RequestKind::Snn { seed, .. } => (r, seed),
-                    // Submit validates kind-vs-model and the batch key
-                    // pins the kind, so this cannot happen.
-                    RequestKind::Ann => (r, 0),
-                })
-                .collect();
-            net.run_seeded_groups(&x, *timesteps, &groups)?
+            net.run_seeded_groups(&x, *timesteps, &snn_groups(batch))?
+        }
+        (ModelChip::ShardedSnn(cluster), RequestKind::Snn { timesteps, .. }) => {
+            cluster.run_seeded_groups(&x, *timesteps, &snn_groups(batch))?
         }
         _ => {
             return Err(ServeError::BadRequest(

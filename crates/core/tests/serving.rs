@@ -575,3 +575,82 @@ fn coalesced_batches_are_bitwise_identical_across_kernel_paths() {
         }
     }
 }
+
+#[test]
+fn sharded_models_serve_bitwise_identically_through_the_same_request_path() {
+    use nebula_core::components::MAX_RF_IN_CORE;
+    use nebula_core::multichip::{ShardStrategy, ShardedAnalogNetwork, ShardedSpikingNetwork};
+    use nebula_nn::snn::{IfPopulation, InputEncoding, ResetMode, SnnStage, SpikingNetwork};
+
+    let mut r = rng();
+    // Wide first layers (> one 2048-row segment) so tensor sharding has
+    // real work: the layer splits across the 3-chip cluster and partial
+    // sums cross the ring.
+    let wide = MAX_RF_IN_CORE + 9;
+    let ann = compile_ann(&Network::new(vec![
+        Layer::dense(wide, 8, &mut r),
+        Layer::relu(),
+        Layer::dense(8, 3, &mut r),
+    ]))
+    .unwrap();
+    let snn = compile_snn_default(&SpikingNetwork::new(
+        vec![
+            SnnStage::Synaptic(Layer::dense(wide, 6, &mut r)),
+            SnnStage::IntegrateFire(IfPopulation::new(0.7, ResetMode::Subtract)),
+            SnnStage::Synaptic(Layer::dense(6, 3, &mut r)),
+            SnnStage::IntegrateFire(IfPopulation::new(0.7, ResetMode::Zero)),
+        ],
+        InputEncoding::Poisson,
+    ))
+    .unwrap();
+    let sharded_ann =
+        ShardedAnalogNetwork::new(ann.clone(), 3, ShardStrategy::TensorSharded).unwrap();
+    let sharded_snn =
+        ShardedSpikingNetwork::new(snn.clone(), 3, ShardStrategy::TensorSharded).unwrap();
+    let cfg = ServeConfig {
+        queue_capacity: 16,
+        max_batch: 2,
+        max_wait: Duration::from_millis(20),
+    };
+    let server = Server::start(
+        cfg,
+        vec![
+            ModelSpec::sharded_ann("wide-ann", sharded_ann, 1),
+            ModelSpec::sharded_snn("wide-snn", sharded_snn, 1),
+        ],
+    )
+    .unwrap();
+    let xa = Tensor::rand_uniform(&[2, wide], 0.0, 1.0, &mut r);
+    let xs = Tensor::rand_uniform(&[2, wide], 0.0, 1.0, &mut r);
+    let ha = server
+        .submit(InferenceRequest {
+            model: "wide-ann".into(),
+            tenant: 1,
+            input: xa.clone(),
+            kind: RequestKind::Ann,
+        })
+        .unwrap();
+    let hs = server
+        .submit(InferenceRequest {
+            model: "wide-snn".into(),
+            tenant: 2,
+            input: xs.clone(),
+            kind: RequestKind::Snn {
+                timesteps: 12,
+                seed: 77,
+            },
+        })
+        .unwrap();
+    // Reference: the same compiled nets, unsharded, on one chip.
+    let expect_a = ann.clone().forward_sequential(&xa).unwrap();
+    let expect_s = snn.clone().run_seeded_groups(&xs, 12, &[(2, 77)]).unwrap();
+    for (resp, expect) in [
+        (ha.wait().unwrap(), expect_a),
+        (hs.wait().unwrap(), expect_s),
+    ] {
+        assert_eq!(resp.output.shape(), expect.shape());
+        for (a, b) in resp.output.data().iter().zip(expect.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "served {a} vs single-chip {b}");
+        }
+    }
+}

@@ -1,0 +1,690 @@
+//! Multi-chip cluster fabric: per-chip [`MeshNetwork`]s stitched into a
+//! ring by chip-to-chip links.
+//!
+//! The cluster stays transaction-level like the meshes it wraps. Every
+//! inter-chip transfer decomposes into intra-mesh legs (accounted on
+//! the chip meshes exactly as on-chip traffic) plus link crossings
+//! accounted in [`TrafficStats::link_flit_hops`] — off-chip serial
+//! links burn far more energy per bit than an on-die hop, so the
+//! architecture layer prices the two counters separately.
+//!
+//! **Topology.** N chips form a bidirectional ring: link `i` connects
+//! chip `i` to chip `(i+1) % N` (two chips share one link; one chip has
+//! none). Each mesh exposes two *portal* routers at mid-height on its
+//! east (`x = width-1`) and west (`x = 0`) edges where the link SerDes
+//! attach: clockwise traffic leaves through the east portal and enters
+//! the next chip through its west portal, counter-clockwise the
+//! reverse.
+//!
+//! **Fault model.** Links can fail like routers do. Routing mirrors the
+//! on-chip XY/YX discipline: of the two minimal ring directions the
+//! shorter viable one wins (clockwise on ties); when dead links block
+//! both, the transfer is [`NocError::UnroutableChips`] — the cluster
+//! never relays through per-chip detours that a real ring would not
+//! have.
+//!
+//! # Examples
+//!
+//! ```
+//! use nebula_noc::{ChipCluster, ClusterNode, MeshTopology, NodeId};
+//!
+//! let mut cluster = ChipCluster::new(4, MeshTopology::new(4, 4)?)?;
+//! let r = cluster.send(
+//!     ClusterNode { chip: 0, node: NodeId(0) },
+//!     ClusterNode { chip: 2, node: NodeId(15) },
+//!     512,
+//! )?;
+//! assert_eq!(r.link_hops, 2); // two ring crossings either way round
+//! # Ok::<(), nebula_noc::NocError>(())
+//! ```
+
+use crate::network::{MeshNetwork, TrafficStats, FLIT_BITS};
+use crate::topology::{MeshTopology, NodeId};
+use crate::NocError;
+
+/// Cycles a payload head spends crossing one chip-to-chip link
+/// (serialize, drive the off-package trace, deserialize) — several
+/// on-die hops' worth.
+pub const LINK_HOP_CYCLES: u64 = 4;
+
+/// A core address inside a cluster: which chip, and which mesh node on
+/// that chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterNode {
+    /// Chip index within the cluster.
+    pub chip: usize,
+    /// Mesh node on that chip.
+    pub node: NodeId,
+}
+
+/// Aggregate report for a (possibly multi-chip) cluster transfer.
+///
+/// Deliberately a distinct type from [`crate::RouteReport`]: intra-mesh
+/// reports stay exactly what single-chip callers already depend on,
+/// while cluster reports add the link dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterRouteReport {
+    /// Intra-mesh router hops summed over every traversed mesh.
+    pub hops: usize,
+    /// Chip-to-chip link crossings.
+    pub link_hops: usize,
+    /// Flits the payload occupied (per leg; a function of `bits`).
+    pub flits: u64,
+    /// Intra-mesh flit·hop product summed over every traversed mesh.
+    pub flit_hops: u64,
+    /// Flit·link-crossing product over the ring.
+    pub link_flit_hops: u64,
+    /// End-to-end delivery latency in cycles.
+    pub latency_cycles: u64,
+}
+
+impl ClusterRouteReport {
+    fn absorb_leg(&mut self, r: crate::network::RouteReport) {
+        self.hops += r.hops;
+        self.flits = self.flits.max(r.flits);
+        self.flit_hops += r.flit_hops;
+        self.latency_cycles += r.latency_cycles;
+    }
+
+    fn absorb_link(&mut self, flits: u64) {
+        self.link_hops += 1;
+        self.link_flit_hops += flits;
+        self.latency_cycles += LINK_HOP_CYCLES;
+    }
+
+    fn merge_parallel(&mut self, other: &ClusterRouteReport) {
+        // Branches that run concurrently (reduction fan-in, multicast
+        // fan-out): traffic adds, latency is the slowest branch.
+        self.hops += other.hops;
+        self.link_hops += other.link_hops;
+        self.flits = self.flits.max(other.flits);
+        self.flit_hops += other.flit_hops;
+        self.link_flit_hops += other.link_flit_hops;
+        self.latency_cycles = self.latency_cycles.max(other.latency_cycles);
+    }
+}
+
+/// Ring direction around the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ring {
+    /// Ascending chip index (`i → i+1`), exiting east, entering west.
+    Clockwise,
+    /// Descending chip index, exiting west, entering east.
+    CounterClockwise,
+}
+
+/// N per-chip meshes plus the ring of chip-to-chip links joining them.
+#[derive(Debug, Clone)]
+pub struct ChipCluster {
+    meshes: Vec<MeshNetwork>,
+    link_failed: Vec<bool>,
+    link_stats: TrafficStats,
+}
+
+impl ChipCluster {
+    /// Builds a cluster of `chips` identical meshes joined in a ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::EmptyMesh`] when `chips` is zero.
+    pub fn new(chips: usize, mesh: MeshTopology) -> Result<Self, NocError> {
+        if chips == 0 {
+            return Err(NocError::EmptyMesh);
+        }
+        let links = match chips {
+            1 => 0,
+            2 => 1,
+            n => n,
+        };
+        Ok(Self {
+            meshes: vec![MeshNetwork::new(mesh); chips],
+            link_failed: vec![false; links],
+            link_stats: TrafficStats::default(),
+        })
+    }
+
+    /// Number of chips in the cluster.
+    pub fn chips(&self) -> usize {
+        self.meshes.len()
+    }
+
+    /// Number of chip-to-chip links.
+    pub fn links(&self) -> usize {
+        self.link_failed.len()
+    }
+
+    /// The mesh of chip `chip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chip` is out of range.
+    pub fn chip(&self, chip: usize) -> &MeshNetwork {
+        &self.meshes[chip]
+    }
+
+    /// Mutable access to the mesh of chip `chip` (fault injection on
+    /// that chip's routers goes through here).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chip` is out of range.
+    pub fn chip_mut(&mut self, chip: usize) -> &mut MeshNetwork {
+        &mut self.meshes[chip]
+    }
+
+    /// Marks chip-to-chip link `link` failed; transfers reroute the
+    /// other way around the ring or report
+    /// [`NocError::UnroutableChips`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::LinkOutOfRange`] for an invalid link.
+    pub fn fail_link(&mut self, link: usize) -> Result<(), NocError> {
+        self.validate_link(link)?;
+        self.link_failed[link] = true;
+        Ok(())
+    }
+
+    /// Restores a previously failed link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::LinkOutOfRange`] for an invalid link.
+    pub fn revive_link(&mut self, link: usize) -> Result<(), NocError> {
+        self.validate_link(link)?;
+        self.link_failed[link] = false;
+        Ok(())
+    }
+
+    /// Whether chip-to-chip link `link` is operational.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link` is out of range.
+    pub fn link_ok(&self, link: usize) -> bool {
+        !self.link_failed[link]
+    }
+
+    /// Cumulative traffic over the whole cluster: every chip mesh's
+    /// counters plus the link crossings.
+    pub fn stats(&self) -> TrafficStats {
+        let mut total = self.link_stats;
+        for mesh in &self.meshes {
+            total.merge(&mesh.stats());
+        }
+        total
+    }
+
+    /// The link-only counters (`transfers` counts inter-chip
+    /// operations; `link_flit_hops` the ring crossings).
+    pub fn link_stats(&self) -> TrafficStats {
+        self.link_stats
+    }
+
+    fn validate_link(&self, link: usize) -> Result<(), NocError> {
+        if link >= self.link_failed.len() {
+            return Err(NocError::LinkOutOfRange {
+                link,
+                links: self.link_failed.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn validate_chip(&self, chip: usize) -> Result<(), NocError> {
+        if chip >= self.meshes.len() {
+            return Err(NocError::NodeOutOfRange {
+                node: chip,
+                nodes: self.meshes.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The portal router where ring traffic in `dir` leaves (`exit` =
+    /// true) or enters a chip.
+    fn portal(&self, dir: Ring, exit: bool) -> NodeId {
+        let t = self.meshes[0].topology();
+        let east = t.node_at(t.width() - 1, t.height() / 2);
+        let west = t.node_at(0, t.height() / 2);
+        match (dir, exit) {
+            (Ring::Clockwise, true) | (Ring::CounterClockwise, false) => east,
+            (Ring::Clockwise, false) | (Ring::CounterClockwise, true) => west,
+        }
+    }
+
+    /// The links crossed travelling from `from` to `to` in direction
+    /// `dir`, in crossing order.
+    fn links_on_path(&self, from: usize, to: usize, dir: Ring) -> Vec<usize> {
+        let n = self.meshes.len();
+        if n == 2 {
+            // One physical link serves both directions.
+            return vec![0];
+        }
+        let mut links = Vec::new();
+        let mut chip = from;
+        while chip != to {
+            match dir {
+                Ring::Clockwise => {
+                    links.push(chip);
+                    chip = (chip + 1) % n;
+                }
+                Ring::CounterClockwise => {
+                    links.push((chip + n - 1) % n);
+                    chip = (chip + n - 1) % n;
+                }
+            }
+        }
+        links
+    }
+
+    /// Picks the ring direction for `src_chip → dst_chip`: the shorter
+    /// viable direction, clockwise on ties.
+    ///
+    /// # Errors
+    ///
+    /// [`NocError::UnroutableChips`] when dead links block both
+    /// directions.
+    fn ring_route(&self, src_chip: usize, dst_chip: usize) -> Result<(Ring, Vec<usize>), NocError> {
+        let cw = self.links_on_path(src_chip, dst_chip, Ring::Clockwise);
+        let ccw = self.links_on_path(src_chip, dst_chip, Ring::CounterClockwise);
+        let viable = |links: &[usize]| links.iter().all(|&l| !self.link_failed[l]);
+        let mut options = [(Ring::Clockwise, cw), (Ring::CounterClockwise, ccw)];
+        options.sort_by_key(|(dir, links)| (links.len(), *dir != Ring::Clockwise));
+        for (dir, links) in options {
+            if viable(&links) {
+                return Ok((dir, links));
+            }
+        }
+        Err(NocError::UnroutableChips { src_chip, dst_chip })
+    }
+
+    /// Routes `bits` from `src` to the *entry portal* of `dst_chip`,
+    /// returning the portal node and the accumulated report. The final
+    /// intra-mesh leg on the destination chip is left to the caller, so
+    /// reductions can fan remote partials in through the destination
+    /// mesh's own `reduce_to`.
+    fn send_to_entry(
+        &mut self,
+        src: ClusterNode,
+        dst_chip: usize,
+        bits: u64,
+    ) -> Result<(NodeId, ClusterRouteReport), NocError> {
+        debug_assert_ne!(src.chip, dst_chip);
+        let (dir, links) = self.ring_route(src.chip, dst_chip)?;
+        let exit = self.portal(dir, true);
+        let entry = self.portal(dir, false);
+        let flits = bits.div_ceil(FLIT_BITS).max(1);
+        let mut total = ClusterRouteReport::default();
+        let mut cur = src.node;
+        let mut chip = src.chip;
+        for link in links {
+            total.absorb_leg(self.meshes[chip].send(cur, exit, bits)?);
+            debug_assert!(!self.link_failed[link]);
+            total.absorb_link(flits);
+            chip = match dir {
+                Ring::Clockwise => (chip + 1) % self.meshes.len(),
+                Ring::CounterClockwise => (chip + self.meshes.len() - 1) % self.meshes.len(),
+            };
+            cur = entry;
+        }
+        debug_assert_eq!(chip, dst_chip);
+        self.link_stats.transfers += 1;
+        self.link_stats.link_flit_hops += total.link_flit_hops;
+        Ok((cur, total))
+    }
+
+    /// Sends `bits` from `src` to `dst`, chaining intra-mesh legs and
+    /// ring crossings.
+    ///
+    /// # Errors
+    ///
+    /// Mesh errors propagate unchanged ([`NocError::RouterFailed`],
+    /// [`NocError::Unroutable`], [`NocError::NodeOutOfRange`]);
+    /// [`NocError::UnroutableChips`] when dead links block both ring
+    /// directions.
+    pub fn send(
+        &mut self,
+        src: ClusterNode,
+        dst: ClusterNode,
+        bits: u64,
+    ) -> Result<ClusterRouteReport, NocError> {
+        self.validate_chip(src.chip)?;
+        self.validate_chip(dst.chip)?;
+        if src.chip == dst.chip {
+            let mut total = ClusterRouteReport::default();
+            total.absorb_leg(self.meshes[src.chip].send(src.node, dst.node, bits)?);
+            return Ok(total);
+        }
+        let (entry, mut total) = self.send_to_entry(src, dst.chip, bits)?;
+        total.absorb_leg(self.meshes[dst.chip].send(entry, dst.node, bits)?);
+        Ok(total)
+    }
+
+    /// Reduces partial sums from cluster-wide sources into `dst`.
+    /// Remote partials first travel the ring to the destination chip's
+    /// entry portal; the destination mesh then runs its ordinary
+    /// [`MeshNetwork::reduce_to`] over the (now local) sources — the
+    /// accumulation order is the order of `sources`, exactly as on a
+    /// single chip.
+    ///
+    /// # Errors
+    ///
+    /// [`NocError::EmptyReduction`] when `sources` is empty; routing
+    /// errors as for [`ChipCluster::send`].
+    pub fn reduce_across(
+        &mut self,
+        sources: &[(ClusterNode, f64)],
+        dst: ClusterNode,
+        bits: u64,
+    ) -> Result<(f64, ClusterRouteReport), NocError> {
+        if sources.is_empty() {
+            return Err(NocError::EmptyReduction);
+        }
+        self.validate_chip(dst.chip)?;
+        let mut total = ClusterRouteReport::default();
+        let mut local = Vec::with_capacity(sources.len());
+        for &(src, value) in sources {
+            self.validate_chip(src.chip)?;
+            if src.chip == dst.chip {
+                local.push((src.node, value));
+            } else {
+                let (entry, rep) = self.send_to_entry(src, dst.chip, bits)?;
+                total.merge_parallel(&rep);
+                local.push((entry, value));
+            }
+        }
+        let (value, rep) = self.meshes[dst.chip].reduce_to(&local, dst.node, bits)?;
+        // The local reduction starts once the slowest remote partial
+        // has landed.
+        total.latency_cycles += rep.latency_cycles;
+        total.hops += rep.hops;
+        total.flits = total.flits.max(rep.flits);
+        total.flit_hops += rep.flit_hops;
+        Ok((value, total))
+    }
+
+    /// Multicasts `bits` from `src` to destinations anywhere in the
+    /// cluster: the payload crosses the ring once per destination chip,
+    /// then fans out over that chip's mesh multicast tree.
+    ///
+    /// # Errors
+    ///
+    /// [`NocError::EmptyReduction`] when `dsts` is empty; routing
+    /// errors as for [`ChipCluster::send`].
+    pub fn multicast_across(
+        &mut self,
+        src: ClusterNode,
+        dsts: &[ClusterNode],
+        bits: u64,
+    ) -> Result<ClusterRouteReport, NocError> {
+        if dsts.is_empty() {
+            return Err(NocError::EmptyReduction);
+        }
+        self.validate_chip(src.chip)?;
+        let mut by_chip: Vec<(usize, Vec<NodeId>)> = Vec::new();
+        for &dst in dsts {
+            self.validate_chip(dst.chip)?;
+            match by_chip.iter_mut().find(|(c, _)| *c == dst.chip) {
+                Some((_, nodes)) => nodes.push(dst.node),
+                None => by_chip.push((dst.chip, vec![dst.node])),
+            }
+        }
+        let mut total = ClusterRouteReport::default();
+        for (chip, nodes) in by_chip {
+            let mut branch = ClusterRouteReport::default();
+            let root = if chip == src.chip {
+                src.node
+            } else {
+                let (entry, rep) = self.send_to_entry(src, chip, bits)?;
+                branch = rep;
+                entry
+            };
+            branch.absorb_leg(self.meshes[chip].multicast(root, &nodes, bits)?);
+            total.merge_parallel(&branch);
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(chips: usize) -> ChipCluster {
+        ChipCluster::new(chips, MeshTopology::new(4, 4).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn link_counts_follow_ring_degeneracies() {
+        assert!(ChipCluster::new(0, MeshTopology::new(4, 4).unwrap()).is_err());
+        assert_eq!(cluster(1).links(), 0);
+        assert_eq!(cluster(2).links(), 1);
+        assert_eq!(cluster(3).links(), 3);
+        assert_eq!(cluster(8).links(), 8);
+    }
+
+    #[test]
+    fn same_chip_send_matches_plain_mesh() {
+        let mut c = cluster(4);
+        let mut m = MeshNetwork::new(MeshTopology::new(4, 4).unwrap());
+        let want = m.send(NodeId(0), NodeId(15), 128).unwrap();
+        let got = c
+            .send(
+                ClusterNode {
+                    chip: 2,
+                    node: NodeId(0),
+                },
+                ClusterNode {
+                    chip: 2,
+                    node: NodeId(15),
+                },
+                128,
+            )
+            .unwrap();
+        assert_eq!(got.hops, want.hops);
+        assert_eq!(got.flit_hops, want.flit_hops);
+        assert_eq!(got.link_hops, 0);
+        assert_eq!(got.link_flit_hops, 0);
+        assert_eq!(c.stats().link_flit_hops, 0);
+    }
+
+    #[test]
+    fn cross_chip_send_takes_the_short_way_round() {
+        let mut c = cluster(8);
+        let src = ClusterNode {
+            chip: 7,
+            node: NodeId(0),
+        };
+        let dst = ClusterNode {
+            chip: 1,
+            node: NodeId(0),
+        };
+        // 7→0→1 clockwise is 2 crossings; counter-clockwise is 6.
+        let r = c.send(src, dst, 64).unwrap();
+        assert_eq!(r.link_hops, 2);
+        assert_eq!(r.link_flit_hops, 2 * 2); // 64 bits = 2 flits per crossing
+        assert!(r.latency_cycles >= 2 * LINK_HOP_CYCLES);
+        assert_eq!(c.stats().link_flit_hops, 4);
+    }
+
+    #[test]
+    fn dead_link_reroutes_the_long_way() {
+        let mut c = cluster(4);
+        let src = ClusterNode {
+            chip: 0,
+            node: NodeId(0),
+        };
+        let dst = ClusterNode {
+            chip: 1,
+            node: NodeId(5),
+        };
+        let short = c.send(src, dst, 32).unwrap();
+        assert_eq!(short.link_hops, 1);
+        c.fail_link(0).unwrap();
+        assert!(!c.link_ok(0));
+        // 0→1 must now go 0→3→2→1.
+        let long = c.send(src, dst, 32).unwrap();
+        assert_eq!(long.link_hops, 3);
+        c.revive_link(0).unwrap();
+        assert_eq!(c.send(src, dst, 32).unwrap().link_hops, 1);
+    }
+
+    #[test]
+    fn severed_ring_is_unroutable_between_chips() {
+        let mut c = cluster(4);
+        c.fail_link(0).unwrap();
+        c.fail_link(1).unwrap();
+        let src = ClusterNode {
+            chip: 0,
+            node: NodeId(0),
+        };
+        let dst = ClusterNode {
+            chip: 1,
+            node: NodeId(0),
+        };
+        assert!(matches!(
+            c.send(src, dst, 32),
+            Err(NocError::UnroutableChips {
+                src_chip: 0,
+                dst_chip: 1
+            })
+        ));
+        // Chips 2 and 3 still talk over links 2 and 3.
+        let r = c
+            .send(
+                ClusterNode {
+                    chip: 2,
+                    node: NodeId(0),
+                },
+                ClusterNode {
+                    chip: 3,
+                    node: NodeId(0),
+                },
+                32,
+            )
+            .unwrap();
+        assert_eq!(r.link_hops, 1);
+    }
+
+    #[test]
+    fn two_chip_cluster_has_one_link_and_no_detour() {
+        let mut c = cluster(2);
+        let src = ClusterNode {
+            chip: 0,
+            node: NodeId(0),
+        };
+        let dst = ClusterNode {
+            chip: 1,
+            node: NodeId(0),
+        };
+        assert_eq!(c.send(src, dst, 32).unwrap().link_hops, 1);
+        c.fail_link(0).unwrap();
+        assert!(matches!(
+            c.send(src, dst, 32),
+            Err(NocError::UnroutableChips { .. })
+        ));
+    }
+
+    #[test]
+    fn reduce_across_matches_single_mesh_bits() {
+        // Order-sensitive partials: the cluster must accumulate in
+        // source order exactly like a lone mesh.
+        let partials = [1.0e16, 1.0, -1.0e16, 0.3];
+        let mut mesh = MeshNetwork::new(MeshTopology::new(4, 4).unwrap());
+        let local: Vec<(NodeId, f64)> = partials.iter().map(|&v| (NodeId(0), v)).collect();
+        let (want, _) = mesh.reduce_to(&local, NodeId(15), 64).unwrap();
+
+        let mut c = cluster(4);
+        let sources: Vec<(ClusterNode, f64)> = partials
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                (
+                    ClusterNode {
+                        chip: i % 4,
+                        node: NodeId(0),
+                    },
+                    v,
+                )
+            })
+            .collect();
+        let dst = ClusterNode {
+            chip: 1,
+            node: NodeId(15),
+        };
+        let (got, rep) = c.reduce_across(&sources, dst, 64).unwrap();
+        assert_eq!(want.to_bits(), got.to_bits());
+        assert!(rep.link_hops > 0);
+        // RU adds all happen on the destination chip.
+        assert_eq!(c.chip(1).stats().ru_adds, partials.len() as u64);
+    }
+
+    #[test]
+    fn reduce_across_survives_a_dead_link_with_identical_bits() {
+        let partials = [1.0e16, 1.0, -1.0e16, 0.3];
+        let sources: Vec<(ClusterNode, f64)> = partials
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                (
+                    ClusterNode {
+                        chip: i % 4,
+                        node: NodeId(0),
+                    },
+                    v,
+                )
+            })
+            .collect();
+        let dst = ClusterNode {
+            chip: 0,
+            node: NodeId(15),
+        };
+        let mut healthy = cluster(4);
+        let (want, _) = healthy.reduce_across(&sources, dst, 64).unwrap();
+        let mut degraded = cluster(4);
+        degraded.fail_link(3).unwrap();
+        let (got, _) = degraded.reduce_across(&sources, dst, 64).unwrap();
+        assert_eq!(want.to_bits(), got.to_bits());
+        // The detour moved more flits over the ring.
+        assert!(degraded.stats().link_flit_hops > healthy.stats().link_flit_hops);
+    }
+
+    #[test]
+    fn multicast_across_ships_payload_once_per_chip() {
+        let mut c = cluster(4);
+        let src = ClusterNode {
+            chip: 0,
+            node: NodeId(0),
+        };
+        let dsts = [
+            ClusterNode {
+                chip: 1,
+                node: NodeId(3),
+            },
+            ClusterNode {
+                chip: 1,
+                node: NodeId(12),
+            },
+            ClusterNode {
+                chip: 0,
+                node: NodeId(15),
+            },
+        ];
+        let r = c.multicast_across(src, &dsts, 32).unwrap();
+        // Chip 1 is reached over exactly one crossing despite two
+        // destination nodes there.
+        assert_eq!(r.link_hops, 1);
+        assert_eq!(r.link_flit_hops, 1);
+    }
+
+    #[test]
+    fn link_fault_api_validates_indices() {
+        let mut c = cluster(2);
+        assert!(matches!(
+            c.fail_link(1),
+            Err(NocError::LinkOutOfRange { link: 1, links: 1 })
+        ));
+        assert!(c.revive_link(0).is_ok());
+    }
+}

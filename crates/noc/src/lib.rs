@@ -26,11 +26,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod network;
 pub mod router;
 pub mod topology;
 
-pub use network::{MeshNetwork, RouteReport, TrafficStats};
+pub use cluster::{ChipCluster, ClusterNode, ClusterRouteReport, LINK_HOP_CYCLES};
+pub use network::{MeshNetwork, RouteReport, TrafficStats, FLIT_BITS};
 pub use router::{ReduceOutcome, RoutingUnit};
 pub use topology::{MeshTopology, NodeId};
 
@@ -64,6 +66,21 @@ pub enum NocError {
         /// Destination node id.
         dst: usize,
     },
+    /// A chip-to-chip link index fell outside the cluster ring.
+    LinkOutOfRange {
+        /// The offending link index.
+        link: usize,
+        /// Number of links in the ring.
+        links: usize,
+    },
+    /// Dead chip-to-chip links block both ring directions between two
+    /// chips.
+    UnroutableChips {
+        /// Source chip index.
+        src_chip: usize,
+        /// Destination chip index.
+        dst_chip: usize,
+    },
 }
 
 impl fmt::Display for NocError {
@@ -81,6 +98,15 @@ impl fmt::Display for NocError {
                 write!(
                     f,
                     "no minimal route from node {src} to node {dst} avoids failed routers"
+                )
+            }
+            NocError::LinkOutOfRange { link, links } => {
+                write!(f, "link {link} out of range for a {links}-link ring")
+            }
+            NocError::UnroutableChips { src_chip, dst_chip } => {
+                write!(
+                    f,
+                    "no ring direction from chip {src_chip} to chip {dst_chip} avoids dead links"
                 )
             }
         }
