@@ -159,8 +159,9 @@ impl ProgrammedMatrix {
     /// legacy per-cell crossbar loop ([`SuperTile::dot_reference`]):
     /// drives the crossbars with `x / x_scale` and returns the
     /// real-valued products `Wᵀx` per column. Bit-identical to one item
-    /// of [`dot_batch`](Self::dot_batch); kept as the reference for
-    /// equivalence tests and the `bench_hotpath` sequential leg.
+    /// of [`dot_batch_with`](Self::dot_batch_with); kept as the
+    /// reference for equivalence tests and the `bench_hotpath`
+    /// sequential leg.
     pub(crate) fn dot_reference(&mut self, x: &[f32]) -> Result<Vec<f32>, AnalogError> {
         debug_assert_eq!(x.len(), self.rf);
         let mut out = vec![0.0f32; self.cols];
@@ -197,7 +198,21 @@ impl ProgrammedMatrix {
     /// [`KernelPath::Scalar`]; the default vectorized kernel re-associates
     /// the total-current sum per row and tracks the reference to a
     /// relative error ≤ 1e-12.
-    pub(crate) fn dot_batch(&mut self, rows: &[&[f32]]) -> Result<Vec<Vec<f32>>, AnalogError> {
+    ///
+    /// Input rows are supplied by an index accessor instead of a
+    /// materialized `&[&[f32]]`, and the worker count is explicit. The
+    /// accessor form lets callers that window a flat activation buffer
+    /// (the multi-chip sharded executors slice `[lo, hi)` out of every
+    /// row) feed the crossbars without building a fresh slice vector
+    /// per call; the explicit worker count lets the pipeline executor
+    /// force single-threaded evaluation inside a pipeline stage
+    /// (`workers == 1` never touches the pool).
+    pub(crate) fn dot_batch_with<'d>(
+        &mut self,
+        n: usize,
+        workers: usize,
+        row: impl Fn(usize) -> &'d [f32] + Sync,
+    ) -> Result<Vec<Vec<f32>>, AnalogError> {
         for tile in self.tiles.iter_mut().flatten() {
             tile.prepare();
         }
@@ -209,11 +224,9 @@ impl ProgrammedMatrix {
         // Per-AC total currents for one item live in a single flat
         // buffer, sliced per tile in (segment, group) order.
         let total_chunks: usize = tiles.iter().flatten().map(SuperTile::chunk_count).sum();
-        let n = rows.len();
         if n == 0 {
             return Ok(Vec::new());
         }
-        let workers = nebula_tensor::pool::size();
         // Workers take contiguous item blocks so scratch buffers are
         // reused across a block's items; the per-item values don't depend
         // on the partition, so results are identical for any worker
@@ -229,7 +242,8 @@ impl ProgrammedMatrix {
                 let mut diff = vec![0.0f64; kernel::padded_len(M)];
                 let mut drive: Vec<f64> = Vec::new();
                 let mut block = Vec::with_capacity(n.div_ceil(blocks));
-                for x in &rows[b * n / blocks..(b + 1) * n / blocks] {
+                for i in b * n / blocks..(b + 1) * n / blocks {
+                    let x = row(i);
                     debug_assert_eq!(x.len(), rf);
                     let mut out_row = vec![0.0f32; cols];
                     let mut flat = vec![0.0f64; total_chunks];
@@ -452,7 +466,21 @@ impl AnalogNetwork {
     ///
     /// Propagates circuit and tensor failures.
     pub fn forward(&mut self, inputs: &Tensor) -> Result<Tensor, AnalogError> {
-        self.forward_impl(inputs, false)
+        self.forward_impl(inputs, false, nebula_tensor::pool::size())
+    }
+
+    /// [`forward`](Self::forward) with an explicit evaluation worker
+    /// count. `workers == 1` keeps the whole pass on the calling thread
+    /// (no pool dispatch at all) — the multi-chip pipeline executor runs
+    /// each stage this way so stage-level concurrency comes from the
+    /// pipeline, not from nested pool fan-out. Bit-identical to
+    /// [`forward`](Self::forward) for any worker count.
+    pub(crate) fn forward_with_workers(
+        &mut self,
+        inputs: &Tensor,
+        workers: usize,
+    ) -> Result<Tensor, AnalogError> {
+        self.forward_impl(inputs, false, workers)
     }
 
     /// [`forward`](Self::forward) through the legacy path: one
@@ -464,10 +492,15 @@ impl AnalogNetwork {
     ///
     /// Propagates circuit and tensor failures.
     pub fn forward_sequential(&mut self, inputs: &Tensor) -> Result<Tensor, AnalogError> {
-        self.forward_impl(inputs, true)
+        self.forward_impl(inputs, true, 1)
     }
 
-    fn forward_impl(&mut self, inputs: &Tensor, reference: bool) -> Result<Tensor, AnalogError> {
+    fn forward_impl(
+        &mut self,
+        inputs: &Tensor,
+        reference: bool,
+        workers: usize,
+    ) -> Result<Tensor, AnalogError> {
         let mut h = inputs.clone();
         // Take stages out to satisfy the borrow checker during mutation.
         let mut stages = std::mem::take(&mut self.stages);
@@ -484,10 +517,9 @@ impl AnalogNetwork {
                             }
                             ys
                         } else {
-                            let rows: Vec<&[f32]> = (0..n)
-                                .map(|i| &h.data()[i * matrix.rf..(i + 1) * matrix.rf])
-                                .collect();
-                            matrix.dot_batch(&rows)?
+                            let rf = matrix.rf;
+                            let data = h.data();
+                            matrix.dot_batch_with(n, workers, |i| &data[i * rf..(i + 1) * rf])?
                         };
                         self.waves += n as u64;
                         let mut out = Tensor::zeros(&[n, matrix.cols]);
@@ -508,8 +540,9 @@ impl AnalogNetwork {
                         let (n, hh, ww) = (h.shape()[0], h.shape()[2], h.shape()[3]);
                         let (oh, ow) = geom.out_hw(hh, ww)?;
                         // [N·OH·OW, R_f]; the parallel lowering is
-                        // bit-identical to `im2col` (same index order).
-                        let cols = if reference {
+                        // bit-identical to `im2col` (same index order),
+                        // so single-worker passes take the serial one.
+                        let cols = if reference || workers <= 1 {
                             im2col(&h, *geom)?
                         } else {
                             nebula_tensor::par::im2col(&h, *geom)?
@@ -524,10 +557,11 @@ impl AnalogNetwork {
                             }
                             ys
                         } else {
-                            let rows: Vec<&[f32]> = (0..total_rows)
-                                .map(|ri| &cols.data()[ri * matrix.rf..(ri + 1) * matrix.rf])
-                                .collect();
-                            matrix.dot_batch(&rows)?
+                            let rf = matrix.rf;
+                            let data = cols.data();
+                            matrix.dot_batch_with(total_rows, workers, |ri| {
+                                &data[ri * rf..(ri + 1) * rf]
+                            })?
                         };
                         self.waves += total_rows as u64;
                         let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);

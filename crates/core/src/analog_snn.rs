@@ -125,9 +125,14 @@ impl SnnMatrix {
     /// short-circuit cannot change a bit: silent items produce exactly
     /// the pre-zeroed `out` buffer on the long path too, and accruing a
     /// zero current adds `+0.0 J` (see [`SuperTile::accrue_batch`]).
-    pub(crate) fn dot_spikes_batch_active(
+    /// The worker count is explicit: `workers == 1` evaluates the whole
+    /// batch on the calling thread without touching the pool — how the
+    /// multi-chip pipeline executor keeps stage evaluation flat while
+    /// the pipeline itself provides the concurrency.
+    pub(crate) fn dot_spikes_batch_active_with(
         &mut self,
         batch: &SpikeBatch,
+        workers: usize,
     ) -> Result<Vec<f32>, AnalogError> {
         let n = batch.len();
         if n == 0 {
@@ -145,7 +150,6 @@ impl SnnMatrix {
         // Per-AC total currents for one item live in a single flat
         // buffer, sliced per tile in (segment, group) order.
         let total_chunks: usize = tiles.iter().flatten().map(SuperTile::chunk_count).sum();
-        let workers = nebula_tensor::pool::size();
         // Workers take contiguous item blocks so scratch buffers are
         // reused across a block's items; the per-item values don't depend
         // on the partition, so results are identical for any worker
@@ -939,9 +943,23 @@ impl AnalogSpikingNetwork {
     /// boundary changes nothing.
     pub(crate) fn step_range(
         &mut self,
+        h: Tensor,
+        range: std::ops::Range<usize>,
+        reference: bool,
+    ) -> Result<Tensor, AnalogError> {
+        self.step_range_with(h, range, reference, nebula_tensor::pool::size())
+    }
+
+    /// [`step_range`](Self::step_range) with the crossbar worker count
+    /// explicit (`workers == 1` keeps the slice entirely on the calling
+    /// thread — the pipelined executor's per-stage mode). Bit-identical
+    /// for any worker count.
+    pub(crate) fn step_range_with(
+        &mut self,
         mut h: Tensor,
         range: std::ops::Range<usize>,
         reference: bool,
+        workers: usize,
     ) -> Result<Tensor, AnalogError> {
         let mut stages = std::mem::take(&mut self.stages);
         let step: Result<(), AnalogError> = (|| {
@@ -968,7 +986,7 @@ impl AnalogSpikingNetwork {
                                 // pool dispatch, no accrual).
                                 None
                             } else {
-                                Some(matrix.dot_spikes_batch_active(&scratch.batch)?)
+                                Some(matrix.dot_spikes_batch_active_with(&scratch.batch, workers)?)
                             }
                         };
                         self.timestep_waves += n as u64;
@@ -1037,7 +1055,7 @@ impl AnalogSpikingNetwork {
                                 // Whole-layer skip, as in the dense arm.
                                 None
                             } else {
-                                Some(matrix.dot_spikes_batch_active(&scratch.batch)?)
+                                Some(matrix.dot_spikes_batch_active_with(&scratch.batch, workers)?)
                             }
                         };
                         self.timestep_waves += total_rows as u64;
@@ -1292,7 +1310,9 @@ mod tests {
         for _ in 0..3 {
             silent.push_item();
         }
-        let out = quant.dot_spikes_batch_active(&silent).unwrap();
+        let out = quant
+            .dot_spikes_batch_active_with(&silent, nebula_tensor::pool::size())
+            .unwrap();
         assert!(out.iter().all(|&v| v == 0.0));
         assert_eq!(
             quant.read_energy(),
@@ -1310,7 +1330,9 @@ mod tests {
         batch.push_item(); // single active row
         batch.idx.extend([0u32, 3, 9]);
         batch.push_item();
-        let out = quant.dot_spikes_batch_active(&batch).unwrap();
+        let out = quant
+            .dot_spikes_batch_active_with(&batch, nebula_tensor::pool::size())
+            .unwrap();
         let mut spikes = vec![vec![0.0f32; 10]; 3];
         spikes[1][4] = 1.0;
         for r in [0usize, 3, 9] {
@@ -1325,7 +1347,9 @@ mod tests {
         // Energy: quantized accrues via per-row sums, bitwise equal to
         // the vectorized formulation on the same activity.
         let mut vector = SnnMatrix::program(&weight, &config).unwrap();
-        vector.dot_spikes_batch_active(&batch).unwrap();
+        vector
+            .dot_spikes_batch_active_with(&batch, nebula_tensor::pool::size())
+            .unwrap();
         assert_eq!(quant.read_energy(), vector.read_energy());
     }
 

@@ -48,8 +48,26 @@
 //! [`NocError::UnroutableChips`] — the same detour-or-fail fault model
 //! the intra-chip mesh uses.
 //!
+//! Both executors have a **concurrent pipelined** entry point
+//! ([`ShardedAnalogNetwork::forward_pipelined`],
+//! [`ShardedSpikingNetwork::run_pipelined`]) that streams micro-batches
+//! (ANN) or timesteps (SNN) through the chip stages on pool workers,
+//! turning the plan's modeled overlap into measured wall-clock overlap
+//! while keeping every counter bit-identical to the sequential walk —
+//! see the [`exec`] module docs for the scheduler and the journaled
+//! traffic replay that make that hold.
+//!
 //! [`SuperTile`]: nebula_crossbar::SuperTile
 //! [`NocError::UnroutableChips`]: nebula_noc::NocError::UnroutableChips
+
+mod exec;
+
+pub use exec::PipelineConfig;
+
+use exec::{
+    effective_workers, run_pipeline, stage_workers, LiveSink, SourceFn, StageFn, TrafficJournal,
+    TrafficSink,
+};
 
 use crate::analog::{AnalogError, AnalogNetwork, AnalogStage, ProgrammedMatrix};
 use crate::analog_snn::{
@@ -358,6 +376,10 @@ enum AnnUnit {
         bias: Vec<f32>,
         cols: usize,
         rf: usize,
+        /// Shard chips other than home, fixed at construction.
+        remote: Vec<usize>,
+        /// Reusable partial-sum accumulator (no steady-state allocs).
+        acc: Vec<f32>,
     },
     /// A convolution split row-wise (along `C·KH·KW`) across chips.
     Conv {
@@ -367,6 +389,10 @@ enum AnnUnit {
         out_channels: usize,
         cols: usize,
         rf: usize,
+        /// Shard chips other than home, fixed at construction.
+        remote: Vec<usize>,
+        /// Reusable partial-sum accumulator (no steady-state allocs).
+        acc: Vec<f32>,
     },
 }
 
@@ -375,6 +401,114 @@ impl AnnUnit {
         match self {
             AnnUnit::Whole { chip, .. } => *chip,
             _ => HOME,
+        }
+    }
+}
+
+/// Advances one ANN unit by one wave: pure evaluation against the
+/// unit's own tiles and scratch, with all shared accounting routed
+/// through `sink` — the live cluster on the sequential walk, a
+/// per-stage journal on the pipelined one. `workers` bounds intra-unit
+/// pool parallelism (1 inside a multi-claimant pipeline stage).
+fn exec_ann_unit<S: TrafficSink>(
+    unit: &mut AnnUnit,
+    h: &Tensor,
+    sink: &mut S,
+    workers: usize,
+) -> Result<Tensor, AnalogError> {
+    match unit {
+        AnnUnit::Whole { net, .. } => net.forward_with_workers(h, workers),
+        AnnUnit::Dense {
+            shards,
+            bias,
+            cols,
+            rf,
+            remote,
+            acc,
+        } => {
+            let n = h.shape()[0];
+            sink.shard(
+                HOME,
+                remote,
+                n as u64 * *rf as u64 * ANN_ACT_BITS,
+                n as u64 * *cols as u64 * PARTIAL_BITS,
+            )?;
+            acc.clear();
+            acc.resize(n * *cols, 0.0);
+            let data = h.data();
+            for shard in shards.iter_mut() {
+                let (rf, lo, hi) = (*rf, shard.lo, shard.hi);
+                let ys = shard
+                    .matrix
+                    .dot_batch_with(n, workers, |i| &data[i * rf + lo..i * rf + hi])?;
+                for (a_row, y) in acc.chunks_mut(*cols).zip(ys) {
+                    for (a, v) in a_row.iter_mut().zip(y) {
+                        *a += v;
+                    }
+                }
+            }
+            sink.add_waves(n as u64);
+            let mut out = Tensor::zeros(&[n, *cols]);
+            for (dst, y) in out.data_mut().chunks_mut(bias.len()).zip(acc.chunks(*cols)) {
+                for (d, (v, b)) in dst.iter_mut().zip(y.iter().zip(bias.iter())) {
+                    *d = v + b;
+                }
+            }
+            Ok(out)
+        }
+        AnnUnit::Conv {
+            shards,
+            bias,
+            geom,
+            out_channels,
+            cols,
+            rf,
+            remote,
+            acc,
+        } => {
+            let (n, hh, ww) = (h.shape()[0], h.shape()[2], h.shape()[3]);
+            let (oh, ow) = geom.out_hw(hh, ww)?;
+            // The parallel and serial im2col are bit-identical; the
+            // serial one is mandatory inside pipeline stages (nested
+            // pool dispatch is forbidden there — see `exec`).
+            let patches = if workers <= 1 {
+                nebula_tensor::im2col(h, *geom)?
+            } else {
+                nebula_tensor::par::im2col(h, *geom)?
+            };
+            let spatial = oh * ow;
+            let total_rows = n * spatial;
+            sink.shard(
+                HOME,
+                remote,
+                h.len() as u64 * ANN_ACT_BITS,
+                total_rows as u64 * *cols as u64 * PARTIAL_BITS,
+            )?;
+            acc.clear();
+            acc.resize(total_rows * *cols, 0.0);
+            let data = patches.data();
+            for shard in shards.iter_mut() {
+                let (rf, lo, hi) = (*rf, shard.lo, shard.hi);
+                let ys = shard
+                    .matrix
+                    .dot_batch_with(total_rows, workers, |ri| &data[ri * rf + lo..ri * rf + hi])?;
+                for (a_row, y) in acc.chunks_mut(*cols).zip(ys) {
+                    for (a, v) in a_row.iter_mut().zip(y) {
+                        *a += v;
+                    }
+                }
+            }
+            sink.add_waves(total_rows as u64);
+            let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);
+            for img in 0..n {
+                for s in 0..spatial {
+                    let y = &acc[(img * spatial + s) * *cols..][..*cols];
+                    for (o, (&v, &b)) in y.iter().zip(bias.iter()).enumerate() {
+                        out.data_mut()[img * *out_channels * spatial + o * spatial + s] = v + b;
+                    }
+                }
+            }
+            Ok(out)
         }
     }
 }
@@ -416,8 +550,6 @@ impl ShardedAnalogNetwork {
     ///
     /// Propagates cluster-construction failures.
     pub fn layer_pipelined(net: AnalogNetwork, chips: usize) -> Result<Self, AnalogError> {
-        let cluster = default_cluster(chips)?;
-        let extra_waves = net.waves;
         let costs: Vec<u64> = net
             .stages
             .iter()
@@ -428,7 +560,78 @@ impl ShardedAnalogNetwork {
                 _ => 0,
             })
             .collect();
-        let assignment = assign_spans(&costs, chips);
+        Self::pipelined_with_costs(net, chips, &costs)
+    }
+
+    /// Pipelines `net` over `chips` chips with stage spans balanced by
+    /// *compute* (crossbar waves × receptive field × columns) for the
+    /// given input shape, rather than by super-tile count. Super-tile
+    /// weight is a capacity proxy; for convolutional networks the
+    /// per-stage wall time is dominated by the im2col row count, which
+    /// this walker knows — so the resulting spans bottleneck later. Any
+    /// contiguous split is bit-identical (the forward pass is a fold
+    /// over stages), so this only moves wall-clock balance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::BadGeometry`] when `input_shape` cannot
+    /// flow through the stages; propagates cluster-construction
+    /// failures.
+    pub fn layer_pipelined_for_input(
+        net: AnalogNetwork,
+        chips: usize,
+        input_shape: &[usize],
+    ) -> Result<Self, AnalogError> {
+        let mut shape: Vec<usize> = input_shape.get(1..).unwrap_or_default().to_vec();
+        let mut costs = Vec::with_capacity(net.stages.len());
+        for stage in &net.stages {
+            costs.push(match stage {
+                AnalogStage::Dense { matrix, .. } => {
+                    shape = vec![matrix.cols];
+                    (matrix.rf as u64) * matrix.cols as u64
+                }
+                AnalogStage::Conv {
+                    matrix,
+                    geom,
+                    out_channels,
+                    ..
+                } => {
+                    if shape.len() != 3 {
+                        return Err(AnalogError::BadGeometry {
+                            reason: format!("conv stage fed rank-{} image", shape.len()),
+                        });
+                    }
+                    let (oh, ow) = geom.out_hw(shape[1], shape[2])?;
+                    shape = vec![*out_channels, oh, ow];
+                    (oh * ow) as u64 * matrix.rf as u64 * matrix.cols as u64
+                }
+                AnalogStage::AvgPool { k } => {
+                    if shape.len() != 3 {
+                        return Err(AnalogError::BadGeometry {
+                            reason: format!("pool stage fed rank-{} image", shape.len()),
+                        });
+                    }
+                    shape = vec![shape[0], shape[1] / k, shape[2] / k];
+                    0
+                }
+                AnalogStage::Flatten => {
+                    shape = vec![shape.iter().product()];
+                    0
+                }
+                AnalogStage::Relu | AnalogStage::Quant { .. } => 0,
+            });
+        }
+        Self::pipelined_with_costs(net, chips, &costs)
+    }
+
+    fn pipelined_with_costs(
+        net: AnalogNetwork,
+        chips: usize,
+        costs: &[u64],
+    ) -> Result<Self, AnalogError> {
+        let cluster = default_cluster(chips)?;
+        let extra_waves = net.waves;
+        let assignment = assign_spans(costs, chips);
         let mut units = Vec::new();
         let mut span: Vec<AnalogStage> = Vec::new();
         let mut span_chip = 0usize;
@@ -490,11 +693,15 @@ impl ShardedAnalogNetwork {
                 AnalogStage::Dense { matrix, bias } if matrix.tiles.len() > 1 => {
                     flush(&mut span, &mut units);
                     let (cols, rf) = (matrix.cols, matrix.rf);
+                    let shards = shard_ann_matrix(matrix, chips);
+                    let remote = remote_chips(shards.iter().map(|s| s.chip), HOME);
                     units.push(AnnUnit::Dense {
-                        shards: shard_ann_matrix(matrix, chips),
+                        shards,
                         bias,
                         cols,
                         rf,
+                        remote,
+                        acc: Vec::new(),
                     });
                 }
                 AnalogStage::Conv {
@@ -505,13 +712,17 @@ impl ShardedAnalogNetwork {
                 } if matrix.tiles.len() > 1 => {
                     flush(&mut span, &mut units);
                     let (cols, rf) = (matrix.cols, matrix.rf);
+                    let shards = shard_ann_matrix(matrix, chips);
+                    let remote = remote_chips(shards.iter().map(|s| s.chip), HOME);
                     units.push(AnnUnit::Conv {
-                        shards: shard_ann_matrix(matrix, chips),
+                        shards,
                         bias,
                         geom,
                         out_channels,
                         cols,
                         rf,
+                        remote,
+                        acc: Vec::new(),
                     });
                 }
                 other => span.push(other),
@@ -574,9 +785,14 @@ impl ShardedAnalogNetwork {
     /// Propagates circuit and tensor failures; inter-chip routing
     /// failures surface as [`AnalogError::Noc`].
     pub fn forward(&mut self, inputs: &Tensor) -> Result<Tensor, AnalogError> {
+        let workers = nebula_tensor::pool::size();
         let mut h = inputs.clone();
         let mut units = std::mem::take(&mut self.units);
         let result = (|| -> Result<Tensor, AnalogError> {
+            let mut sink = LiveSink {
+                cluster: &mut self.cluster,
+                extra_waves: &mut self.extra_waves,
+            };
             let mut prev_chip: Option<usize> = None;
             for unit in units.iter_mut() {
                 let here = unit.chip();
@@ -584,102 +800,107 @@ impl ShardedAnalogNetwork {
                     if prev != here {
                         // Activations cross the ring between pipeline
                         // stages: one transfer per wave per boundary.
-                        let bits = h.len() as u64 * ANN_ACT_BITS;
-                        self.cluster.send(portal(prev), portal(here), bits)?;
+                        sink.send(prev, here, h.len() as u64 * ANN_ACT_BITS)?;
                     }
                 }
-                h = match unit {
-                    AnnUnit::Whole { net, .. } => net.forward(&h)?,
-                    AnnUnit::Dense {
-                        shards,
-                        bias,
-                        cols,
-                        rf,
-                    } => {
-                        let n = h.shape()[0];
-                        let remote = remote_chips(shards.iter().map(|s| s.chip), HOME);
-                        account_shard_traffic(
-                            &mut self.cluster,
-                            HOME,
-                            &remote,
-                            n as u64 * *rf as u64 * ANN_ACT_BITS,
-                            n as u64 * *cols as u64 * PARTIAL_BITS,
-                        )?;
-                        let mut acc = vec![0.0f32; n * *cols];
-                        for shard in shards.iter_mut() {
-                            let rows: Vec<&[f32]> = (0..n)
-                                .map(|i| &h.data()[i * *rf + shard.lo..i * *rf + shard.hi])
-                                .collect();
-                            let ys = shard.matrix.dot_batch(&rows)?;
-                            for (a_row, y) in acc.chunks_mut(*cols).zip(ys) {
-                                for (a, v) in a_row.iter_mut().zip(y) {
-                                    *a += v;
-                                }
-                            }
-                        }
-                        self.extra_waves += n as u64;
-                        let mut out = Tensor::zeros(&[n, *cols]);
-                        for (dst, y) in out.data_mut().chunks_mut(bias.len()).zip(acc.chunks(*cols))
-                        {
-                            for (d, (v, b)) in dst.iter_mut().zip(y.iter().zip(bias.iter())) {
-                                *d = v + b;
-                            }
-                        }
-                        out
-                    }
-                    AnnUnit::Conv {
-                        shards,
-                        bias,
-                        geom,
-                        out_channels,
-                        cols,
-                        rf,
-                    } => {
-                        let (n, hh, ww) = (h.shape()[0], h.shape()[2], h.shape()[3]);
-                        let (oh, ow) = geom.out_hw(hh, ww)?;
-                        let patches = nebula_tensor::par::im2col(&h, *geom)?;
-                        let spatial = oh * ow;
-                        let total_rows = n * spatial;
-                        let remote = remote_chips(shards.iter().map(|s| s.chip), HOME);
-                        account_shard_traffic(
-                            &mut self.cluster,
-                            HOME,
-                            &remote,
-                            h.len() as u64 * ANN_ACT_BITS,
-                            total_rows as u64 * *cols as u64 * PARTIAL_BITS,
-                        )?;
-                        let mut acc = vec![0.0f32; total_rows * *cols];
-                        for shard in shards.iter_mut() {
-                            let rows: Vec<&[f32]> = (0..total_rows)
-                                .map(|ri| &patches.data()[ri * *rf + shard.lo..ri * *rf + shard.hi])
-                                .collect();
-                            let ys = shard.matrix.dot_batch(&rows)?;
-                            for (a_row, y) in acc.chunks_mut(*cols).zip(ys) {
-                                for (a, v) in a_row.iter_mut().zip(y) {
-                                    *a += v;
-                                }
-                            }
-                        }
-                        self.extra_waves += total_rows as u64;
-                        let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);
-                        for img in 0..n {
-                            for s in 0..spatial {
-                                let y = &acc[(img * spatial + s) * *cols..][..*cols];
-                                for (o, (&v, &b)) in y.iter().zip(bias.iter()).enumerate() {
-                                    out.data_mut()
-                                        [img * *out_channels * spatial + o * spatial + s] = v + b;
-                                }
-                            }
-                        }
-                        out
-                    }
-                };
+                h = exec_ann_unit(unit, &h, &mut sink, workers)?;
                 prev_chip = Some(here);
             }
             Ok(h)
         })();
         self.units = units;
         result
+    }
+
+    /// [`forward`](Self::forward), executed by the concurrent pipeline:
+    /// the batch is split into micro-batches of
+    /// [`PipelineConfig::micro_batch`] rows that stream through the
+    /// chip stages on pool workers, with per-stage traffic journaled
+    /// and replayed at the join — outputs, waves, scalar energy and
+    /// cluster traffic are bit-identical to the sequential walk for any
+    /// worker count and depth (see [`exec`]'s module docs).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`forward`](Self::forward); routing failures
+    /// surface from the journal replay at the join.
+    pub fn forward_pipelined(
+        &mut self,
+        inputs: &Tensor,
+        cfg: &PipelineConfig,
+    ) -> Result<Tensor, AnalogError> {
+        let n = match inputs.shape().first() {
+            Some(&n) => n,
+            None => return self.forward(inputs),
+        };
+        if self.units.is_empty() || n == 0 {
+            return self.forward(inputs);
+        }
+        let depth = cfg.micro_batch.max(1).min(n);
+        let items = n.div_ceil(depth);
+        let workers = effective_workers(cfg, self.units.len());
+        let sw = stage_workers(workers);
+        let row_elems = inputs.len() / n;
+        let in_shape = inputs.shape().to_vec();
+        let data = inputs.data();
+        let mut units = std::mem::take(&mut self.units);
+        let chips_of: Vec<usize> = units.iter().map(|u| u.chip()).collect();
+        let mut journals: Vec<TrafficJournal> = (0..units.len())
+            .map(|_| TrafficJournal::new(true))
+            .collect();
+        let result = (|| -> Result<Tensor, AnalogError> {
+            let source: SourceFn<'_> = Box::new(move |idx| {
+                let lo = idx * depth;
+                let hi = ((idx + 1) * depth).min(n);
+                let mut shape = in_shape.clone();
+                shape[0] = hi - lo;
+                Ok(Tensor::from_vec(
+                    data[lo * row_elems..hi * row_elems].to_vec(),
+                    &shape,
+                )?)
+            });
+            let stages: Vec<StageFn<'_>> = units
+                .iter_mut()
+                .zip(journals.iter_mut())
+                .enumerate()
+                .map(|(u, (unit, journal))| {
+                    let prev = u.checked_sub(1).map(|p| chips_of[p]);
+                    let here = chips_of[u];
+                    Box::new(move |_idx: usize, h: Tensor| {
+                        if let Some(prev) = prev {
+                            if prev != here {
+                                journal.send(prev, here, h.len() as u64 * ANN_ACT_BITS)?;
+                            }
+                        }
+                        exec_ann_unit(unit, &h, journal, sw)
+                    }) as StageFn<'_>
+                })
+                .collect();
+            let outs = run_pipeline(items, source, stages, workers, cfg.queue_capacity)?;
+            // Concatenate micro-batch outputs in index order.
+            let mut out_shape = outs[0].shape().to_vec();
+            out_shape[0] = n;
+            let per_row: usize = out_shape.iter().skip(1).product();
+            let mut out = Vec::with_capacity(n * per_row);
+            for o in &outs {
+                out.extend_from_slice(o.data());
+            }
+            Ok(Tensor::from_vec(out, &out_shape)?)
+        })();
+        self.units = units;
+        let out = result?;
+        // The join: replay every stage's journal against the live
+        // cluster in stage-major, item-ascending order. This is where
+        // dead-link routing failures surface, exactly as the
+        // sequential walk would raise them.
+        let mut sink = LiveSink {
+            cluster: &mut self.cluster,
+            extra_waves: &mut self.extra_waves,
+        };
+        for journal in &journals {
+            journal.replay(&mut sink)?;
+        }
+        Ok(out)
     }
 
     /// Total analog read energy across every chip, summed in stage then
@@ -771,6 +992,10 @@ enum SnnUnit {
         rf: usize,
         scratch: EventScratch,
         window: SpikeBatch,
+        /// Shard chips other than home, fixed at construction.
+        remote: Vec<usize>,
+        /// Reusable partial-sum accumulator (no steady-state allocs).
+        acc: Vec<f32>,
     },
     Conv {
         shards: Vec<SnnShard>,
@@ -780,6 +1005,10 @@ enum SnnUnit {
         cols: usize,
         scratch: EventScratch,
         window: SpikeBatch,
+        /// Shard chips other than home, fixed at construction.
+        remote: Vec<usize>,
+        /// Reusable partial-sum accumulator (no steady-state allocs).
+        acc: Vec<f32>,
     },
 }
 
@@ -788,6 +1017,116 @@ impl SnnUnit {
         match self {
             SnnUnit::Whole { chip, .. } => *chip,
             _ => HOME,
+        }
+    }
+}
+
+/// Advances one SNN unit by one encoded timestep wave. Mirrors
+/// [`exec_ann_unit`]: pure evaluation against unit-owned state (tiles,
+/// IF membranes, gather scratch), shared accounting through `sink`.
+/// Unlike the ANN path, shard traffic is journaled *per timestep* and
+/// silence-gated — exactly the sequential per-timestep skips.
+fn exec_snn_unit<S: TrafficSink>(
+    unit: &mut SnnUnit,
+    h: Tensor,
+    sink: &mut S,
+    workers: usize,
+) -> Result<Tensor, AnalogError> {
+    match unit {
+        SnnUnit::Whole { net, .. } => {
+            let len = net.stages.len();
+            net.step_range_with(h, 0..len, false, workers)
+        }
+        SnnUnit::Dense {
+            shards,
+            bias,
+            cols,
+            rf,
+            scratch,
+            window,
+            remote,
+            acc,
+        } => {
+            let n = h.shape()[0];
+            scratch.batch.gather_dense(h.data(), *rf);
+            acc.clear();
+            acc.resize(n * *cols, 0.0);
+            if !scratch.batch.is_silent() {
+                // A silent wave ships nothing and touches no
+                // crossbar — exactly the single-chip skip.
+                sink.shard(
+                    HOME,
+                    remote,
+                    (n * *rf) as u64 * SNN_ACT_BITS,
+                    (n * *cols) as u64 * PARTIAL_BITS,
+                )?;
+                for shard in shards.iter_mut() {
+                    scratch.batch.slice_window(shard.lo, shard.hi, window);
+                    if window.is_silent() {
+                        continue;
+                    }
+                    let ys = shard.matrix.dot_spikes_batch_active_with(window, workers)?;
+                    for (a, v) in acc.iter_mut().zip(ys) {
+                        *a += v;
+                    }
+                }
+            }
+            sink.add_waves(n as u64);
+            let mut out = Tensor::zeros(&[n, *cols]);
+            for (dst, y) in out.data_mut().chunks_mut(bias.len()).zip(acc.chunks(*cols)) {
+                for (d, (v, b)) in dst.iter_mut().zip(y.iter().zip(bias.iter())) {
+                    *d = v + b;
+                }
+            }
+            Ok(out)
+        }
+        SnnUnit::Conv {
+            shards,
+            bias,
+            geom,
+            out_channels,
+            cols,
+            scratch,
+            window,
+            remote,
+            acc,
+        } => {
+            let (n, cc, hh, ww) = (h.shape()[0], h.shape()[1], h.shape()[2], h.shape()[3]);
+            let (oh, ow) = geom.out_hw(hh, ww)?;
+            let spatial = oh * ow;
+            let total_rows = n * spatial;
+            gather_conv_patches(scratch, h.data(), [n, cc, hh, ww], [oh, ow], *geom);
+            acc.clear();
+            acc.resize(total_rows * *cols, 0.0);
+            if !scratch.batch.is_silent() {
+                sink.shard(
+                    HOME,
+                    remote,
+                    (h.len() as u64 * SNN_ACT_BITS).max(1),
+                    (total_rows * *cols) as u64 * PARTIAL_BITS,
+                )?;
+                for shard in shards.iter_mut() {
+                    scratch.batch.slice_window(shard.lo, shard.hi, window);
+                    if window.is_silent() {
+                        continue;
+                    }
+                    let ys = shard.matrix.dot_spikes_batch_active_with(window, workers)?;
+                    for (a, v) in acc.iter_mut().zip(ys) {
+                        *a += v;
+                    }
+                }
+            }
+            sink.add_waves(total_rows as u64);
+            let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);
+            for img in 0..n {
+                for s in 0..spatial {
+                    let y = &acc[(img * spatial + s) * *cols..][..*cols];
+                    for (o, (&v, &b)) in y.iter().zip(bias.iter()).enumerate() {
+                        out.data_mut()[img * *out_channels * spatial + o * spatial + s] = v + b;
+                    }
+                }
+            }
+            Ok(out)
         }
     }
 }
@@ -832,9 +1171,6 @@ impl ShardedSpikingNetwork {
     ///
     /// Propagates cluster-construction failures.
     pub fn layer_pipelined(net: AnalogSpikingNetwork, chips: usize) -> Result<Self, AnalogError> {
-        let cluster = default_cluster(chips)?;
-        let encoding = net.encoding;
-        let extra_waves = net.timestep_waves;
         let costs: Vec<u64> = net
             .stages
             .iter()
@@ -846,7 +1182,77 @@ impl ShardedSpikingNetwork {
                 _ => 0,
             })
             .collect();
-        let assignment = assign_spans(&costs, chips);
+        Self::pipelined_with_costs(net, chips, &costs)
+    }
+
+    /// Pipelines `net` over `chips` chips with stage spans balanced by
+    /// per-timestep *compute* (crossbar rows × receptive field ×
+    /// columns) for the given input shape — the SNN counterpart of
+    /// [`ShardedAnalogNetwork::layer_pipelined_for_input`]. Any
+    /// contiguous split is bit-identical; this only moves wall-clock
+    /// balance toward the im2col-heavy convolutional stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::BadGeometry`] when `input_shape` cannot
+    /// flow through the stages; propagates cluster-construction
+    /// failures.
+    pub fn layer_pipelined_for_input(
+        net: AnalogSpikingNetwork,
+        chips: usize,
+        input_shape: &[usize],
+    ) -> Result<Self, AnalogError> {
+        let mut shape: Vec<usize> = input_shape.get(1..).unwrap_or_default().to_vec();
+        let mut costs = Vec::with_capacity(net.stages.len());
+        for stage in &net.stages {
+            costs.push(match stage {
+                SpikingAnalogStage::Dense { matrix, .. } => {
+                    shape = vec![matrix.cols];
+                    (matrix.rf as u64) * matrix.cols as u64
+                }
+                SpikingAnalogStage::Conv {
+                    matrix,
+                    geom,
+                    out_channels,
+                    ..
+                } => {
+                    if shape.len() != 3 {
+                        return Err(AnalogError::BadGeometry {
+                            reason: format!("conv stage fed rank-{} image", shape.len()),
+                        });
+                    }
+                    let (oh, ow) = geom.out_hw(shape[1], shape[2])?;
+                    shape = vec![*out_channels, oh, ow];
+                    (oh * ow) as u64 * matrix.rf as u64 * matrix.cols as u64
+                }
+                SpikingAnalogStage::AvgPool { k } => {
+                    if shape.len() != 3 {
+                        return Err(AnalogError::BadGeometry {
+                            reason: format!("pool stage fed rank-{} image", shape.len()),
+                        });
+                    }
+                    shape = vec![shape[0], shape[1] / k, shape[2] / k];
+                    0
+                }
+                SpikingAnalogStage::Flatten => {
+                    shape = vec![shape.iter().product()];
+                    0
+                }
+                SpikingAnalogStage::IntegrateFire(_) => 0,
+            });
+        }
+        Self::pipelined_with_costs(net, chips, &costs)
+    }
+
+    fn pipelined_with_costs(
+        net: AnalogSpikingNetwork,
+        chips: usize,
+        costs: &[u64],
+    ) -> Result<Self, AnalogError> {
+        let cluster = default_cluster(chips)?;
+        let encoding = net.encoding;
+        let extra_waves = net.timestep_waves;
+        let assignment = assign_spans(costs, chips);
         let mut units = Vec::new();
         let mut span: Vec<SpikingAnalogStage> = Vec::new();
         let mut span_chip = 0usize;
@@ -913,13 +1319,17 @@ impl ShardedSpikingNetwork {
                 SpikingAnalogStage::Dense { matrix, bias, .. } if matrix.tiles.len() > 1 => {
                     flush(&mut span, &mut units);
                     let (cols, rf) = (matrix.cols, matrix.rf);
+                    let shards = shard_snn_matrix(matrix, chips);
+                    let remote = remote_chips(shards.iter().map(|s| s.chip), HOME);
                     units.push(SnnUnit::Dense {
-                        shards: shard_snn_matrix(matrix, chips),
+                        shards,
                         bias,
                         cols,
                         rf,
                         scratch: EventScratch::default(),
                         window: SpikeBatch::default(),
+                        remote,
+                        acc: Vec::new(),
                     });
                 }
                 SpikingAnalogStage::Conv {
@@ -931,14 +1341,18 @@ impl ShardedSpikingNetwork {
                 } if matrix.tiles.len() > 1 => {
                     flush(&mut span, &mut units);
                     let cols = matrix.cols;
+                    let shards = shard_snn_matrix(matrix, chips);
+                    let remote = remote_chips(shards.iter().map(|s| s.chip), HOME);
                     units.push(SnnUnit::Conv {
-                        shards: shard_snn_matrix(matrix, chips),
+                        shards,
                         bias,
                         geom,
                         out_channels,
                         cols,
                         scratch: EventScratch::default(),
                         window: SpikeBatch::default(),
+                        remote,
+                        acc: Vec::new(),
                     });
                 }
                 other => span.push(other),
@@ -1109,8 +1523,13 @@ impl ShardedSpikingNetwork {
 
     /// Advances one encoded spike wave through every unit in order.
     fn step_timestep(&mut self, mut h: Tensor) -> Result<Tensor, AnalogError> {
+        let workers = nebula_tensor::pool::size();
         let mut units = std::mem::take(&mut self.units);
         let result = (|| -> Result<Tensor, AnalogError> {
+            let mut sink = LiveSink {
+                cluster: &mut self.cluster,
+                extra_waves: &mut self.extra_waves,
+            };
             let mut prev_chip: Option<usize> = None;
             for unit in units.iter_mut() {
                 let here = unit.chip();
@@ -1118,114 +1537,148 @@ impl ShardedSpikingNetwork {
                     if prev != here {
                         // Spike bitmaps cross the ring between pipeline
                         // stages once per timestep.
-                        let bits = (h.len() as u64 * SNN_ACT_BITS).max(1);
-                        self.cluster.send(portal(prev), portal(here), bits)?;
+                        sink.send(prev, here, (h.len() as u64 * SNN_ACT_BITS).max(1))?;
                     }
                 }
-                h = match unit {
-                    SnnUnit::Whole { net, .. } => {
-                        let len = net.stages.len();
-                        net.step_range(h, 0..len, false)?
-                    }
-                    SnnUnit::Dense {
-                        shards,
-                        bias,
-                        cols,
-                        rf,
-                        scratch,
-                        window,
-                    } => {
-                        let n = h.shape()[0];
-                        scratch.batch.gather_dense(h.data(), *rf);
-                        let mut acc = vec![0.0f32; n * *cols];
-                        if !scratch.batch.is_silent() {
-                            // A silent wave ships nothing and touches no
-                            // crossbar — exactly the single-chip skip.
-                            let remote = remote_chips(shards.iter().map(|s| s.chip), HOME);
-                            account_shard_traffic(
-                                &mut self.cluster,
-                                HOME,
-                                &remote,
-                                (n * *rf) as u64 * SNN_ACT_BITS,
-                                (n * *cols) as u64 * PARTIAL_BITS,
-                            )?;
-                            for shard in shards.iter_mut() {
-                                scratch.batch.slice_window(shard.lo, shard.hi, window);
-                                if window.is_silent() {
-                                    continue;
-                                }
-                                let ys = shard.matrix.dot_spikes_batch_active(window)?;
-                                for (a, v) in acc.iter_mut().zip(ys) {
-                                    *a += v;
-                                }
-                            }
-                        }
-                        self.extra_waves += n as u64;
-                        let mut out = Tensor::zeros(&[n, *cols]);
-                        for (dst, y) in out.data_mut().chunks_mut(bias.len()).zip(acc.chunks(*cols))
-                        {
-                            for (d, (v, b)) in dst.iter_mut().zip(y.iter().zip(bias.iter())) {
-                                *d = v + b;
-                            }
-                        }
-                        out
-                    }
-                    SnnUnit::Conv {
-                        shards,
-                        bias,
-                        geom,
-                        out_channels,
-                        cols,
-                        scratch,
-                        window,
-                    } => {
-                        let (n, cc, hh, ww) =
-                            (h.shape()[0], h.shape()[1], h.shape()[2], h.shape()[3]);
-                        let (oh, ow) = geom.out_hw(hh, ww)?;
-                        let spatial = oh * ow;
-                        let total_rows = n * spatial;
-                        gather_conv_patches(scratch, h.data(), [n, cc, hh, ww], [oh, ow], *geom);
-                        let mut acc = vec![0.0f32; total_rows * *cols];
-                        if !scratch.batch.is_silent() {
-                            let remote = remote_chips(shards.iter().map(|s| s.chip), HOME);
-                            account_shard_traffic(
-                                &mut self.cluster,
-                                HOME,
-                                &remote,
-                                (h.len() as u64 * SNN_ACT_BITS).max(1),
-                                (total_rows * *cols) as u64 * PARTIAL_BITS,
-                            )?;
-                            for shard in shards.iter_mut() {
-                                scratch.batch.slice_window(shard.lo, shard.hi, window);
-                                if window.is_silent() {
-                                    continue;
-                                }
-                                let ys = shard.matrix.dot_spikes_batch_active(window)?;
-                                for (a, v) in acc.iter_mut().zip(ys) {
-                                    *a += v;
-                                }
-                            }
-                        }
-                        self.extra_waves += total_rows as u64;
-                        let mut out = Tensor::zeros(&[n, *out_channels, oh, ow]);
-                        for img in 0..n {
-                            for s in 0..spatial {
-                                let y = &acc[(img * spatial + s) * *cols..][..*cols];
-                                for (o, (&v, &b)) in y.iter().zip(bias.iter()).enumerate() {
-                                    out.data_mut()
-                                        [img * *out_channels * spatial + o * spatial + s] = v + b;
-                                }
-                            }
-                        }
-                        out
-                    }
-                };
+                h = exec_snn_unit(unit, h, &mut sink, workers)?;
                 prev_chip = Some(here);
             }
             Ok(h)
         })();
         self.units = units;
         result
+    }
+
+    /// [`run`](Self::run), executed by the concurrent pipeline: each
+    /// timestep is one pipeline item, so chip stage *k* advances
+    /// timestep *t+1* while stage *k+1* advances timestep *t*. The
+    /// whole batch is still encoded exactly once per timestep, at the
+    /// pipeline head and in ascending timestep order (the source is
+    /// serialized), so RNG consumption is untouched; per-stage traffic
+    /// is journaled one op per timestep and replayed at the join —
+    /// outputs, waves, scalar energy and cluster traffic are
+    /// bit-identical to the sequential [`run`](Self::run) for any
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run`](Self::run); routing failures surface
+    /// from the journal replay at the join.
+    pub fn run_pipelined<R: Rng + Send + ?Sized>(
+        &mut self,
+        inputs: &Tensor,
+        timesteps: usize,
+        rng: &mut R,
+        cfg: &PipelineConfig,
+    ) -> Result<Tensor, AnalogError> {
+        let encoding = self.encoding;
+        self.run_with_encoder_pipelined(inputs, timesteps, cfg, &mut |x: &Tensor| {
+            encode_with(encoding, x, rng)
+        })
+    }
+
+    /// [`run_seeded_groups`](Self::run_seeded_groups) through the
+    /// concurrent pipeline — the serving layer's pipelined entry point.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run_seeded_groups`](Self::run_seeded_groups).
+    pub fn run_seeded_groups_pipelined(
+        &mut self,
+        inputs: &Tensor,
+        timesteps: usize,
+        groups: &[(usize, u64)],
+        cfg: &PipelineConfig,
+    ) -> Result<Tensor, AnalogError> {
+        let n = *inputs
+            .shape()
+            .first()
+            .ok_or_else(|| AnalogError::BadGeometry {
+                reason: "rank-0 input".into(),
+            })?;
+        let total: usize = groups.iter().map(|&(rows, _)| rows).sum();
+        if total != n {
+            return Err(AnalogError::BadGeometry {
+                reason: format!("seeded groups cover {total} rows, batch has {n}"),
+            });
+        }
+        let row_elems = inputs.len().checked_div(n).unwrap_or(0);
+        let encoding = self.encoding;
+        let mut rngs: Vec<rand::rngs::StdRng> = groups
+            .iter()
+            .map(|&(_, seed)| rand::SeedableRng::seed_from_u64(seed))
+            .collect();
+        self.run_with_encoder_pipelined(inputs, timesteps, cfg, &mut |x: &Tensor| {
+            encode_groups(encoding, x, row_elems, groups, &mut rngs)
+        })
+    }
+
+    fn run_with_encoder_pipelined(
+        &mut self,
+        inputs: &Tensor,
+        timesteps: usize,
+        cfg: &PipelineConfig,
+        encode: &mut (dyn FnMut(&Tensor) -> Tensor + Send),
+    ) -> Result<Tensor, AnalogError> {
+        if self.units.is_empty() || timesteps == 0 {
+            return self.run_with_encoder(inputs, timesteps, encode);
+        }
+        for unit in &mut self.units {
+            if let SnnUnit::Whole { net, .. } = unit {
+                net.reset_state();
+            }
+        }
+        let workers = effective_workers(cfg, self.units.len());
+        let sw = stage_workers(workers);
+        let mut units = std::mem::take(&mut self.units);
+        let chips_of: Vec<usize> = units.iter().map(|u| u.chip()).collect();
+        // One non-coalescing journal per stage: SNN traffic replays one
+        // op per timestep (flit rounding and silence skips are
+        // per-timestep in the sequential walk).
+        let mut journals: Vec<TrafficJournal> = (0..units.len())
+            .map(|_| TrafficJournal::new(false))
+            .collect();
+        let result = (|| -> Result<Tensor, AnalogError> {
+            let source: SourceFn<'_> = Box::new(move |_t| Ok(encode(inputs)));
+            let stages: Vec<StageFn<'_>> = units
+                .iter_mut()
+                .zip(journals.iter_mut())
+                .enumerate()
+                .map(|(u, (unit, journal))| {
+                    let prev = u.checked_sub(1).map(|p| chips_of[p]);
+                    let here = chips_of[u];
+                    Box::new(move |_t: usize, h: Tensor| {
+                        if let Some(prev) = prev {
+                            if prev != here {
+                                journal.send(prev, here, (h.len() as u64 * SNN_ACT_BITS).max(1))?;
+                            }
+                        }
+                        exec_snn_unit(unit, h, journal, sw)
+                    }) as StageFn<'_>
+                })
+                .collect();
+            let outs = run_pipeline(timesteps, source, stages, workers, cfg.queue_capacity)?;
+            // Fold potentials in ascending timestep order — the same
+            // accumulation the sequential loop performs.
+            let mut acc: Option<Tensor> = None;
+            for h in outs {
+                match &mut acc {
+                    Some(a) => a.add_assign(&h)?,
+                    none => *none = Some(h),
+                }
+            }
+            Ok(acc.expect("timesteps >= 1"))
+        })();
+        self.units = units;
+        let out = result?;
+        let mut sink = LiveSink {
+            cluster: &mut self.cluster,
+            extra_waves: &mut self.extra_waves,
+        };
+        for journal in &journals {
+            journal.replay(&mut sink)?;
+        }
+        Ok(out)
     }
 
     /// Total analog read energy across every chip, summed in stage then

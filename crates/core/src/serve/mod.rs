@@ -606,13 +606,23 @@ fn evaluate_batch(chip: &mut ModelChip, batch: &[Pending]) -> Result<Vec<Tensor>
     };
     let y = match (chip, &batch[0].kind) {
         (ModelChip::Ann(net), RequestKind::Ann) => net.forward(&x)?,
-        (ModelChip::ShardedAnn(cluster), RequestKind::Ann) => cluster.forward(&x)?,
+        // Sharded models stream through the concurrent pipeline
+        // executor (bit-identical to the sequential sharded walk, so
+        // the serving identity contract is untouched); depth follows
+        // NEBULA_MULTICHIP_DEPTH.
+        (ModelChip::ShardedAnn(cluster), RequestKind::Ann) => {
+            cluster.forward_pipelined(&x, &crate::multichip::PipelineConfig::from_env())?
+        }
         (ModelChip::Snn(net), RequestKind::Snn { timesteps, .. }) => {
             net.run_seeded_groups(&x, *timesteps, &snn_groups(batch))?
         }
-        (ModelChip::ShardedSnn(cluster), RequestKind::Snn { timesteps, .. }) => {
-            cluster.run_seeded_groups(&x, *timesteps, &snn_groups(batch))?
-        }
+        (ModelChip::ShardedSnn(cluster), RequestKind::Snn { timesteps, .. }) => cluster
+            .run_seeded_groups_pipelined(
+                &x,
+                *timesteps,
+                &snn_groups(batch),
+                &crate::multichip::PipelineConfig::from_env(),
+            )?,
         _ => {
             return Err(ServeError::BadRequest(
                 "request kind does not match chip mode".into(),

@@ -223,6 +223,26 @@ pub fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     }
 }
 
+/// Runs `f(0)..f(tasks - 1)` as `tasks` identical claimants on the
+/// persistent pool and returns once every one has finished — the
+/// worker-style fan-out [`run_scoped`] expressed without hand-boxing
+/// one closure per task. The multi-chip pipeline executor rides this to
+/// launch its stage claimants: each claimant loops over a shared
+/// scheduler until the pipeline drains, so the pool (sized by
+/// `NEBULA_THREADS`) bounds the realized concurrency while a single
+/// claimant can always finish the whole job alone. Panics propagate as
+/// in [`run_scoped`]: first payload re-raised after the set settles.
+pub fn run_scoped_n<'scope, F>(tasks: usize, f: F)
+where
+    F: Fn(usize) + Sync + 'scope,
+{
+    let f = &f;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..tasks)
+        .map(|i| Box::new(move || f(i)) as Box<dyn FnOnce() + Send + '_>)
+        .collect();
+    run_scoped(jobs);
+}
+
 /// Order-preserving parallel map over `0..len` with dynamic work
 /// pulling: up to `workers` pool tasks claim indices from a shared
 /// counter and write each result into its own slot, so the output is
@@ -337,6 +357,18 @@ mod tests {
             })
             .collect();
         run_scoped(outer);
+    }
+
+    #[test]
+    fn run_scoped_n_runs_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..9).map(|_| AtomicUsize::new(0)).collect();
+        run_scoped_n(9, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "index {i}");
+        }
+        run_scoped_n(0, |_| panic!("no tasks, no calls"));
     }
 
     #[test]
